@@ -1,0 +1,94 @@
+//! Minimal CSV output for experiment series.
+//!
+//! Experiment data is also emitted as CSV so results can be re-plotted
+//! externally. Only writing is supported and only the small fragment the
+//! harness needs: comma separation, quoting of cells containing commas,
+//! quotes, or newlines.
+
+use std::io::{self, Write};
+
+/// Escapes one CSV cell per RFC 4180: wraps in quotes when it contains a
+/// comma, quote, or newline, doubling embedded quotes.
+#[must_use]
+pub fn escape_cell(cell: &str) -> String {
+    if cell.contains([',', '"', '\n', '\r']) {
+        format!("\"{}\"", cell.replace('"', "\"\""))
+    } else {
+        cell.to_string()
+    }
+}
+
+/// Writes a header row plus data rows to `writer`.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+///
+/// # Examples
+///
+/// ```
+/// use hh_analysis::write_csv;
+///
+/// let mut out = Vec::new();
+/// write_csv(
+///     &mut out,
+///     &["n", "rounds"],
+///     [vec!["64".to_string(), "20.5".to_string()]],
+/// )?;
+/// assert_eq!(String::from_utf8(out).unwrap(), "n,rounds\n64,20.5\n");
+/// # Ok::<(), std::io::Error>(())
+/// ```
+pub fn write_csv<W, R>(writer: &mut W, headers: &[&str], rows: R) -> io::Result<()>
+where
+    W: Write,
+    R: IntoIterator<Item = Vec<String>>,
+{
+    let header_line: Vec<String> = headers.iter().map(|h| escape_cell(h)).collect();
+    writeln!(writer, "{}", header_line.join(","))?;
+    for row in rows {
+        let cells: Vec<String> = row.iter().map(|c| escape_cell(c)).collect();
+        writeln!(writer, "{}", cells.join(","))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_cells_pass_through() {
+        assert_eq!(escape_cell("abc"), "abc");
+        assert_eq!(escape_cell("1.5"), "1.5");
+    }
+
+    #[test]
+    fn special_cells_are_quoted() {
+        assert_eq!(escape_cell("a,b"), "\"a,b\"");
+        assert_eq!(escape_cell("say \"hi\""), "\"say \"\"hi\"\"\"");
+        assert_eq!(escape_cell("two\nlines"), "\"two\nlines\"");
+    }
+
+    #[test]
+    fn writes_rows() {
+        let mut out = Vec::new();
+        write_csv(
+            &mut out,
+            &["x", "label"],
+            vec![
+                vec!["1".to_string(), "plain".to_string()],
+                vec!["2".to_string(), "with,comma".to_string()],
+            ],
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert_eq!(text, "x,label\n1,plain\n2,\"with,comma\"\n");
+    }
+
+    #[test]
+    fn empty_rows_iterator_writes_header_only() {
+        let mut out = Vec::new();
+        write_csv(&mut out, &["only"], Vec::<Vec<String>>::new()).unwrap();
+        assert_eq!(String::from_utf8(out).unwrap(), "only\n");
+    }
+}

@@ -1,0 +1,62 @@
+//! Error type for analysis routines.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by statistics and fitting routines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum AnalysisError {
+    /// Paired-data routine received slices of different lengths.
+    LengthMismatch {
+        /// Length of the x slice.
+        xs: usize,
+        /// Length of the y slice.
+        ys: usize,
+    },
+    /// Not enough data points for the requested computation.
+    TooFewPoints {
+        /// Points provided.
+        got: usize,
+        /// Minimum required.
+        required: usize,
+    },
+    /// The x values were all identical, so no slope is defined.
+    DegenerateX,
+}
+
+impl fmt::Display for AnalysisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalysisError::LengthMismatch { xs, ys } => {
+                write!(f, "paired data lengths differ: {xs} x values vs {ys} y values")
+            }
+            AnalysisError::TooFewPoints { got, required } => {
+                write!(f, "need at least {required} points, got {got}")
+            }
+            AnalysisError::DegenerateX => {
+                write!(f, "all x values are identical; slope is undefined")
+            }
+        }
+    }
+}
+
+impl Error for AnalysisError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_lowercase() {
+        for err in [
+            AnalysisError::LengthMismatch { xs: 1, ys: 2 },
+            AnalysisError::TooFewPoints { got: 1, required: 2 },
+            AnalysisError::DegenerateX,
+        ] {
+            let msg = err.to_string();
+            assert!(msg.chars().next().unwrap().is_lowercase());
+            assert!(!msg.ends_with('.'));
+        }
+    }
+}

@@ -1,0 +1,244 @@
+//! Least-squares fitting on transformed axes.
+//!
+//! The reproduction's asymptotic claims are all of the form "T grows like
+//! `f(n)`": Algorithm 2's rounds grow like `log n` (Theorem 4.3),
+//! Algorithm 3's like `k log n` (Theorem 5.11), the lower bound like
+//! `log n` (Theorem 3.2). We validate the *shape* by fitting
+//! `y = a·x + b` after transforming the x-axis (`x = log₂ n`, `x = k`,
+//! `x = k log₂ n`, …) and checking that the fit is tight (high `R²`) with
+//! a clearly positive slope.
+//!
+//! [`growth_assessment`] offers a complementary, fit-free check: for a
+//! doubling sweep `n, 2n, 4n, …`, logarithmic growth means roughly
+//! *constant differences* between consecutive times, while linear growth
+//! means roughly constant *ratios* of 2.
+
+use crate::error::AnalysisError;
+
+/// An ordinary-least-squares line fit `y ≈ slope · x + intercept`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearFit {
+    /// Fitted slope `a`.
+    pub slope: f64,
+    /// Fitted intercept `b`.
+    pub intercept: f64,
+    /// Coefficient of determination in `[0, 1]` (1 = perfect fit).
+    pub r_squared: f64,
+}
+
+impl LinearFit {
+    /// Predicts `y` at `x`.
+    #[must_use]
+    pub fn predict(&self, x: f64) -> f64 {
+        self.slope * x + self.intercept
+    }
+}
+
+/// Fits `y = a·x + b` by ordinary least squares.
+///
+/// # Errors
+///
+/// * [`AnalysisError::LengthMismatch`] if the slices differ in length;
+/// * [`AnalysisError::TooFewPoints`] with fewer than two points;
+/// * [`AnalysisError::DegenerateX`] if all `x` are identical.
+///
+/// # Examples
+///
+/// ```
+/// use hh_analysis::fit_linear;
+///
+/// let fit = fit_linear(&[1.0, 2.0, 3.0], &[2.0, 4.0, 6.0])?;
+/// assert!((fit.slope - 2.0).abs() < 1e-12);
+/// assert!((fit.r_squared - 1.0).abs() < 1e-12);
+/// # Ok::<(), hh_analysis::AnalysisError>(())
+/// ```
+pub fn fit_linear(xs: &[f64], ys: &[f64]) -> Result<LinearFit, AnalysisError> {
+    if xs.len() != ys.len() {
+        return Err(AnalysisError::LengthMismatch { xs: xs.len(), ys: ys.len() });
+    }
+    if xs.len() < 2 {
+        return Err(AnalysisError::TooFewPoints { got: xs.len(), required: 2 });
+    }
+    let n = xs.len() as f64;
+    let mean_x = xs.iter().sum::<f64>() / n;
+    let mean_y = ys.iter().sum::<f64>() / n;
+    let mut sxx = 0.0;
+    let mut sxy = 0.0;
+    let mut syy = 0.0;
+    for (&x, &y) in xs.iter().zip(ys) {
+        let dx = x - mean_x;
+        let dy = y - mean_y;
+        sxx += dx * dx;
+        sxy += dx * dy;
+        syy += dy * dy;
+    }
+    if sxx == 0.0 {
+        return Err(AnalysisError::DegenerateX);
+    }
+    let slope = sxy / sxx;
+    let intercept = mean_y - slope * mean_x;
+    // R² = 1 − SS_res / SS_tot; define a constant-y set as perfectly fit.
+    let r_squared = if syy == 0.0 {
+        1.0
+    } else {
+        let ss_res: f64 = xs
+            .iter()
+            .zip(ys)
+            .map(|(&x, &y)| {
+                let e = y - (slope * x + intercept);
+                e * e
+            })
+            .sum();
+        (1.0 - ss_res / syy).clamp(0.0, 1.0)
+    };
+    Ok(LinearFit { slope, intercept, r_squared })
+}
+
+/// Fits `y = a·log₂(n) + b` over a sweep of sizes `ns`.
+///
+/// # Errors
+///
+/// Same conditions as [`fit_linear`]; additionally requires all sizes to
+/// be at least 1 (zeros map to `log₂ 1 = 0` and are accepted; the
+/// practical sweeps all start at `n ≥ 2`).
+pub fn fit_log2(ns: &[usize], ys: &[f64]) -> Result<LinearFit, AnalysisError> {
+    let xs: Vec<f64> = ns.iter().map(|&n| (n.max(1) as f64).log2()).collect();
+    fit_linear(&xs, ys)
+}
+
+/// How a doubling sweep grew, fit-free (see the module docs).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GrowthAssessment {
+    /// Differences `y[i+1] − y[i]` between consecutive sweep points.
+    pub differences: Vec<f64>,
+    /// Ratios `y[i+1] / y[i]` (entries where `y[i] = 0` are skipped).
+    pub ratios: Vec<f64>,
+    /// Mean of `differences`.
+    pub mean_difference: f64,
+    /// Mean of `ratios`; 1.0 if no ratio was computable.
+    pub mean_ratio: f64,
+}
+
+impl GrowthAssessment {
+    /// A loose classifier: `true` when the sweep looks logarithmic —
+    /// ratios shrink toward 1 (below `threshold`, e.g. 1.5 for a
+    /// doubling sweep where linear growth would give 2.0).
+    #[must_use]
+    pub fn looks_sublinear(&self, threshold: f64) -> bool {
+        // Judge by the tail: early doubling points are dominated by
+        // constants.
+        let tail = &self.ratios[self.ratios.len().saturating_sub(3)..];
+        !tail.is_empty() && tail.iter().sum::<f64>() / tail.len() as f64 <= threshold
+    }
+}
+
+/// Computes consecutive differences and ratios of a sweep.
+///
+/// # Errors
+///
+/// Returns [`AnalysisError::TooFewPoints`] with fewer than two points.
+pub fn growth_assessment(ys: &[f64]) -> Result<GrowthAssessment, AnalysisError> {
+    if ys.len() < 2 {
+        return Err(AnalysisError::TooFewPoints { got: ys.len(), required: 2 });
+    }
+    let differences: Vec<f64> = ys.windows(2).map(|w| w[1] - w[0]).collect();
+    let ratios: Vec<f64> = ys
+        .windows(2)
+        .filter(|w| w[0] != 0.0)
+        .map(|w| w[1] / w[0])
+        .collect();
+    let mean_difference = differences.iter().sum::<f64>() / differences.len() as f64;
+    let mean_ratio = if ratios.is_empty() {
+        1.0
+    } else {
+        ratios.iter().sum::<f64>() / ratios.len() as f64
+    };
+    Ok(GrowthAssessment { differences, ratios, mean_difference, mean_ratio })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_line() {
+        let fit = fit_linear(&[0.0, 1.0, 2.0, 3.0], &[1.0, 3.0, 5.0, 7.0]).unwrap();
+        assert!((fit.slope - 2.0).abs() < 1e-12);
+        assert!((fit.intercept - 1.0).abs() < 1e-12);
+        assert!((fit.r_squared - 1.0).abs() < 1e-12);
+        assert!((fit.predict(10.0) - 21.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noisy_line_has_high_r2() {
+        let xs: Vec<f64> = (0..50).map(f64::from).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 * x + 5.0 + (x * 7.7).sin()).collect();
+        let fit = fit_linear(&xs, &ys).unwrap();
+        assert!((fit.slope - 3.0).abs() < 0.05);
+        assert!(fit.r_squared > 0.99);
+    }
+
+    #[test]
+    fn validation_errors() {
+        assert_eq!(
+            fit_linear(&[1.0], &[1.0, 2.0]),
+            Err(AnalysisError::LengthMismatch { xs: 1, ys: 2 })
+        );
+        assert_eq!(
+            fit_linear(&[1.0], &[1.0]),
+            Err(AnalysisError::TooFewPoints { got: 1, required: 2 })
+        );
+        assert_eq!(
+            fit_linear(&[2.0, 2.0, 2.0], &[1.0, 2.0, 3.0]),
+            Err(AnalysisError::DegenerateX)
+        );
+    }
+
+    #[test]
+    fn constant_y_is_perfect_flat_fit() {
+        let fit = fit_linear(&[1.0, 2.0, 3.0], &[5.0, 5.0, 5.0]).unwrap();
+        assert_eq!(fit.slope, 0.0);
+        assert_eq!(fit.intercept, 5.0);
+        assert_eq!(fit.r_squared, 1.0);
+    }
+
+    #[test]
+    fn log2_fit_recovers_log_growth() {
+        // y = 7·log2(n) + 3 exactly.
+        let ns = [64usize, 128, 256, 512, 1024];
+        let ys: Vec<f64> = ns.iter().map(|&n| 7.0 * (n as f64).log2() + 3.0).collect();
+        let fit = fit_log2(&ns, &ys).unwrap();
+        assert!((fit.slope - 7.0).abs() < 1e-9);
+        assert!((fit.intercept - 3.0).abs() < 1e-9);
+        assert!(fit.r_squared > 0.999);
+    }
+
+    #[test]
+    fn growth_assessment_distinguishes_shapes() {
+        // Logarithmic data on a doubling sweep: constant differences.
+        let log_data: Vec<f64> = (6..14).map(|e| 10.0 * f64::from(e)).collect();
+        let log_growth = growth_assessment(&log_data).unwrap();
+        assert!(log_growth.looks_sublinear(1.5), "{log_growth:?}");
+
+        // Linear data on a doubling sweep: ratios ≈ 2.
+        let lin_data: Vec<f64> = (6..14).map(|e| 2f64.powi(e)).collect();
+        let lin_growth = growth_assessment(&lin_data).unwrap();
+        assert!(!lin_growth.looks_sublinear(1.5), "{lin_growth:?}");
+        assert!((lin_growth.mean_ratio - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn growth_assessment_needs_two_points() {
+        assert_eq!(
+            growth_assessment(&[1.0]),
+            Err(AnalysisError::TooFewPoints { got: 1, required: 2 })
+        );
+    }
+
+    #[test]
+    fn growth_assessment_skips_zero_bases() {
+        let g = growth_assessment(&[0.0, 2.0, 4.0]).unwrap();
+        assert_eq!(g.ratios, vec![2.0]);
+        assert_eq!(g.differences, vec![2.0, 2.0]);
+    }
+}

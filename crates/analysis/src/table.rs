@@ -1,0 +1,197 @@
+//! Fixed-width ASCII tables for experiment output.
+//!
+//! The experiment harness reports every figure and table as plain text so
+//! results render identically in a terminal, a log file, or
+//! `EXPERIMENTS.md`. [`Table`] right-aligns numeric-looking cells and
+//! left-aligns the rest.
+//!
+//! # Examples
+//!
+//! ```
+//! use hh_analysis::Table;
+//!
+//! let mut table = Table::new(["n", "rounds", "algorithm"]);
+//! table.row(["64", "21.5", "optimal"]);
+//! table.row(["128", "24.1", "optimal"]);
+//! let text = table.to_string();
+//! assert!(text.contains("rounds"));
+//! assert!(text.lines().count() >= 4); // header, rule, two rows
+//! ```
+
+use std::fmt;
+
+/// A simple fixed-width text table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    #[must_use]
+    pub fn new<I, S>(headers: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        Self {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row. Rows shorter than the header are padded with empty
+    /// cells; longer rows are truncated to the header width.
+    pub fn row<I, S>(&mut self, cells: I) -> &mut Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        row.resize(self.headers.len(), String::new());
+        self.rows.push(row);
+        self
+    }
+
+    /// Number of data rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Returns `true` if the table has no data rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    fn widths(&self) -> Vec<usize> {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (cell, width) in row.iter().zip(widths.iter_mut()) {
+                *width = (*width).max(cell.chars().count());
+            }
+        }
+        widths
+    }
+}
+
+fn is_numeric(cell: &str) -> bool {
+    !cell.is_empty()
+        && cell
+            .chars()
+            .all(|c| c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E' | '%' | '∞'))
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let widths = self.widths();
+        let write_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            let mut first = true;
+            for (cell, &width) in cells.iter().zip(&widths) {
+                if !first {
+                    write!(f, "  ")?;
+                }
+                first = false;
+                let pad = width.saturating_sub(cell.chars().count());
+                if is_numeric(cell) {
+                    write!(f, "{}{}", " ".repeat(pad), cell)?;
+                } else {
+                    write!(f, "{}{}", cell, " ".repeat(pad))?;
+                }
+            }
+            writeln!(f)
+        };
+        write_row(f, &self.headers)?;
+        let rule: Vec<String> = widths.iter().map(|&w| "-".repeat(w)).collect();
+        write_row(f, &rule)?;
+        for row in &self.rows {
+            write_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a float with `precision` decimals, trimming `-0`.
+#[must_use]
+pub fn fmt_f64(value: f64, precision: usize) -> String {
+    let s = format!("{value:.precision$}");
+    if s.starts_with("-0") && s[1..].chars().all(|c| c == '0' || c == '.') {
+        s[1..].to_string()
+    } else {
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_header_rule_rows() {
+        let mut t = Table::new(["a", "bbbb"]);
+        t.row(["1", "x"]);
+        let text = t.to_string();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[1].contains("----"));
+    }
+
+    #[test]
+    fn pads_and_truncates_rows() {
+        let mut t = Table::new(["a", "b"]);
+        t.row(["only"]);
+        t.row(["1", "2", "3"]);
+        assert_eq!(t.len(), 2);
+        let text = t.to_string();
+        assert!(!text.contains('3'), "extra cells dropped");
+    }
+
+    #[test]
+    fn numeric_cells_right_align() {
+        let mut t = Table::new(["name", "value"]);
+        t.row(["long-name-here", "7"]);
+        t.row(["x", "123"]);
+        let text = t.to_string();
+        let lines: Vec<&str> = text.lines().collect();
+        // "7" should be right-aligned under "value": ends at same column
+        // as "123".
+        let col7 = lines[2].rfind('7').unwrap();
+        let col123 = lines[3].rfind('3').unwrap();
+        assert_eq!(col7, col123);
+    }
+
+    #[test]
+    fn column_width_tracks_longest_cell() {
+        let mut t = Table::new(["h"]);
+        t.row(["wwwwwwwww"]);
+        let text = t.to_string();
+        assert!(text.lines().nth(1).unwrap().len() >= 9);
+    }
+
+    #[test]
+    fn empty_table_still_renders() {
+        let t = Table::new(["x", "y"]);
+        assert!(t.is_empty());
+        let text = t.to_string();
+        assert_eq!(text.lines().count(), 2);
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(fmt_f64(1.23456, 2), "1.23");
+        assert_eq!(fmt_f64(-0.0001, 2), "0.00");
+        assert_eq!(fmt_f64(-1.5, 1), "-1.5");
+        assert_eq!(fmt_f64(3.0, 0), "3");
+    }
+
+    #[test]
+    fn numeric_detector() {
+        assert!(is_numeric("123"));
+        assert!(is_numeric("-1.5e3"));
+        assert!(is_numeric("99%"));
+        assert!(!is_numeric("abc"));
+        assert!(!is_numeric(""));
+    }
+}

@@ -1,0 +1,32 @@
+//! Criterion bench for experiment F1: best-case information spreading.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hh_core::{colony, SpreadStrategy};
+use hh_model::QualitySpec;
+use hh_sim::{ConvergenceRule, ScenarioSpec};
+use std::hint::black_box;
+
+fn bench_spreading(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lower_bound/spread_to_all_informed");
+    group.sample_size(10);
+    for n in [256usize, 1024, 4096] {
+        group.bench_with_input(BenchmarkId::new("wait_at_home", n), &n, |b, &n| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let mut sim = ScenarioSpec::new(n, QualitySpec::single_good(2, 1))
+                    .seed(seed)
+                    .build_simulation(colony::spreaders(n, seed, SpreadStrategy::WaitAtHome))
+                    .expect("valid");
+                black_box(
+                    sim.run_to_convergence(ConvergenceRule::commitment(), 50_000)
+                        .expect("runs"),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_spreading);
+criterion_main!(benches);

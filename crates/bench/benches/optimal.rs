@@ -1,0 +1,32 @@
+//! Criterion bench for experiments F3/F4/F8: the optimal algorithm.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hh_core::colony;
+use hh_model::QualitySpec;
+use hh_sim::{ConvergenceRule, ScenarioSpec};
+use std::hint::black_box;
+
+fn bench_optimal_convergence(c: &mut Criterion) {
+    let mut group = c.benchmark_group("optimal/converge_all_final");
+    group.sample_size(10);
+    for n in [256usize, 1024, 4096] {
+        group.bench_with_input(BenchmarkId::new("k4", n), &n, |b, &n| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let mut sim = ScenarioSpec::new(n, QualitySpec::good_prefix(4, 2))
+                    .seed(seed)
+                    .build_simulation(colony::optimal(n))
+                    .expect("valid");
+                black_box(
+                    sim.run_to_convergence(ConvergenceRule::all_final(), 20_000)
+                        .expect("runs"),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_optimal_convergence);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Criterion bench for experiment F14: quality-weighted colonies.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hh_core::colony;
+use hh_model::{Quality, QualitySpec};
+use hh_sim::{ConvergenceRule, ScenarioSpec};
+use std::hint::black_box;
+
+fn bench_quality(c: &mut Criterion) {
+    let mut group = c.benchmark_group("quality/converge_any");
+    group.sample_size(10);
+    for gamma in [0.0f64, 2.0] {
+        group.bench_with_input(
+            BenchmarkId::new("gamma", format!("{gamma}")),
+            &gamma,
+            |b, &gamma| {
+                let spec = QualitySpec::Explicit(vec![
+                    Quality::new(0.9).expect("valid"),
+                    Quality::new(0.5).expect("valid"),
+                ]);
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    let mut sim = ScenarioSpec::new(128, spec.clone())
+                        .seed(seed)
+                        .reveal_quality_on_go()
+                        .build_simulation(colony::quality(128, seed, gamma))
+                        .expect("valid");
+                    black_box(
+                        sim.run_to_convergence(ConvergenceRule::commitment_any(), 60_000)
+                            .expect("runs"),
+                    )
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_quality);
+criterion_main!(benches);

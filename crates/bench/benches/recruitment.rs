@@ -1,0 +1,26 @@
+//! Criterion bench for experiment F2: the pairing process itself.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hh_model::recruitment::{pair_ants, RecruitCall};
+use hh_model::{AntId, NestId};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_pairing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("recruitment/pair_ants");
+    for m in [64usize, 1024, 16_384] {
+        let calls: Vec<RecruitCall> = (0..m)
+            .map(|i| RecruitCall::new(AntId::new(i), i % 2 == 0, NestId::candidate(1 + i % 4)))
+            .collect();
+        group.throughput(Throughput::Elements(m as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(m), &calls, |b, calls| {
+            let mut rng = SmallRng::seed_from_u64(7);
+            b.iter(|| black_box(pair_ants(calls, &mut rng)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pairing);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Criterion bench for experiment F15: rumor spreading.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hh_rumor::{spread, Protocol};
+use std::hint::black_box;
+
+fn bench_rumor(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rumor/spread_complete_graph");
+    for n in [1024usize, 16_384] {
+        for protocol in [Protocol::Push, Protocol::PushPull] {
+            group.bench_with_input(
+                BenchmarkId::new(protocol.label(), n),
+                &(n, protocol),
+                |b, &(n, protocol)| {
+                    let mut seed = 0u64;
+                    b.iter(|| {
+                        seed += 1;
+                        black_box(spread(n, protocol, seed))
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rumor);
+criterion_main!(benches);

@@ -1,0 +1,92 @@
+//! The experiment runner: regenerates every figure/table of
+//! `EXPERIMENTS.md`.
+//!
+//! ```text
+//! experiments [--quick] [IDS...]
+//! ```
+//!
+//! With no ids, runs the full registry in order and prints a T1 summary
+//! table of all findings at the end. Exit code is 0 if every finding
+//! passed, 1 otherwise.
+
+use std::time::Instant;
+
+use hh_analysis::Table;
+use hh_bench::{all_experiments, ExperimentReport, Mode};
+
+fn main() {
+    let mut mode = Mode::Full;
+    let mut selected: Vec<String> = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--quick" => mode = Mode::Quick,
+            "--full" => mode = Mode::Full,
+            "--help" | "-h" => {
+                println!("usage: experiments [--quick] [IDS...]   (e.g. experiments --quick F3 F5)");
+                return;
+            }
+            id => selected.push(id.to_ascii_uppercase()),
+        }
+    }
+
+    let registry = all_experiments();
+    let to_run: Vec<_> = registry
+        .iter()
+        .filter(|e| selected.is_empty() || selected.iter().any(|s| s == e.id))
+        .collect();
+    if to_run.is_empty() {
+        eprintln!("no experiments match {selected:?}; known ids:");
+        for e in &registry {
+            eprintln!("  {}  {}", e.id, e.title);
+        }
+        std::process::exit(2);
+    }
+
+    println!(
+        "house-hunting experiment harness ({} mode, {} experiments)\n",
+        if mode == Mode::Quick { "quick" } else { "full" },
+        to_run.len()
+    );
+
+    let mut reports: Vec<ExperimentReport> = Vec::new();
+    for experiment in to_run {
+        let start = Instant::now();
+        println!("=== {}: {} ===", experiment.id, experiment.title);
+        let report = (experiment.run)(mode);
+        println!("{}", report.body);
+        for finding in &report.findings {
+            println!(
+                "  [{}] {} — {}",
+                if finding.pass { "PASS" } else { "FAIL" },
+                finding.claim,
+                finding.measured
+            );
+        }
+        println!("  ({:.1}s)\n", start.elapsed().as_secs_f64());
+        reports.push(report);
+    }
+
+    // T1: the summary table.
+    println!("=== T1: summary — paper claims vs measurements ===");
+    let mut table = Table::new(["id", "status", "claim", "measured"]);
+    let mut failures = 0;
+    for report in &reports {
+        for finding in &report.findings {
+            if !finding.pass {
+                failures += 1;
+            }
+            table.row([
+                report.id.to_string(),
+                if finding.pass { "PASS" } else { "FAIL" }.to_string(),
+                finding.claim.clone(),
+                finding.measured.clone(),
+            ]);
+        }
+    }
+    println!("{table}");
+    if failures > 0 {
+        println!("{failures} finding(s) FAILED");
+        std::process::exit(1);
+    }
+    println!("all findings passed");
+}

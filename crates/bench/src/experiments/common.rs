@@ -1,0 +1,146 @@
+//! Shared measurement helpers for the experiment modules.
+
+use hh_analysis::{Quantiles, Summary};
+use hh_core::BoxedAgent;
+use hh_model::QualitySpec;
+use hh_sim::{run_trials, solved_rounds, success_rate, ConvergenceRule, ScenarioSpec, Simulation};
+
+/// Base seed for all experiments; every (experiment, cell, trial) derives
+/// from it so the whole harness is reproducible.
+pub const BASE_SEED: u64 = 0x20150514; // the paper's arXiv date
+
+/// Derives the per-trial seed for a sweep cell.
+#[must_use]
+pub fn cell_seed(experiment: u64, cell: u64, trial: usize) -> u64 {
+    hh_model::seeding::derive_seed(
+        BASE_SEED ^ experiment.wrapping_mul(0x9E37_79B9),
+        hh_model::seeding::StreamKind::Auxiliary,
+        cell.wrapping_mul(1_000_003) + trial as u64,
+    )
+}
+
+/// Aggregated result of one sweep cell.
+#[derive(Debug, Clone)]
+pub struct CellResult {
+    /// Convergence rounds over the solved trials.
+    pub rounds: Summary,
+    /// Raw per-trial convergence rounds (solved trials only).
+    pub rounds_list: Vec<f64>,
+    /// Fraction of trials that solved.
+    pub success: f64,
+}
+
+impl CellResult {
+    /// Mean rounds of the solved trials (`NaN`-free: 0 when none solved).
+    #[must_use]
+    pub fn mean_rounds(&self) -> f64 {
+        if self.rounds.is_empty() {
+            0.0
+        } else {
+            self.rounds.mean()
+        }
+    }
+
+    /// Median rounds of the solved trials — robust to the occasional
+    /// slow outlier execution; 0 when none solved.
+    #[must_use]
+    pub fn median_rounds(&self) -> f64 {
+        Quantiles::new(self.rounds_list.clone())
+            .map(|q| q.median())
+            .unwrap_or(0.0)
+    }
+}
+
+/// Measures one sweep cell: `trials` runs of a colony built by
+/// `colony(seed)` on the scenario built by `scenario(seed)`.
+///
+/// # Panics
+///
+/// Panics on harness errors (invalid configuration), which indicate bugs
+/// in the experiment definition rather than interesting outcomes.
+pub fn measure_cell(
+    trials: usize,
+    max_rounds: u64,
+    rule: ConvergenceRule,
+    experiment: u64,
+    cell: u64,
+    scenario: impl Fn(u64) -> ScenarioSpec + Sync,
+    colony: impl Fn(u64) -> Vec<BoxedAgent> + Sync,
+) -> CellResult {
+    let outcomes = run_trials(trials, max_rounds, rule, |trial| {
+        let seed = cell_seed(experiment, cell, trial);
+        scenario(seed).seed(seed).build_simulation(colony(seed))
+    })
+    .expect("experiment cell must be a valid configuration");
+    let rounds_list = solved_rounds(&outcomes);
+    CellResult {
+        rounds: rounds_list.iter().copied().collect(),
+        rounds_list,
+        success: success_rate(&outcomes),
+    }
+}
+
+/// Convenience: an unperturbed scenario with a good-prefix quality spec.
+pub fn plain_scenario(n: usize, k: usize, good: usize) -> impl Fn(u64) -> ScenarioSpec + Sync {
+    move |_seed| ScenarioSpec::new(n, QualitySpec::good_prefix(k, good))
+}
+
+/// Builds a simulation directly (for instrumented single runs).
+///
+/// # Panics
+///
+/// Panics on invalid configurations (experiment-definition bugs).
+#[must_use]
+pub fn build_sim(
+    n: usize,
+    spec: QualitySpec,
+    seed: u64,
+    agents: Vec<BoxedAgent>,
+) -> Simulation {
+    ScenarioSpec::new(n, spec)
+        .seed(seed)
+        .build_simulation(agents)
+        .expect("valid experiment configuration")
+}
+
+/// Formats a `doubling sweep` of n values: 2^lo ..= 2^hi.
+#[must_use]
+pub fn doubling(lo: u32, hi: u32) -> Vec<usize> {
+    (lo..=hi).map(|e| 1usize << e).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeds_are_distinct_across_cells_and_trials() {
+        let a = cell_seed(1, 0, 0);
+        let b = cell_seed(1, 0, 1);
+        let c = cell_seed(1, 1, 0);
+        let d = cell_seed(2, 0, 0);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(a, d);
+    }
+
+    #[test]
+    fn doubling_sweep() {
+        assert_eq!(doubling(3, 6), vec![8, 16, 32, 64]);
+    }
+
+    #[test]
+    fn measure_cell_runs() {
+        let result = measure_cell(
+            3,
+            3_000,
+            ConvergenceRule::commitment(),
+            99,
+            0,
+            plain_scenario(16, 2, 1),
+            |seed| hh_core::colony::simple(16, seed),
+        );
+        assert!(result.success > 0.0);
+        assert!(result.mean_rounds() >= 1.0);
+    }
+}

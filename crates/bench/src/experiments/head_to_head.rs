@@ -1,0 +1,103 @@
+//! F7 — optimal vs simple: who wins, by how much, and where the gap
+//! opens.
+//!
+//! The paper's two algorithms differ asymptotically by a factor of `k`.
+//! This experiment runs both on identical instances across a `k` sweep
+//! and reports the mean-round ratio. Expected shape: comparable at small
+//! `k` (constants can even favour the simple algorithm), with the
+//! simple/optimal ratio growing with `k`.
+
+use hh_analysis::{fmt_f64, Table};
+use hh_core::colony;
+use hh_sim::ConvergenceRule;
+
+use super::common::{measure_cell, plain_scenario};
+use super::{ExperimentReport, Finding, Mode};
+
+/// Runs experiment F7.
+#[must_use]
+pub fn run(mode: Mode) -> ExperimentReport {
+    let trials = mode.trials(6, 24);
+    let n = match mode {
+        Mode::Quick => 512,
+        Mode::Full => 2_048,
+    };
+    let ks = match mode {
+        Mode::Quick => vec![2usize, 4, 16, 64],
+        Mode::Full => vec![2usize, 4, 8, 16, 32, 64],
+    };
+
+    let mut table = Table::new(["k", "optimal (rounds)", "simple (rounds)", "simple/optimal"]);
+    let mut ratios = Vec::new();
+    for (ki, &k) in ks.iter().enumerate() {
+        let optimal = measure_cell(
+            trials,
+            60_000,
+            ConvergenceRule::all_final(),
+            7,
+            ki as u64 * 2,
+            plain_scenario(n, k, k),
+            move |_| colony::optimal(n),
+        );
+        let simple = measure_cell(
+            trials,
+            120_000,
+            ConvergenceRule::commitment(),
+            7,
+            ki as u64 * 2 + 1,
+            plain_scenario(n, k, k),
+            move |seed| colony::simple(n, seed),
+        );
+        assert!(optimal.success > 0.9 && simple.success > 0.9);
+        let ratio = simple.median_rounds() / optimal.median_rounds();
+        ratios.push(ratio);
+        table.row([
+            k.to_string(),
+            fmt_f64(optimal.median_rounds(), 1),
+            fmt_f64(simple.median_rounds(), 1),
+            fmt_f64(ratio, 2),
+        ]);
+    }
+
+    let findings = vec![
+        Finding::new(
+            "the simple/optimal round ratio grows with k (the O(k) gap)",
+            format!(
+                "ratio at k={}: {:.2}; at k={}: {:.2}",
+                ks[0],
+                ratios[0],
+                ks.last().unwrap(),
+                ratios.last().unwrap()
+            ),
+            ratios.last().unwrap() > &ratios[0],
+        ),
+        Finding::new(
+            "the optimal algorithm wins clearly at the largest k",
+            format!("ratio {:.2} at k={}", ratios.last().unwrap(), ks.last().unwrap()),
+            *ratios.last().unwrap() > 1.2,
+        ),
+    ];
+
+    let body = format!(
+        "n = {n}, all nests good, {trials} trials per cell;\n\
+         optimal measured to all-final, simple to commitment consensus\n\n{table}"
+    );
+    ExperimentReport {
+        id: "F7",
+        title: "Optimal vs simple — who wins, and by how much",
+        body,
+        findings,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_mode_produces_rows() {
+        let report = run(Mode::Quick);
+        assert!(report.body.contains("simple/optimal"));
+        assert_eq!(report.findings.len(), 2);
+    }
+}

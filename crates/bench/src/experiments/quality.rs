@@ -1,0 +1,168 @@
+//! F14 — Section 6's non-binary nest qualities: the speed/accuracy
+//! trade-off.
+//!
+//! Two nests with a quality gap; the quality-weighted agent recruits with
+//! probability `(count/n)·qᵞ`. Sweeping the selectivity exponent `γ` and
+//! the gap measures how reliably and how quickly the colony picks the
+//! better nest — the tunable collective decision-making of Pratt &
+//! Sumpter (2006) that the paper cites as motivation.
+
+use hh_analysis::{fmt_f64, Summary, Table};
+use hh_core::colony;
+use hh_model::{Quality, QualitySpec};
+use hh_sim::{run_trials, ConvergenceRule, ScenarioSpec};
+
+use super::common::cell_seed;
+use super::{ExperimentReport, Finding, Mode};
+
+/// Aggregated outcome of one (γ, gap) cell.
+#[derive(Debug, Clone)]
+pub struct NestWins {
+    /// Trials that reached consensus.
+    pub solved: usize,
+    /// Of those, how many picked the better nest.
+    pub best_wins: usize,
+    /// Rounds to consensus over the solved trials.
+    pub rounds: Summary,
+}
+
+impl NestWins {
+    /// Fraction of solved trials in which the better nest won.
+    #[must_use]
+    pub fn best_win_rate(&self) -> f64 {
+        if self.solved == 0 {
+            0.0
+        } else {
+            self.best_wins as f64 / self.solved as f64
+        }
+    }
+}
+
+/// Measures one (γ, gap) cell: probability the better nest wins and mean
+/// rounds.
+#[must_use]
+pub fn measure_quality_cell(
+    n: usize,
+    top: f64,
+    gap: f64,
+    gamma: f64,
+    trials: usize,
+    cell: u64,
+) -> NestWins {
+    let spec = QualitySpec::Explicit(vec![
+        Quality::new(top).expect("valid quality"),
+        Quality::new(top - gap).expect("valid quality"),
+    ]);
+    let outcomes = run_trials(trials, 60_000, ConvergenceRule::commitment_any(), |trial| {
+        let seed = cell_seed(14, cell, trial);
+        ScenarioSpec::new(n, spec.clone())
+            .seed(seed)
+            .reveal_quality_on_go()
+            .build_simulation(colony::quality(n, seed, gamma))
+    })
+    .expect("valid configuration");
+
+    let mut wins = 0usize;
+    let mut solved = 0usize;
+    let mut rounds = Summary::new();
+    for outcome in &outcomes {
+        if let Some(s) = &outcome.solved {
+            solved += 1;
+            rounds.push(s.round as f64);
+            if s.nest == hh_model::NestId::candidate(1) {
+                wins += 1;
+            }
+        }
+    }
+    NestWins { solved, best_wins: wins, rounds }
+}
+
+/// Runs experiment F14.
+#[must_use]
+pub fn run(mode: Mode) -> ExperimentReport {
+    let trials = mode.trials(12, 48);
+    let n = 128;
+    let gammas = [0.0, 1.0, 2.0, 4.0];
+    let gaps = [0.1, 0.3, 0.6];
+
+    let mut body = format!(
+        "two nests, better quality 0.9; n = {n}, {trials} trials per cell;\n\
+         cells show P[better nest wins] and (mean rounds)\n\n"
+    );
+    let mut table = Table::new(["gamma", "gap 0.1", "gap 0.3", "gap 0.6"]);
+    let mut accuracy: Vec<Vec<f64>> = Vec::new();
+    let mut speed: Vec<Vec<f64>> = Vec::new();
+    for (gi, &gamma) in gammas.iter().enumerate() {
+        let mut row = vec![fmt_f64(gamma, 1)];
+        let mut acc_row = Vec::new();
+        let mut spd_row = Vec::new();
+        for (pi, &gap) in gaps.iter().enumerate() {
+            let cell = measure_quality_cell(
+                n,
+                0.9,
+                gap,
+                gamma,
+                trials,
+                (gi * gaps.len() + pi) as u64,
+            );
+            let p_best = cell.best_win_rate();
+            acc_row.push(p_best);
+            spd_row.push(cell.rounds.mean());
+            row.push(format!(
+                "{}% ({})",
+                fmt_f64(p_best * 100.0, 0),
+                fmt_f64(cell.rounds.mean(), 0)
+            ));
+        }
+        accuracy.push(acc_row);
+        speed.push(spd_row);
+        table.row(row);
+    }
+    body.push_str(&table.to_string());
+
+    // Shape checks on the widest gap column and the accuracy/γ relation.
+    let last_gap = gaps.len() - 1;
+    let findings = vec![
+        Finding::new(
+            "accuracy increases with γ (selectivity buys correctness)",
+            format!(
+                "P[best] at gap 0.6: γ=0 → {:.0}%, γ=4 → {:.0}%",
+                accuracy[0][last_gap] * 100.0,
+                accuracy[gammas.len() - 1][last_gap] * 100.0
+            ),
+            accuracy[gammas.len() - 1][last_gap] >= accuracy[0][last_gap],
+        ),
+        Finding::new(
+            "high γ with a clear gap is near-perfectly accurate",
+            format!(
+                "P[best] = {:.0}% at γ=4, gap 0.6",
+                accuracy[gammas.len() - 1][last_gap] * 100.0
+            ),
+            accuracy[gammas.len() - 1][last_gap] >= 0.9,
+        ),
+        Finding::new(
+            "γ = 0 ignores quality (≈ coin-flip winner at any gap)",
+            format!("P[best] = {:.0}% at γ=0, gap 0.6", accuracy[0][last_gap] * 100.0),
+            (0.2..=0.8).contains(&accuracy[0][last_gap]),
+        ),
+    ];
+
+    ExperimentReport {
+        id: "F14",
+        title: "Section 6 — non-binary quality: speed/accuracy",
+        body,
+        findings,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn high_gamma_prefers_better_nest() {
+        let cell = measure_quality_cell(64, 0.9, 0.5, 4.0, 8, 999);
+        assert!(cell.solved > 0);
+        assert!(cell.best_win_rate() >= 0.5);
+    }
+}

@@ -1,0 +1,100 @@
+//! F15 — the rumor-spreading substrate (Karp et al., FOCS 2000).
+//!
+//! The lower bound of Section 3 is an adaptation of rumor-spreading lower
+//! bounds on complete graphs. This experiment measures the classical
+//! PUSH / PULL / PUSH–PULL processes and overlays the analytic
+//! `log₂ n + ln n` PUSH completion time, validating the substrate the
+//! paper's analogy rests on.
+
+use hh_analysis::{fit_log2, fmt_f64, Summary, Table};
+use hh_rumor::{spread, theoretical_push_rounds, Protocol};
+
+use super::common::{cell_seed, doubling};
+use super::{ExperimentReport, Finding, Mode};
+
+/// Runs experiment F15.
+#[must_use]
+pub fn run(mode: Mode) -> ExperimentReport {
+    let trials = mode.trials(10, 50);
+    let ns = match mode {
+        Mode::Quick => doubling(6, 12),
+        Mode::Full => doubling(6, 16),
+    };
+    let protocols = [Protocol::Push, Protocol::Pull, Protocol::PushPull];
+
+    let mut table = Table::new(["n", "push", "pull", "push-pull", "log2 n + ln n"]);
+    let mut push_means = Vec::new();
+    let mut push_pull_means = Vec::new();
+    for (ni, &n) in ns.iter().enumerate() {
+        let mut row = vec![n.to_string()];
+        for (pi, &protocol) in protocols.iter().enumerate() {
+            let mut rounds = Summary::new();
+            for trial in 0..trials {
+                let seed = cell_seed(15, (ni * protocols.len() + pi) as u64, trial);
+                rounds.push(spread(n, protocol, seed).rounds as f64);
+            }
+            if protocol == Protocol::Push {
+                push_means.push(rounds.mean());
+            }
+            if protocol == Protocol::PushPull {
+                push_pull_means.push(rounds.mean());
+            }
+            row.push(fmt_f64(rounds.mean(), 1));
+        }
+        row.push(fmt_f64(theoretical_push_rounds(n), 1));
+        table.row(row);
+    }
+
+    let fit = fit_log2(&ns, &push_means).expect("fit");
+    let largest = ns.len() - 1;
+    let theory = theoretical_push_rounds(ns[largest]);
+    let deviation = (push_means[largest] - theory).abs() / theory;
+    let findings = vec![
+        Finding::new(
+            "PUSH completes in ≈ log2 n + ln n rounds (Frieze–Grimmett/Pittel)",
+            format!(
+                "at n = {}: measured {:.1} vs theory {:.1} ({:.0}% off)",
+                ns[largest],
+                push_means[largest],
+                theory,
+                deviation * 100.0
+            ),
+            deviation < 0.4,
+        ),
+        Finding::new(
+            "PUSH rounds grow logarithmically",
+            format!("fit {:.2}·log2(n) + {:.2}, R² = {:.3}", fit.slope, fit.intercept, fit.r_squared),
+            fit.slope > 0.0 && fit.r_squared >= 0.9,
+        ),
+        Finding::new(
+            "PUSH–PULL beats PUSH at every n (Karp et al.)",
+            "push-pull means below push means across the sweep".to_string(),
+            push_pull_means
+                .iter()
+                .zip(&push_means)
+                .all(|(pp, p)| pp < p),
+        ),
+    ];
+
+    let body = format!(
+        "complete graph, single informed node, {trials} trials per cell;\n\
+         rounds until all nodes informed\n\n{table}"
+    );
+    ExperimentReport {
+        id: "F15",
+        title: "Rumor-spreading substrate (Karp et al.)",
+        body,
+        findings,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_mode_passes() {
+        let report = run(Mode::Quick);
+        assert!(report.all_passed(), "findings: {:#?}", report.findings);
+    }
+}

@@ -1,0 +1,93 @@
+//! T2 — engineering throughput of the executor.
+//!
+//! Not a paper claim: wall-clock sanity numbers (rounds/sec and
+//! ant·rounds/sec) for the synchronous executor across colony sizes,
+//! recorded so performance regressions are visible next to the science.
+
+use std::time::Instant;
+
+use hh_analysis::{fmt_f64, Table};
+use hh_core::colony;
+use hh_model::QualitySpec;
+
+use super::common::{build_sim, cell_seed};
+use super::{ExperimentReport, Finding, Mode};
+
+/// Measured executor throughput at one colony size.
+#[derive(Debug, Clone, Copy)]
+pub struct Throughput {
+    /// Simulated rounds per wall-clock second.
+    pub rounds_per_sec: f64,
+    /// Ant-rounds (agent steps) per wall-clock second.
+    pub ant_rounds_per_sec: f64,
+}
+
+/// Measures steady-state executor throughput for the simple colony.
+#[must_use]
+pub fn measure_throughput(n: usize, rounds: u64, cell: u64) -> Throughput {
+    let seed = cell_seed(22, cell, 0);
+    let mut sim = build_sim(n, QualitySpec::all_good(4), seed, colony::simple(n, seed));
+    // Warm-up: past the search round.
+    for _ in 0..4 {
+        sim.step().expect("legal run");
+    }
+    let start = Instant::now();
+    for _ in 0..rounds {
+        sim.step().expect("legal run");
+    }
+    let elapsed = start.elapsed().as_secs_f64().max(1e-9);
+    Throughput {
+        rounds_per_sec: rounds as f64 / elapsed,
+        ant_rounds_per_sec: (rounds as f64 * n as f64) / elapsed,
+    }
+}
+
+/// Runs experiment T2.
+#[must_use]
+pub fn run(mode: Mode) -> ExperimentReport {
+    let rounds = match mode {
+        Mode::Quick => 2_000,
+        Mode::Full => 20_000,
+    };
+    let ns = [256usize, 1_024, 4_096, 16_384];
+
+    let mut table = Table::new(["n", "rounds/sec", "ant·rounds/sec"]);
+    let mut slowest_ant_rate = f64::INFINITY;
+    for (ni, &n) in ns.iter().enumerate() {
+        let t = measure_throughput(n, rounds, ni as u64);
+        slowest_ant_rate = slowest_ant_rate.min(t.ant_rounds_per_sec);
+        table.row([
+            n.to_string(),
+            fmt_f64(t.rounds_per_sec, 0),
+            fmt_f64(t.ant_rounds_per_sec, 0),
+        ]);
+    }
+
+    let findings = vec![Finding::new(
+        "the executor sustains at least one million agent steps per second",
+        format!("slowest configuration: {:.0} ant·rounds/sec", slowest_ant_rate),
+        slowest_ant_rate >= 1e6,
+    )];
+
+    let body = format!(
+        "simple colony, all nests good, {rounds} timed rounds per row\n\n{table}"
+    );
+    ExperimentReport {
+        id: "T2",
+        title: "Engineering throughput (ant·rounds/sec)",
+        body,
+        findings,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_is_positive() {
+        let t = measure_throughput(64, 50, 9);
+        assert!(t.rounds_per_sec > 0.0);
+        assert!(t.ant_rounds_per_sec > t.rounds_per_sec);
+    }
+}

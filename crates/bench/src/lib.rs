@@ -1,0 +1,26 @@
+//! # hh-bench — the experiment harness of the house-hunting reproduction
+//!
+//! One module per experiment family, each regenerating the figures/tables
+//! listed in the repository's `EXPERIMENTS.md` (experiment ids F1–F16,
+//! T1–T2). Since the paper is a theory paper, its "evaluation" is its
+//! theorems; every experiment here turns one theorem/lemma (or Section 6
+//! claim) into a measured series plus machine-checked [`Finding`]s about
+//! the predicted *shape*.
+//!
+//! Run everything with the bundled binary:
+//!
+//! ```text
+//! cargo run --release -p hh-bench --bin experiments            # full
+//! cargo run --release -p hh-bench --bin experiments -- --quick # CI-sized
+//! cargo run --release -p hh-bench --bin experiments -- F3 F5   # selected
+//! ```
+//!
+//! The `benches/` directory holds the criterion wall-clock benchmarks for
+//! the same workloads (one target per experiment family).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+
+pub use experiments::{all_experiments, Experiment, ExperimentReport, Finding, Mode};

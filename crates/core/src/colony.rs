@@ -1,0 +1,190 @@
+//! Colony construction helpers.
+//!
+//! A *colony* is the vector of boxed agents the executor drives — one per
+//! ant, indexed by [`AntId`](hh_model::AntId). These helpers build the
+//! standard homogeneous colonies (one per algorithm) with per-ant seeds
+//! derived deterministically from a single base seed, plus a combinator
+//! for planting adversaries.
+//!
+//! # Examples
+//!
+//! ```
+//! use hh_core::colony;
+//!
+//! let ants = colony::simple(100, 42);
+//! assert_eq!(ants.len(), 100);
+//! assert!(ants.iter().all(|a| a.label() == "simple"));
+//! ```
+
+use hh_model::seeding::{derive_seed, StreamKind};
+
+use crate::adaptive::{AdaptiveAnt, AdaptivePolicy};
+use crate::agent::{Agent, BoxedAgent};
+use crate::optimal::OptimalAnt;
+use crate::quality::QualityAnt;
+use crate::simple::{SimpleAnt, UrnOptions};
+use crate::spreader::{SpreadStrategy, SpreaderAnt};
+
+/// Builds a colony of `n` agents from a factory receiving each ant's
+/// index and derived private seed.
+pub fn from_factory<A, F>(n: usize, base_seed: u64, mut factory: F) -> Vec<BoxedAgent>
+where
+    A: Agent + Send + 'static,
+    F: FnMut(usize, u64) -> A,
+{
+    (0..n)
+        .map(|i| {
+            let seed = derive_seed(base_seed, StreamKind::Agent, i as u64);
+            Box::new(factory(i, seed)) as BoxedAgent
+        })
+        .collect()
+}
+
+/// A colony running the optimal algorithm (Section 4). The agents are
+/// deterministic, so no seed is needed.
+#[must_use]
+pub fn optimal(n: usize) -> Vec<BoxedAgent> {
+    from_factory(n, 0, |_, _| OptimalAnt::new())
+}
+
+/// A colony running the paper-faithful simple algorithm (Section 5).
+#[must_use]
+pub fn simple(n: usize, base_seed: u64) -> Vec<BoxedAgent> {
+    from_factory(n, base_seed, |_, seed| SimpleAnt::new(n, seed))
+}
+
+/// A simple-algorithm colony with explicit behavioural options.
+#[must_use]
+pub fn simple_with_options(n: usize, base_seed: u64, options: UrnOptions) -> Vec<BoxedAgent> {
+    from_factory(n, base_seed, |_, seed| {
+        SimpleAnt::with_options(n, seed, options)
+    })
+}
+
+/// A colony running the adaptive-rate variant (Section 6).
+#[must_use]
+pub fn adaptive(n: usize, base_seed: u64) -> Vec<BoxedAgent> {
+    adaptive_with_policy(n, base_seed, AdaptivePolicy::standard())
+}
+
+/// An adaptive colony with an explicit schedule.
+#[must_use]
+pub fn adaptive_with_policy(
+    n: usize,
+    base_seed: u64,
+    policy: AdaptivePolicy,
+) -> Vec<BoxedAgent> {
+    from_factory(n, base_seed, |_, seed| {
+        AdaptiveAnt::with_schedule(n, seed, policy, UrnOptions::paper())
+    })
+}
+
+/// A colony running the quality-weighted variant (Section 6) with
+/// exponent `gamma`.
+#[must_use]
+pub fn quality(n: usize, base_seed: u64, gamma: f64) -> Vec<BoxedAgent> {
+    from_factory(n, base_seed, |_, seed| QualityAnt::new(n, seed, gamma))
+}
+
+/// A colony of lower-bound spreaders sharing one strategy (Section 3).
+#[must_use]
+pub fn spreaders(n: usize, base_seed: u64, strategy: SpreadStrategy) -> Vec<BoxedAgent> {
+    from_factory(n, base_seed, |_, seed| SpreaderAnt::new(strategy, seed))
+}
+
+/// Replaces the last `count` agents of `colony` with adversaries built by
+/// `factory` (receiving the slot index). The colony size is unchanged;
+/// `count` is clamped to the colony size.
+pub fn plant_adversaries<F>(colony: &mut [BoxedAgent], count: usize, mut factory: F)
+where
+    F: FnMut(usize) -> BoxedAgent,
+{
+    let n = colony.len();
+    let count = count.min(n);
+    for slot in 0..count {
+        let idx = n - count + slot;
+        colony[idx] = factory(slot);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::byzantine::BadNestRecruiter;
+
+    #[test]
+    fn builders_produce_requested_sizes_and_labels() {
+        assert_eq!(optimal(5).len(), 5);
+        assert!(optimal(3).iter().all(|a| a.label() == "optimal"));
+        assert!(simple(3, 0).iter().all(|a| a.label() == "simple"));
+        assert!(adaptive(3, 0).iter().all(|a| a.label() == "adaptive"));
+        assert!(quality(3, 0, 1.0).iter().all(|a| a.label() == "quality"));
+        assert!(
+            spreaders(3, 0, SpreadStrategy::WaitAtHome)
+                .iter()
+                .all(|a| a.label() == "spreader-wait")
+        );
+    }
+
+    #[test]
+    fn per_ant_seeds_differ() {
+        // Two simple ants from the same colony must not flip identical
+        // coins: drive both through the same observations and compare
+        // decisions statistically.
+        use crate::agent::Agent;
+        use hh_model::{NestId, Outcome, Quality};
+
+        let mut colony = simple(2, 7);
+        for ant in colony.iter_mut() {
+            ant.observe(
+                1,
+                &Outcome::Search {
+                    nest: NestId::candidate(1),
+                    quality: Quality::GOOD,
+                    count: 5, // p = 0.5 with n = 2? No: n=2 set at build.
+                },
+            );
+        }
+        // With n = 2 and count = 5, p clamps to 1 for both — not useful.
+        // Rebuild with a larger n for a fair coin.
+        let mut colony = from_factory(2, 7, |_, seed| SimpleAnt::new(10, seed));
+        for ant in colony.iter_mut() {
+            ant.observe(
+                1,
+                &Outcome::Search {
+                    nest: NestId::candidate(1),
+                    quality: Quality::GOOD,
+                    count: 5,
+                },
+            );
+        }
+        let mut agreements = 0;
+        let trials = 200;
+        for t in 0..trials {
+            let a = colony[0].choose(2 + 2 * t);
+            let b = colony[1].choose(2 + 2 * t);
+            agreements += u32::from(a == b);
+        }
+        assert!(
+            agreements < trials as u32,
+            "identical coin streams: seeds not derived per ant"
+        );
+    }
+
+    #[test]
+    fn plant_adversaries_replaces_tail() {
+        let mut colony = simple(10, 1);
+        plant_adversaries(&mut colony, 3, |_| Box::new(BadNestRecruiter::new()));
+        assert_eq!(colony.len(), 10);
+        assert_eq!(colony.iter().filter(|a| !a.is_honest()).count(), 3);
+        assert!(colony[..7].iter().all(|a| a.is_honest()));
+    }
+
+    #[test]
+    fn plant_adversaries_clamps_count() {
+        let mut colony = simple(2, 1);
+        plant_adversaries(&mut colony, 99, |_| Box::new(BadNestRecruiter::new()));
+        assert_eq!(colony.len(), 2);
+        assert!(colony.iter().all(|a| !a.is_honest()));
+    }
+}

@@ -1,0 +1,243 @@
+//! The three model calls and their return values.
+//!
+//! Section 2 of the paper gives each ant exactly three ways to interact
+//! with the environment, exactly one of which must be invoked per round:
+//!
+//! * `search()` — jump to a uniformly random candidate nest and observe its
+//!   id, quality, and end-of-round population;
+//! * `go(i)` — revisit a known candidate nest and observe its end-of-round
+//!   population;
+//! * `recruit(b, i)` — return to the home nest and participate in the
+//!   recruitment pairing, actively (`b = 1`, leading tandem runs toward
+//!   nest `i`) or passively (`b = 0`, waiting to be led).
+//!
+//! [`Action`] is the request an ant submits for a round; [`Outcome`] is the
+//! return value the environment hands back at the end of the round.
+
+use std::fmt;
+
+use crate::ids::NestId;
+use crate::nest::Quality;
+
+/// The single model call an ant makes in one round.
+///
+/// # Examples
+///
+/// ```
+/// use hh_model::{Action, NestId};
+///
+/// let passive = Action::recruit_passive(NestId::candidate(2));
+/// assert!(matches!(passive, Action::Recruit { active: false, .. }));
+/// assert_eq!(passive.nest(), Some(NestId::candidate(2)));
+/// assert_eq!(Action::Search.nest(), None);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Action {
+    /// `search()`: move to a uniformly random candidate nest.
+    Search,
+    /// `go(i)`: revisit candidate nest `i`. Legal only if the ant has
+    /// visited `i` or been recruited to it (see the crate-level notes on
+    /// the knowledge-set clarification).
+    Go(NestId),
+    /// `recruit(b, i)`: return home and join the recruitment pairing.
+    Recruit {
+        /// `b = 1` (lead tandem runs to `nest`) vs `b = 0` (wait).
+        active: bool,
+        /// The nest this ant advocates; must be known to the ant.
+        nest: NestId,
+    },
+}
+
+impl Action {
+    /// Convenience constructor for `recruit(1, nest)`.
+    #[must_use]
+    pub const fn recruit_active(nest: NestId) -> Self {
+        Action::Recruit { active: true, nest }
+    }
+
+    /// Convenience constructor for `recruit(0, nest)`.
+    #[must_use]
+    pub const fn recruit_passive(nest: NestId) -> Self {
+        Action::Recruit { active: false, nest }
+    }
+
+    /// Returns the nest argument of the call, if the call takes one.
+    #[must_use]
+    pub const fn nest(&self) -> Option<NestId> {
+        match self {
+            Action::Search => None,
+            Action::Go(nest) | Action::Recruit { nest, .. } => Some(*nest),
+        }
+    }
+
+    /// Returns `true` for `recruit(1, ·)` calls.
+    #[must_use]
+    pub const fn is_active_recruit(&self) -> bool {
+        matches!(self, Action::Recruit { active: true, .. })
+    }
+
+    /// Returns `true` for `recruit(·, ·)` calls of either kind.
+    #[must_use]
+    pub const fn is_recruit(&self) -> bool {
+        matches!(self, Action::Recruit { .. })
+    }
+}
+
+impl fmt::Display for Action {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Action::Search => write!(f, "search()"),
+            Action::Go(nest) => write!(f, "go({nest})"),
+            Action::Recruit { active, nest } => {
+                write!(f, "recruit({}, {nest})", u8::from(*active))
+            }
+        }
+    }
+}
+
+/// The environment's return value for one ant's call in one round.
+///
+/// Population counts are *end-of-round* counts `c(i, r)`, as specified in
+/// Section 2, and are reported through the configured observation-noise
+/// model (exact by default).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Outcome {
+    /// Return value of `search()`: the triple `⟨i, q(i), c(i, r)⟩`.
+    Search {
+        /// The nest the ant landed in.
+        nest: NestId,
+        /// The nest's quality as perceived by this ant (possibly noisy).
+        quality: Quality,
+        /// The nest's end-of-round population as perceived (possibly noisy).
+        count: usize,
+    },
+    /// Return value of `go(i)`: the count `c(i, r)`.
+    Go {
+        /// The revisited nest's end-of-round population as perceived.
+        count: usize,
+        /// The nest's quality, present only under the "assessing go" model
+        /// extension (see [`Environment::go_reveals_quality`]); `None` in
+        /// the strict Section 2 model.
+        ///
+        /// [`Environment::go_reveals_quality`]: crate::Environment::go_reveals_quality
+        quality: Option<Quality>,
+    },
+    /// Return value of `recruit(b, i)`: the pair `⟨j, c(0, r)⟩`.
+    Recruit {
+        /// The nest id `j`: the recruiter's advocated nest if this ant was
+        /// recruited, otherwise the ant's own input `i`.
+        nest: NestId,
+        /// The home nest's end-of-round population as perceived.
+        home_count: usize,
+    },
+}
+
+impl Outcome {
+    /// Returns the count carried by the outcome (`c(i, r)` or `c(0, r)`).
+    #[must_use]
+    pub const fn count(&self) -> usize {
+        match self {
+            Outcome::Search { count, .. } | Outcome::Go { count, .. } => *count,
+            Outcome::Recruit { home_count, .. } => *home_count,
+        }
+    }
+
+    /// Returns the nest id carried by the outcome, if any.
+    #[must_use]
+    pub const fn nest(&self) -> Option<NestId> {
+        match self {
+            Outcome::Search { nest, .. } | Outcome::Recruit { nest, .. } => Some(*nest),
+            Outcome::Go { .. } => None,
+        }
+    }
+}
+
+impl fmt::Display for Outcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Outcome::Search { nest, quality, count } => {
+                write!(f, "⟨{nest}, q={quality}, c={count}⟩")
+            }
+            Outcome::Go { count, quality } => match quality {
+                Some(q) => write!(f, "⟨c={count}, q={q}⟩"),
+                None => write!(f, "⟨c={count}⟩"),
+            },
+            Outcome::Recruit { nest, home_count } => {
+                write!(f, "⟨{nest}, c₀={home_count}⟩")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_flags() {
+        let n = NestId::candidate(1);
+        assert!(Action::recruit_active(n).is_active_recruit());
+        assert!(!Action::recruit_passive(n).is_active_recruit());
+        assert!(Action::recruit_passive(n).is_recruit());
+        assert!(!Action::Search.is_recruit());
+        assert!(!Action::Go(n).is_recruit());
+    }
+
+    #[test]
+    fn nest_accessor() {
+        let n = NestId::candidate(4);
+        assert_eq!(Action::Go(n).nest(), Some(n));
+        assert_eq!(Action::recruit_active(n).nest(), Some(n));
+        assert_eq!(Action::Search.nest(), None);
+    }
+
+    #[test]
+    fn action_display() {
+        let n = NestId::candidate(2);
+        assert_eq!(Action::Search.to_string(), "search()");
+        assert_eq!(Action::Go(n).to_string(), "go(n2)");
+        assert_eq!(Action::recruit_active(n).to_string(), "recruit(1, n2)");
+        assert_eq!(Action::recruit_passive(n).to_string(), "recruit(0, n2)");
+    }
+
+    #[test]
+    fn outcome_accessors() {
+        let search = Outcome::Search {
+            nest: NestId::candidate(1),
+            quality: Quality::GOOD,
+            count: 10,
+        };
+        assert_eq!(search.count(), 10);
+        assert_eq!(search.nest(), Some(NestId::candidate(1)));
+
+        let go = Outcome::Go { count: 3, quality: None };
+        assert_eq!(go.count(), 3);
+        assert_eq!(go.nest(), None);
+
+        let recruit = Outcome::Recruit {
+            nest: NestId::candidate(2),
+            home_count: 7,
+        };
+        assert_eq!(recruit.count(), 7);
+        assert_eq!(recruit.nest(), Some(NestId::candidate(2)));
+    }
+
+    #[test]
+    fn outcome_display_is_nonempty() {
+        let outcomes = [
+            Outcome::Search {
+                nest: NestId::candidate(1),
+                quality: Quality::BAD,
+                count: 0,
+            },
+            Outcome::Go { count: 1, quality: Some(Quality::GOOD) },
+            Outcome::Recruit {
+                nest: NestId::candidate(1),
+                home_count: 2,
+            },
+        ];
+        for o in outcomes {
+            assert!(!o.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,702 @@
+//! The synchronous environment: state and round execution.
+//!
+//! [`Environment`] owns the ground-truth state of one execution — ant
+//! locations `ℓ(a, r)`, nest populations `c(i, r)`, and per-ant knowledge
+//! sets — and advances it one synchronous round at a time via
+//! [`Environment::step`], which takes exactly one [`Action`] per ant,
+//! validates every call's precondition, resolves searches and the
+//! recruitment pairing, and returns each ant's [`Outcome`].
+//!
+//! # Semantics (Section 2 of the paper)
+//!
+//! * All ants start at the home nest; `c(0, 0) = n`.
+//! * `search()` relocates the ant to a uniformly random candidate nest and
+//!   returns `⟨i, q(i), c(i, r)⟩` with *end-of-round* counts.
+//! * `go(i)` relocates the ant to nest `i` and returns `c(i, r)`.
+//! * `recruit(b, i)` relocates the ant to the home nest, enters it into the
+//!   round's pairing (Algorithm 1), and returns `⟨j, c(0, r)⟩`.
+//! * Counts reported to ants pass through the configured
+//!   [`NoiseModel`](crate::noise::NoiseModel) (exact by default), drawn
+//!   independently per observation.
+//!
+//! ## Knowledge-set clarification
+//!
+//! The paper's formal precondition for `go(i)`/`recruit(·, i)` is a prior
+//! round with `ℓ(a, r′) = i`, yet both of its algorithms immediately `go`
+//! to a nest the ant was just *recruited to* (e.g. Algorithm 2 lines
+//! 14–18). We therefore track a knowledge set per ant — nests visited
+//! *or learned through recruitment* — and use membership as the legality
+//! test. See DESIGN.md, "Model clarifications".
+
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::actions::{Action, Outcome};
+use crate::config::ColonyConfig;
+use crate::error::ModelError;
+use crate::ids::{AntId, NestId};
+use crate::nest::{Nest, Quality};
+use crate::noise::NoiseModel;
+use crate::recruitment::{pair_ants, Pairing, RecruitCall};
+use crate::seeding::{derive_seed, StreamKind};
+use crate::util::BitSet;
+
+/// The ground-truth state of one house-hunting execution.
+///
+/// # Examples
+///
+/// ```
+/// use hh_model::{Action, ColonyConfig, Environment, QualitySpec};
+///
+/// let config = ColonyConfig::new(4, QualitySpec::all_good(2)).seed(1);
+/// let mut env = Environment::new(&config)?;
+///
+/// // Round 1: every ant must search (no nest is known yet).
+/// let report = env.step(&vec![Action::Search; 4])?;
+/// assert_eq!(env.round(), 1);
+/// assert_eq!(report.outcomes.len(), 4);
+/// // All ants are now at candidate nests; the home nest is empty.
+/// assert_eq!(env.count(hh_model::NestId::HOME), 0);
+/// # Ok::<(), hh_model::ModelError>(())
+/// ```
+#[derive(Debug)]
+pub struct Environment {
+    nests: Vec<Nest>,
+    locations: Vec<NestId>,
+    known: Vec<BitSet>,
+    counts: Vec<usize>,
+    round: u64,
+    rng: SmallRng,
+    noise_rng: SmallRng,
+    noise: NoiseModel,
+    reveal_quality_on_go: bool,
+}
+
+/// Everything the environment reports about one executed round.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StepReport {
+    /// Per-ant outcome, indexed by ant id; `outcomes[a]` answers ant `a`'s
+    /// call.
+    pub outcomes: Vec<Outcome>,
+    /// The round's recruitment pairing, exposed for instrumentation. The
+    /// agents themselves only ever see their own [`Outcome`].
+    pub recruitment: RecruitmentReport,
+}
+
+/// Instrumentation view of one round's recruitment.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RecruitmentReport {
+    /// The participants, in ant-id order.
+    pub calls: Vec<RecruitCall>,
+    /// Matched `(recruiter, recruited)` pairs; self-pairs appear as
+    /// `(a, a)`.
+    pub pairs: Vec<(AntId, AntId)>,
+}
+
+impl RecruitmentReport {
+    fn from_pairing(calls: Vec<RecruitCall>, pairing: &Pairing) -> Self {
+        Self {
+            calls,
+            pairs: pairing.pairs().to_vec(),
+        }
+    }
+}
+
+impl Environment {
+    /// Builds the initial environment (round 0, all ants at home) from a
+    /// configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration validation failures; see
+    /// [`ColonyConfig::validated_qualities`].
+    pub fn new(config: &ColonyConfig) -> Result<Self, ModelError> {
+        let qualities = config.validated_qualities()?;
+        let n = config.n();
+        let k = qualities.len();
+        let nests: Vec<Nest> = qualities
+            .into_iter()
+            .enumerate()
+            .map(|(idx, q)| Nest::new(NestId::candidate(idx + 1), q))
+            .collect();
+        let mut counts = vec![0; k + 1];
+        counts[0] = n;
+        let base = config.base_seed();
+        Ok(Self {
+            nests,
+            locations: vec![NestId::HOME; n],
+            known: vec![BitSet::new(k + 1); n],
+            counts,
+            round: 0,
+            rng: SmallRng::seed_from_u64(derive_seed(base, StreamKind::Environment, 0)),
+            noise_rng: SmallRng::seed_from_u64(derive_seed(base, StreamKind::Noise, 0)),
+            noise: config.noise_model(),
+            reveal_quality_on_go: config.go_reveals_quality(),
+        })
+    }
+
+    /// Returns the colony size `n`.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.locations.len()
+    }
+
+    /// Returns the number of candidate nests `k`.
+    #[must_use]
+    pub fn k(&self) -> usize {
+        self.nests.len()
+    }
+
+    /// Returns the number of completed rounds; the next [`step`](Self::step)
+    /// executes round `round() + 1`.
+    #[must_use]
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// Returns the candidate nests `n₁ … n_k`.
+    #[must_use]
+    pub fn nests(&self) -> &[Nest] {
+        &self.nests
+    }
+
+    /// Returns `true` if this environment runs the "assessing go" model
+    /// extension: `go(i)` outcomes carry the nest's (possibly noisy)
+    /// quality in addition to its count. In the strict Section 2 model this
+    /// is `false` and `go` returns only the count.
+    #[must_use]
+    pub fn go_reveals_quality(&self) -> bool {
+        self.reveal_quality_on_go
+    }
+
+    /// Returns the true (noise-free) quality of a candidate nest, or
+    /// `None` for the home nest or an out-of-range id.
+    #[must_use]
+    pub fn quality_of(&self, nest: NestId) -> Option<Quality> {
+        let idx = nest.candidate_index()?;
+        self.nests.get(idx).map(Nest::quality)
+    }
+
+    /// Returns the ids of all good candidate nests.
+    #[must_use]
+    pub fn good_nests(&self) -> Vec<NestId> {
+        self.nests
+            .iter()
+            .filter(|nest| nest.quality().is_good())
+            .map(Nest::id)
+            .collect()
+    }
+
+    /// Returns the true end-of-round population `c(i, r)` of a nest
+    /// (including the home nest). Out-of-range ids have population 0.
+    #[must_use]
+    pub fn count(&self, nest: NestId) -> usize {
+        self.counts.get(nest.raw()).copied().unwrap_or(0)
+    }
+
+    /// Returns the true populations of all nests, indexed by raw nest id
+    /// (`0` = home).
+    #[must_use]
+    pub fn counts(&self) -> &[usize] {
+        &self.counts
+    }
+
+    /// Returns nest `i`'s share of the colony, `p(i, r) = c(i, r) / n`.
+    #[must_use]
+    pub fn population_fraction(&self, nest: NestId) -> f64 {
+        self.count(nest) as f64 / self.n() as f64
+    }
+
+    /// Returns ant `a`'s current location `ℓ(a, r)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ant` is out of range.
+    #[must_use]
+    pub fn location_of(&self, ant: AntId) -> NestId {
+        self.locations[ant.index()]
+    }
+
+    /// Returns all ant locations, indexed by ant id.
+    #[must_use]
+    pub fn locations(&self) -> &[NestId] {
+        &self.locations
+    }
+
+    /// Returns `true` if ant `a` knows nest `i` (has visited it or been
+    /// recruited to it) and may therefore pass it to `go`/`recruit`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ant` is out of range.
+    #[must_use]
+    pub fn knows(&self, ant: AntId, nest: NestId) -> bool {
+        self.known[ant.index()].contains(nest.raw())
+    }
+
+    /// Returns the lowest-numbered nest ant `a` knows, if any. Useful for
+    /// constructing a legal no-op action for a crashed or delayed ant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ant` is out of range.
+    #[must_use]
+    pub fn first_known(&self, ant: AntId) -> Option<NestId> {
+        self.known[ant.index()].first().map(NestId::from_raw)
+    }
+
+    /// Returns an iterator over the nests ant `a` knows, in ascending id
+    /// order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ant` is out of range.
+    pub fn known_nests(&self, ant: AntId) -> impl Iterator<Item = NestId> + '_ {
+        self.known[ant.index()].iter().map(NestId::from_raw)
+    }
+
+    /// Executes one synchronous round: exactly one action per ant.
+    ///
+    /// All validation happens before any state changes, so a failed step
+    /// leaves the environment untouched.
+    ///
+    /// # Errors
+    ///
+    /// * [`ModelError::WrongActionCount`] if `actions.len() != n`;
+    /// * [`ModelError::HomeNotAllowed`] if a `go`/`recruit` names the home
+    ///   nest;
+    /// * [`ModelError::UnknownNest`] if a nest id exceeds `k`;
+    /// * [`ModelError::NestNotKnown`] if an ant uses a nest it has neither
+    ///   visited nor been recruited to (in particular, any non-`search`
+    ///   call in round 1).
+    pub fn step(&mut self, actions: &[Action]) -> Result<StepReport, ModelError> {
+        self.validate(actions)?;
+
+        let k = self.k();
+        // Phase 1: relocation. Searches draw their nest; recruits return
+        // home; gos move to the named nest.
+        for (idx, action) in actions.iter().enumerate() {
+            match *action {
+                Action::Search => {
+                    let nest = NestId::candidate(self.rng.random_range(1..=k));
+                    self.locations[idx] = nest;
+                    self.known[idx].insert(nest.raw());
+                }
+                Action::Go(nest) => {
+                    self.locations[idx] = nest;
+                }
+                Action::Recruit { .. } => {
+                    self.locations[idx] = NestId::HOME;
+                }
+            }
+        }
+
+        // Phase 2: the recruitment pairing over all recruit() callers.
+        let calls: Vec<RecruitCall> = actions
+            .iter()
+            .enumerate()
+            .filter_map(|(idx, action)| match *action {
+                Action::Recruit { active, nest } => {
+                    Some(RecruitCall::new(AntId::new(idx), active, nest))
+                }
+                _ => None,
+            })
+            .collect();
+        let pairing = pair_ants(&calls, &mut self.rng);
+        // Recruited ants learn the nest they were recruited to.
+        for (call_idx, call) in calls.iter().enumerate() {
+            if pairing.was_recruited_by_other(call_idx) {
+                let learned = pairing.assigned_nest(call_idx);
+                self.known[call.ant.index()].insert(learned.raw());
+            }
+        }
+
+        // Phase 3: end-of-round populations c(·, r).
+        self.counts.fill(0);
+        for loc in &self.locations {
+            self.counts[loc.raw()] += 1;
+        }
+        self.round += 1;
+
+        // Phase 4: outcomes, through the observation-noise channels.
+        let mut call_cursor = 0usize;
+        let outcomes = actions
+            .iter()
+            .enumerate()
+            .map(|(idx, action)| match *action {
+                Action::Search => {
+                    let nest = self.locations[idx];
+                    let true_quality = self.nests[nest.candidate_index().expect("searched nest")]
+                        .quality();
+                    Outcome::Search {
+                        nest,
+                        quality: self.noise.quality.observe(true_quality, &mut self.noise_rng),
+                        count: self
+                            .noise
+                            .count
+                            .observe(self.counts[nest.raw()], &mut self.noise_rng),
+                    }
+                }
+                Action::Go(nest) => Outcome::Go {
+                    count: self
+                        .noise
+                        .count
+                        .observe(self.counts[nest.raw()], &mut self.noise_rng),
+                    quality: if self.reveal_quality_on_go {
+                        let true_quality =
+                            self.nests[nest.candidate_index().expect("candidate nest")].quality();
+                        Some(self.noise.quality.observe(true_quality, &mut self.noise_rng))
+                    } else {
+                        None
+                    },
+                },
+                Action::Recruit { .. } => {
+                    let assigned = pairing.assigned_nest(call_cursor);
+                    call_cursor += 1;
+                    Outcome::Recruit {
+                        nest: assigned,
+                        home_count: self
+                            .noise
+                            .count
+                            .observe(self.counts[0], &mut self.noise_rng),
+                    }
+                }
+            })
+            .collect();
+
+        Ok(StepReport {
+            outcomes,
+            recruitment: RecruitmentReport::from_pairing(calls, &pairing),
+        })
+    }
+
+    /// Checks whether `ant` may legally perform `action` in the next round
+    /// without executing anything.
+    ///
+    /// The executor in `hh-sim` uses this to sandbox misbehaving agents:
+    /// an illegal action is replaced with a no-op instead of aborting the
+    /// whole execution.
+    ///
+    /// # Errors
+    ///
+    /// Returns the same errors `step` would for this single action.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ant` is out of range.
+    pub fn check_action(&self, ant: AntId, action: &Action) -> Result<(), ModelError> {
+        if let Some(nest) = action.nest() {
+            if nest.is_home() {
+                return Err(ModelError::HomeNotAllowed { ant });
+            }
+            if nest.raw() > self.k() {
+                return Err(ModelError::UnknownNest { ant, nest });
+            }
+            if !self.known[ant.index()].contains(nest.raw()) {
+                return Err(ModelError::NestNotKnown { ant, nest });
+            }
+        }
+        Ok(())
+    }
+
+    fn validate(&self, actions: &[Action]) -> Result<(), ModelError> {
+        if actions.len() != self.n() {
+            return Err(ModelError::WrongActionCount {
+                got: actions.len(),
+                expected: self.n(),
+            });
+        }
+        for (idx, action) in actions.iter().enumerate() {
+            self.check_action(AntId::new(idx), action)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::QualitySpec;
+    use crate::noise::{CountNoise, NoiseModel};
+
+    fn env(n: usize, k: usize, seed: u64) -> Environment {
+        let config = ColonyConfig::new(n, QualitySpec::all_good(k)).seed(seed);
+        Environment::new(&config).expect("valid config")
+    }
+
+    #[test]
+    fn initial_state_has_all_ants_home() {
+        let env = env(10, 3, 0);
+        assert_eq!(env.n(), 10);
+        assert_eq!(env.k(), 3);
+        assert_eq!(env.round(), 0);
+        assert_eq!(env.count(NestId::HOME), 10);
+        for i in 1..=3 {
+            assert_eq!(env.count(NestId::candidate(i)), 0);
+        }
+        for a in 0..10 {
+            assert!(env.location_of(AntId::new(a)).is_home());
+            assert_eq!(env.known_nests(AntId::new(a)).count(), 0);
+        }
+    }
+
+    #[test]
+    fn wrong_action_count_is_rejected() {
+        let mut env = env(5, 2, 0);
+        let err = env.step(&[Action::Search; 3]).unwrap_err();
+        assert_eq!(err, ModelError::WrongActionCount { got: 3, expected: 5 });
+        assert_eq!(env.round(), 0, "failed step must not advance the round");
+    }
+
+    #[test]
+    fn round_one_must_search() {
+        let mut env = env(2, 2, 0);
+        let n1 = NestId::candidate(1);
+        let err = env.step(&[Action::Go(n1), Action::Search]).unwrap_err();
+        assert_eq!(
+            err,
+            ModelError::NestNotKnown { ant: AntId::new(0), nest: n1 }
+        );
+        let err = env
+            .step(&[Action::recruit_passive(n1), Action::Search])
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ModelError::NestNotKnown { ant: AntId::new(0), nest: n1 }
+        );
+    }
+
+    #[test]
+    fn home_nest_is_not_a_valid_argument() {
+        let mut env = env(1, 2, 0);
+        let err = env.step(&[Action::Go(NestId::HOME)]).unwrap_err();
+        assert_eq!(err, ModelError::HomeNotAllowed { ant: AntId::new(0) });
+    }
+
+    #[test]
+    fn out_of_range_nest_is_rejected() {
+        let mut env = env(1, 2, 0);
+        let err = env.step(&[Action::Go(NestId::candidate(9))]).unwrap_err();
+        assert_eq!(
+            err,
+            ModelError::UnknownNest { ant: AntId::new(0), nest: NestId::candidate(9) }
+        );
+    }
+
+    #[test]
+    fn search_relocates_and_teaches() {
+        let mut env = env(6, 4, 7);
+        let report = env.step(&[Action::Search; 6]).unwrap();
+        assert_eq!(env.round(), 1);
+        assert_eq!(env.count(NestId::HOME), 0);
+        let mut seen_total = 0;
+        for i in 1..=4 {
+            seen_total += env.count(NestId::candidate(i));
+        }
+        assert_eq!(seen_total, 6, "every ant is at some candidate nest");
+        for (idx, outcome) in report.outcomes.iter().enumerate() {
+            let ant = AntId::new(idx);
+            match outcome {
+                Outcome::Search { nest, quality, count } => {
+                    assert_eq!(env.location_of(ant), *nest);
+                    assert!(env.knows(ant, *nest));
+                    assert!(quality.is_good());
+                    assert_eq!(*count, env.count(*nest), "end-of-round count");
+                }
+                other => panic!("expected search outcome, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn go_revisits_known_nest() {
+        let mut env = env(1, 2, 3);
+        let report = env.step(&[Action::Search]).unwrap();
+        let nest = report.outcomes[0].nest().unwrap();
+        // Going back home is impossible except via recruit; go to the same
+        // nest keeps the ant there.
+        let report = env.step(&[Action::Go(nest)]).unwrap();
+        assert_eq!(report.outcomes[0], Outcome::Go { count: 1, quality: None });
+        assert_eq!(env.location_of(AntId::new(0)), nest);
+    }
+
+    #[test]
+    fn recruit_returns_home() {
+        let mut env = env(3, 2, 5);
+        let report = env.step(&[Action::Search; 3]).unwrap();
+        let nests: Vec<NestId> = report
+            .outcomes
+            .iter()
+            .map(|o| o.nest().unwrap())
+            .collect();
+        let actions: Vec<Action> = nests
+            .iter()
+            .map(|&nest| Action::recruit_passive(nest))
+            .collect();
+        let report = env.step(&actions).unwrap();
+        assert_eq!(env.count(NestId::HOME), 3);
+        for (idx, outcome) in report.outcomes.iter().enumerate() {
+            match outcome {
+                Outcome::Recruit { nest, home_count } => {
+                    // Passive-only round: no pair forms, everyone keeps its
+                    // own input.
+                    assert_eq!(*nest, nests[idx]);
+                    assert_eq!(*home_count, 3);
+                }
+                other => panic!("expected recruit outcome, got {other:?}"),
+            }
+        }
+        assert!(report.recruitment.pairs.is_empty());
+        assert_eq!(report.recruitment.calls.len(), 3);
+    }
+
+    #[test]
+    fn recruited_ant_learns_the_nest() {
+        // Ant 0 searches into some nest and then actively recruits; ant 1
+        // waits. Repeat rounds until a cross-pair forms, then check ant 1
+        // can go() to ant 0's nest.
+        let config = ColonyConfig::new(2, QualitySpec::all_good(2)).seed(11);
+        let mut env = Environment::new(&config).unwrap();
+        let report = env.step(&[Action::Search, Action::Search]).unwrap();
+        let nest0 = report.outcomes[0].nest().unwrap();
+        let nest1 = report.outcomes[1].nest().unwrap();
+
+        let mut recruited = false;
+        for _ in 0..200 {
+            let report = env
+                .step(&[
+                    Action::recruit_active(nest0),
+                    Action::recruit_passive(nest1),
+                ])
+                .unwrap();
+            if let Outcome::Recruit { nest, .. } = report.outcomes[1] {
+                if nest == nest0 {
+                    recruited = true;
+                    break;
+                }
+            }
+        }
+        // nest0 could equal nest1 with 2 nests; only assert learning when a
+        // genuinely new nest was communicated.
+        if recruited && nest0 != nest1 {
+            assert!(env.knows(AntId::new(1), nest0));
+            assert!(env.step(&[Action::Go(nest0), Action::Go(nest0)]).is_ok());
+        }
+    }
+
+    #[test]
+    fn counts_always_sum_to_n() {
+        let mut env = env(20, 3, 13);
+        env.step(&vec![Action::Search; 20]).unwrap();
+        for round in 0..10 {
+            let actions: Vec<Action> = (0..20)
+                .map(|a| {
+                    let ant = AntId::new(a);
+                    let nest = env.first_known(ant).unwrap();
+                    if (a + round) % 3 == 0 {
+                        Action::Search
+                    } else if (a + round) % 3 == 1 {
+                        Action::Go(if env.location_of(ant).is_home() {
+                            nest
+                        } else {
+                            env.location_of(ant)
+                        })
+                    } else {
+                        Action::recruit_passive(nest)
+                    }
+                })
+                .collect();
+            env.step(&actions).unwrap();
+            assert_eq!(env.counts().iter().sum::<usize>(), 20);
+        }
+    }
+
+    #[test]
+    fn search_is_roughly_uniform() {
+        let mut env = env(8000, 4, 17);
+        env.step(&vec![Action::Search; 8000]).unwrap();
+        for i in 1..=4 {
+            let c = env.count(NestId::candidate(i));
+            assert!(
+                (1700..=2300).contains(&c),
+                "nest {i} got {c} searchers; expected ≈2000"
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_under_same_seed() {
+        let run = |seed: u64| {
+            let mut e = env(50, 3, seed);
+            let mut trace = Vec::new();
+            e.step(&vec![Action::Search; 50]).unwrap();
+            for _ in 0..5 {
+                let actions: Vec<Action> = (0..50)
+                    .map(|a| Action::recruit_active(e.location_of(AntId::new(a))))
+                    .collect();
+                // All ants are at candidate nests after searching; recruit
+                // from there (legal: they know their own nest).
+                let report = e.step(&actions).unwrap();
+                trace.push(report.outcomes.clone());
+                // Go back out to the assigned nests.
+                let back: Vec<Action> = report
+                    .outcomes
+                    .iter()
+                    .map(|o| Action::Go(o.nest().unwrap()))
+                    .collect();
+                e.step(&back).unwrap();
+            }
+            trace
+        };
+        assert_eq!(run(123), run(123));
+        assert_ne!(run(123), run(124));
+    }
+
+    #[test]
+    fn quality_of_home_is_none() {
+        let env = env(1, 2, 0);
+        assert_eq!(env.quality_of(NestId::HOME), None);
+        assert_eq!(env.quality_of(NestId::candidate(1)), Some(Quality::GOOD));
+        assert_eq!(env.quality_of(NestId::candidate(99)), None);
+    }
+
+    #[test]
+    fn good_nests_lists_good_only() {
+        let config = ColonyConfig::new(4, QualitySpec::good_prefix(5, 2)).seed(0);
+        let env = Environment::new(&config).unwrap();
+        assert_eq!(
+            env.good_nests(),
+            vec![NestId::candidate(1), NestId::candidate(2)]
+        );
+    }
+
+    #[test]
+    fn noisy_counts_flow_through_outcomes() {
+        let noise = NoiseModel {
+            count: CountNoise::uniform_relative(0.5).unwrap(),
+            quality: Default::default(),
+        };
+        let config = ColonyConfig::new(1000, QualitySpec::all_good(1))
+            .seed(3)
+            .noise(noise);
+        let mut env = Environment::new(&config).unwrap();
+        let report = env.step(&vec![Action::Search; 1000]).unwrap();
+        // All ants are in the single nest (true count 1000); with ±50 %
+        // uniform noise some observation should differ from the truth.
+        let distinct = report
+            .outcomes
+            .iter()
+            .any(|o| o.count() != 1000);
+        assert!(distinct, "noise should perturb at least one observation");
+        // But the true state is unaffected.
+        assert_eq!(env.count(NestId::candidate(1)), 1000);
+    }
+
+    #[test]
+    fn population_fraction() {
+        let mut env = env(10, 1, 0);
+        env.step(&[Action::Search; 10]).unwrap();
+        assert_eq!(env.population_fraction(NestId::candidate(1)), 1.0);
+        assert_eq!(env.population_fraction(NestId::HOME), 0.0);
+    }
+}

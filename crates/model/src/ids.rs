@@ -1,0 +1,172 @@
+//! Identifier newtypes for ants and nests.
+//!
+//! The paper indexes nests as `n₀` (the home nest) and `n₁ … n_k` (the
+//! candidate nests), and ants as `a ∈ {0, …, n−1}`. [`NestId`] and [`AntId`]
+//! make those two index spaces distinct types so they cannot be confused
+//! ([C-NEWTYPE]).
+//!
+//! # Examples
+//!
+//! ```
+//! use hh_model::{AntId, NestId};
+//!
+//! let home = NestId::HOME;
+//! assert!(home.is_home());
+//!
+//! let first_candidate = NestId::candidate(1);
+//! assert!(!first_candidate.is_home());
+//! assert_eq!(first_candidate.candidate_index(), Some(0));
+//!
+//! let ant = AntId::new(7);
+//! assert_eq!(ant.index(), 7);
+//! ```
+
+use std::fmt;
+
+/// The identity of a single ant, in `0..n`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct AntId(usize);
+
+impl AntId {
+    /// Creates an ant id from its index in the colony.
+    #[must_use]
+    pub const fn new(index: usize) -> Self {
+        Self(index)
+    }
+
+    /// Returns the ant's index in the colony, in `0..n`.
+    #[must_use]
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for AntId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "a{}", self.0)
+    }
+}
+
+impl From<AntId> for usize {
+    fn from(id: AntId) -> usize {
+        id.0
+    }
+}
+
+/// The identity of a nest: the home nest `n₀` or a candidate `n₁ … n_k`.
+///
+/// Internally nest `i` is stored as the raw index `i`, matching the paper's
+/// `ℓ(a, r) ∈ {0, 1, …, k}` convention where `0` is the home nest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct NestId(usize);
+
+impl NestId {
+    /// The home nest, `n₀`.
+    pub const HOME: NestId = NestId(0);
+
+    /// Creates the id of candidate nest `nᵢ` from its **1-based** index
+    /// `i ∈ {1, …, k}`, matching the paper's numbering.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i == 0`; the home nest is [`NestId::HOME`], not a
+    /// candidate.
+    #[must_use]
+    pub const fn candidate(i: usize) -> Self {
+        assert!(i != 0, "candidate nest indices start at 1; 0 is the home nest");
+        Self(i)
+    }
+
+    /// Creates a nest id from a raw index in `{0, …, k}`, where `0` is home.
+    #[must_use]
+    pub const fn from_raw(raw: usize) -> Self {
+        Self(raw)
+    }
+
+    /// Returns the raw index in `{0, …, k}` (`0` = home).
+    #[must_use]
+    pub const fn raw(self) -> usize {
+        self.0
+    }
+
+    /// Returns `true` if this is the home nest `n₀`.
+    #[must_use]
+    pub const fn is_home(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Returns the **0-based** candidate index (`nᵢ ↦ i − 1`), or `None`
+    /// for the home nest. Handy for indexing per-candidate arrays.
+    #[must_use]
+    pub const fn candidate_index(self) -> Option<usize> {
+        match self.0 {
+            0 => None,
+            i => Some(i - 1),
+        }
+    }
+}
+
+impl fmt::Display for NestId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_home() {
+            write!(f, "home")
+        } else {
+            write!(f, "n{}", self.0)
+        }
+    }
+}
+
+impl From<NestId> for usize {
+    fn from(id: NestId) -> usize {
+        id.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ant_id_round_trips() {
+        let id = AntId::new(12);
+        assert_eq!(id.index(), 12);
+        assert_eq!(usize::from(id), 12);
+        assert_eq!(id.to_string(), "a12");
+    }
+
+    #[test]
+    fn home_nest_is_zero() {
+        assert!(NestId::HOME.is_home());
+        assert_eq!(NestId::HOME.raw(), 0);
+        assert_eq!(NestId::HOME.candidate_index(), None);
+        assert_eq!(NestId::HOME.to_string(), "home");
+    }
+
+    #[test]
+    fn candidate_indices_are_one_based() {
+        let n3 = NestId::candidate(3);
+        assert!(!n3.is_home());
+        assert_eq!(n3.raw(), 3);
+        assert_eq!(n3.candidate_index(), Some(2));
+        assert_eq!(n3.to_string(), "n3");
+    }
+
+    #[test]
+    #[should_panic(expected = "candidate nest indices start at 1")]
+    fn candidate_zero_panics() {
+        let _ = NestId::candidate(0);
+    }
+
+    #[test]
+    fn from_raw_round_trips() {
+        for raw in 0..5 {
+            assert_eq!(NestId::from_raw(raw).raw(), raw);
+        }
+    }
+
+    #[test]
+    fn ids_are_ordered() {
+        assert!(NestId::HOME < NestId::candidate(1));
+        assert!(AntId::new(0) < AntId::new(1));
+    }
+}

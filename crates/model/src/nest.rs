@@ -1,0 +1,168 @@
+//! Nests and nest qualities.
+//!
+//! Every candidate nest `nᵢ` carries a quality `q(i) ∈ Q`. The paper's main
+//! analysis uses the binary set `Q = {0, 1}` ("unsuitable" / "suitable");
+//! its Section 6 sketches an extension to real-valued qualities in `(0, 1)`.
+//! [`Quality`] supports both: it is a validated `f64` in `[0, 1]`, with
+//! [`Quality::BAD`] and [`Quality::GOOD`] as the binary endpoints and
+//! [`Quality::is_good`] as the binary predicate.
+
+use std::fmt;
+
+use crate::error::ModelError;
+use crate::ids::NestId;
+
+/// The quality of a candidate nest: a value in `[0, 1]`.
+///
+/// In the paper's binary model, quality `0` marks an unsuitable nest and
+/// quality `1` a suitable one; the non-binary extension of Section 6 uses
+/// the full range.
+///
+/// # Examples
+///
+/// ```
+/// use hh_model::Quality;
+///
+/// assert!(Quality::GOOD.is_good());
+/// assert!(!Quality::BAD.is_good());
+///
+/// let q = Quality::new(0.8)?;
+/// assert!(q.is_good());
+/// assert_eq!(q.value(), 0.8);
+/// # Ok::<(), hh_model::ModelError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Quality(f64);
+
+impl Quality {
+    /// The unsuitable binary quality, `q = 0`.
+    pub const BAD: Quality = Quality(0.0);
+    /// The suitable binary quality, `q = 1`.
+    pub const GOOD: Quality = Quality(1.0);
+
+    /// The threshold used by [`is_good`](Self::is_good): qualities at or
+    /// above `0.5` count as suitable. For binary environments this maps
+    /// `0 ↦ bad` and `1 ↦ good` exactly.
+    pub const GOOD_THRESHOLD: f64 = 0.5;
+
+    /// Creates a quality from a value in `[0, 1]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidQuality`] if `value` is NaN or outside
+    /// `[0, 1]`.
+    pub fn new(value: f64) -> Result<Self, ModelError> {
+        if value.is_nan() || !(0.0..=1.0).contains(&value) {
+            return Err(ModelError::InvalidQuality { value });
+        }
+        Ok(Self(value))
+    }
+
+    /// Returns the quality value in `[0, 1]`.
+    #[must_use]
+    pub const fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Returns `true` if this quality counts as "suitable" in the binary
+    /// model (at least [`Self::GOOD_THRESHOLD`]).
+    #[must_use]
+    pub fn is_good(self) -> bool {
+        self.0 >= Self::GOOD_THRESHOLD
+    }
+}
+
+impl fmt::Display for Quality {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}", self.0)
+    }
+}
+
+impl TryFrom<f64> for Quality {
+    type Error = ModelError;
+
+    fn try_from(value: f64) -> Result<Self, Self::Error> {
+        Quality::new(value)
+    }
+}
+
+/// A candidate nest: an id plus its intrinsic quality.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Nest {
+    id: NestId,
+    quality: Quality,
+}
+
+impl Nest {
+    /// Creates a nest record.
+    #[must_use]
+    pub const fn new(id: NestId, quality: Quality) -> Self {
+        Self { id, quality }
+    }
+
+    /// Returns the nest's id.
+    #[must_use]
+    pub const fn id(&self) -> NestId {
+        self.id
+    }
+
+    /// Returns the nest's intrinsic (noise-free) quality.
+    #[must_use]
+    pub const fn quality(&self) -> Quality {
+        self.quality
+    }
+}
+
+impl fmt::Display for Nest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(q={})", self.id, self.quality)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binary_constants() {
+        assert_eq!(Quality::BAD.value(), 0.0);
+        assert_eq!(Quality::GOOD.value(), 1.0);
+        assert!(Quality::GOOD.is_good());
+        assert!(!Quality::BAD.is_good());
+    }
+
+    #[test]
+    fn new_validates_range() {
+        assert!(Quality::new(0.0).is_ok());
+        assert!(Quality::new(1.0).is_ok());
+        assert!(Quality::new(0.5).is_ok());
+        assert!(Quality::new(-0.1).is_err());
+        assert!(Quality::new(1.1).is_err());
+        assert!(Quality::new(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn try_from_matches_new() {
+        assert_eq!(Quality::try_from(0.25).unwrap().value(), 0.25);
+        assert!(Quality::try_from(2.0).is_err());
+    }
+
+    #[test]
+    fn threshold_predicate() {
+        assert!(Quality::new(0.5).unwrap().is_good());
+        assert!(!Quality::new(0.49).unwrap().is_good());
+    }
+
+    #[test]
+    fn nest_accessors() {
+        let nest = Nest::new(NestId::candidate(2), Quality::GOOD);
+        assert_eq!(nest.id(), NestId::candidate(2));
+        assert_eq!(nest.quality(), Quality::GOOD);
+        assert_eq!(nest.to_string(), "n2(q=1.000)");
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Quality::new(0.125).unwrap().to_string(), "0.125");
+    }
+}

@@ -1,0 +1,346 @@
+//! The recruitment pairing process — the paper's "Algorithm 1".
+//!
+//! In every round, all ants that called `recruit(b, i)` are located at the
+//! home nest and participate in a centralized pairing run by the
+//! environment. The paper stresses that this is "not a distributed
+//! algorithm executed by the ants, but just a modeling tool": active
+//! recruiters (`b = 1`) pick uniformly random partners, with a uniformly
+//! random permutation `P` breaking ties so that no ant is in more than one
+//! recruiter/recruited pair.
+//!
+//! Faithfully to Algorithm 1:
+//!
+//! * processing follows a uniform random permutation of the participants;
+//! * an active ant only attempts to recruit if it has not itself already
+//!   been recruited by an earlier ant in the permutation;
+//! * the chosen partner is drawn uniformly from *all* participants —
+//!   including the recruiter itself, so self-pairs are possible (Lemma 3.1
+//!   relies on forced self-recruitment when the home nest holds one ant);
+//! * a chosen partner is only matched if it has neither recruited nor been
+//!   recruited already.
+//!
+//! The pairing is exposed publicly so that Lemma 2.1 ("an active recruiter
+//! succeeds with probability ≥ 1/16") can be validated by direct
+//! Monte-Carlo simulation — see experiment F2.
+//!
+//! # Examples
+//!
+//! ```
+//! use hh_model::recruitment::{pair_ants, RecruitCall};
+//! use hh_model::{AntId, NestId};
+//! use rand::rngs::SmallRng;
+//! use rand::SeedableRng;
+//!
+//! let calls = vec![
+//!     RecruitCall::new(AntId::new(0), true, NestId::candidate(1)),
+//!     RecruitCall::new(AntId::new(1), false, NestId::candidate(2)),
+//! ];
+//! let mut rng = SmallRng::seed_from_u64(7);
+//! let pairing = pair_ants(&calls, &mut rng);
+//! // Every participant receives a nest id: either its own input or its
+//! // recruiter's input.
+//! for idx in 0..calls.len() {
+//!     let nest = pairing.assigned_nest(idx);
+//!     assert!(nest == calls[idx].nest || nest == calls[0].nest);
+//! }
+//! ```
+
+use rand::seq::SliceRandom;
+use rand::{Rng, RngExt};
+
+use crate::ids::{AntId, NestId};
+
+/// One ant's `recruit(b, i)` call: the participant record handed to the
+/// pairing process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RecruitCall {
+    /// The calling ant.
+    pub ant: AntId,
+    /// The call's `b` argument: `true` for `recruit(1, ·)`.
+    pub active: bool,
+    /// The call's nest argument `i`.
+    pub nest: NestId,
+}
+
+impl RecruitCall {
+    /// Creates a participant record.
+    #[must_use]
+    pub const fn new(ant: AntId, active: bool, nest: NestId) -> Self {
+        Self { ant, active, nest }
+    }
+}
+
+/// The result of one round's recruitment pairing.
+///
+/// Indices throughout refer to positions in the `calls` slice passed to
+/// [`pair_ants`], not to ant ids; use [`Pairing::pairs`] for an id-level
+/// view.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Pairing {
+    /// `recruited_by[x] = Some(a*)` iff `(a*, x) ∈ M`.
+    recruited_by: Vec<Option<usize>>,
+    /// `succeeded[a] = true` iff `(a, ·) ∈ M`.
+    succeeded: Vec<bool>,
+    /// The nest id each participant's call returns.
+    assigned: Vec<NestId>,
+    /// Matched pairs `(recruiter, recruited)` in match order, as ant ids.
+    pairs: Vec<(AntId, AntId)>,
+}
+
+impl Pairing {
+    /// Returns the number of participants.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.assigned.len()
+    }
+
+    /// Returns `true` if no ants participated.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.assigned.is_empty()
+    }
+
+    /// Returns the nest id participant `idx`'s call returns: the
+    /// recruiter's input if recruited, the participant's own input
+    /// otherwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    #[must_use]
+    pub fn assigned_nest(&self, idx: usize) -> NestId {
+        self.assigned[idx]
+    }
+
+    /// Returns the index of the participant that recruited `idx`, if any.
+    /// A self-pair reports the participant's own index.
+    #[must_use]
+    pub fn recruited_by(&self, idx: usize) -> Option<usize> {
+        self.recruited_by[idx]
+    }
+
+    /// Returns `true` iff participant `idx` recruited successfully, i.e.
+    /// `(idx, ·) ∈ M` — the event of Lemma 2.1. Self-pairs count, as they
+    /// do in the paper.
+    #[must_use]
+    pub fn succeeded(&self, idx: usize) -> bool {
+        self.succeeded[idx]
+    }
+
+    /// Returns `true` iff participant `idx` was recruited by a *different*
+    /// participant (informative recruitment: the returned nest id is the
+    /// recruiter's, not the participant's own).
+    #[must_use]
+    pub fn was_recruited_by_other(&self, idx: usize) -> bool {
+        matches!(self.recruited_by[idx], Some(r) if r != idx)
+    }
+
+    /// Returns the matched pairs `(recruiter, recruited)` as ant ids, in
+    /// match order. Self-pairs appear as `(a, a)`.
+    #[must_use]
+    pub fn pairs(&self) -> &[(AntId, AntId)] {
+        &self.pairs
+    }
+
+    /// Returns the number of pairs in the matching `M`.
+    #[must_use]
+    pub fn matched_count(&self) -> usize {
+        self.pairs.len()
+    }
+}
+
+/// Runs the paper's Algorithm 1 over one round's `recruit` calls.
+///
+/// Returns the matching and, for each participant, the nest id its call
+/// returns. The function is deterministic given `rng`'s state.
+#[must_use]
+pub fn pair_ants<R: Rng + ?Sized>(calls: &[RecruitCall], rng: &mut R) -> Pairing {
+    let m = calls.len();
+    let mut recruited_by: Vec<Option<usize>> = vec![None; m];
+    let mut succeeded = vec![false; m];
+    let mut pairs = Vec::new();
+
+    // Line 2: process ants in a uniform random permutation P.
+    let mut perm: Vec<usize> = (0..m).collect();
+    perm.shuffle(rng);
+
+    for &idx in &perm {
+        // Line 3: only active ants that have not been recruited attempt to
+        // recruit.
+        if !calls[idx].active || recruited_by[idx].is_some() {
+            continue;
+        }
+        // Line 4: choose a uniformly random participant — possibly idx
+        // itself.
+        let target = rng.random_range(0..m);
+        // Line 5: the target must have neither recruited nor been
+        // recruited.
+        if succeeded[target] || recruited_by[target].is_some() {
+            continue;
+        }
+        // Line 6: M := M ∪ (idx, target).
+        succeeded[idx] = true;
+        recruited_by[target] = Some(idx);
+        pairs.push((calls[idx].ant, calls[target].ant));
+    }
+
+    // Lines 7–12: each recruited ant receives its recruiter's nest input;
+    // everyone else receives its own input.
+    let assigned = (0..m)
+        .map(|idx| match recruited_by[idx] {
+            Some(recruiter) => calls[recruiter].nest,
+            None => calls[idx].nest,
+        })
+        .collect();
+
+    Pairing {
+        recruited_by,
+        succeeded,
+        assigned,
+        pairs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn call(i: usize, active: bool, nest: usize) -> RecruitCall {
+        RecruitCall::new(AntId::new(i), active, NestId::candidate(nest))
+    }
+
+    fn rng(seed: u64) -> SmallRng {
+        SmallRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn empty_input_yields_empty_pairing() {
+        let pairing = pair_ants(&[], &mut rng(1));
+        assert!(pairing.is_empty());
+        assert_eq!(pairing.matched_count(), 0);
+    }
+
+    #[test]
+    fn lone_active_ant_self_recruits() {
+        // With a single participant, the only possible target is the ant
+        // itself: Lemma 3.1's forced self-recruitment.
+        let calls = [call(0, true, 1)];
+        let pairing = pair_ants(&calls, &mut rng(2));
+        assert_eq!(pairing.len(), 1);
+        assert!(pairing.succeeded(0));
+        assert_eq!(pairing.recruited_by(0), Some(0));
+        assert!(!pairing.was_recruited_by_other(0));
+        assert_eq!(pairing.assigned_nest(0), NestId::candidate(1));
+        assert_eq!(pairing.pairs(), &[(AntId::new(0), AntId::new(0))]);
+    }
+
+    #[test]
+    fn lone_passive_ant_is_untouched() {
+        let calls = [call(0, false, 3)];
+        let pairing = pair_ants(&calls, &mut rng(3));
+        assert!(!pairing.succeeded(0));
+        assert_eq!(pairing.recruited_by(0), None);
+        assert_eq!(pairing.assigned_nest(0), NestId::candidate(3));
+    }
+
+    #[test]
+    fn passive_ants_never_recruit() {
+        let calls: Vec<RecruitCall> = (0..50).map(|i| call(i, false, 1)).collect();
+        let pairing = pair_ants(&calls, &mut rng(4));
+        assert_eq!(pairing.matched_count(), 0);
+        for idx in 0..calls.len() {
+            assert!(!pairing.succeeded(idx));
+            assert_eq!(pairing.recruited_by(idx), None);
+        }
+    }
+
+    #[test]
+    fn recruited_ants_receive_recruiter_nest() {
+        // Many active recruiters to nest 1, many passive waiters on nest 2:
+        // every matched waiter must be told nest 1.
+        let mut calls: Vec<RecruitCall> = (0..20).map(|i| call(i, true, 1)).collect();
+        calls.extend((20..40).map(|i| call(i, false, 2)));
+        let pairing = pair_ants(&calls, &mut rng(5));
+        assert!(pairing.matched_count() > 0, "some pair should form");
+        for idx in 20..40 {
+            if pairing.was_recruited_by_other(idx) {
+                assert_eq!(pairing.assigned_nest(idx), NestId::candidate(1));
+            } else if pairing.recruited_by(idx).is_none() {
+                assert_eq!(pairing.assigned_nest(idx), NestId::candidate(2));
+            }
+        }
+    }
+
+    #[test]
+    fn matching_is_a_partial_injection() {
+        // No ant appears as recruited in two pairs, and no ant that
+        // recruited also got recruited by someone else.
+        let calls: Vec<RecruitCall> = (0..200)
+            .map(|i| call(i, i % 2 == 0, 1 + i % 3))
+            .collect();
+        for seed in 0..20 {
+            let pairing = pair_ants(&calls, &mut rng(seed));
+            let mut recruited_seen = vec![false; calls.len()];
+            for &(recruiter, recruited) in pairing.pairs() {
+                let (ri, xi) = (recruiter.index(), recruited.index());
+                assert!(calls[ri].active, "recruiter must be in S");
+                assert!(!recruited_seen[xi], "ant recruited twice");
+                recruited_seen[xi] = true;
+            }
+            // An ant recruited by a *different* ant must not itself have
+            // succeeded.
+            for idx in 0..calls.len() {
+                if pairing.was_recruited_by_other(idx) {
+                    assert!(!pairing.succeeded(idx));
+                }
+            }
+        }
+    }
+
+    /// Lemma 2.1: an active recruiter succeeds with probability ≥ 1/16
+    /// whenever at least two ants are at the home nest. Empirically the
+    /// probability is far higher; we check the bound with slack.
+    #[test]
+    fn lemma_2_1_success_probability() {
+        let mut r = rng(6);
+        // Worst-ish case: everyone actively recruiting.
+        let calls: Vec<RecruitCall> = (0..64).map(|i| call(i, true, 1)).collect();
+        let trials = 4_000;
+        let successes = (0..trials)
+            .filter(|_| pair_ants(&calls, &mut r).succeeded(0))
+            .count();
+        let p = successes as f64 / f64::from(trials);
+        assert!(p >= 1.0 / 16.0, "success probability {p} below Lemma 2.1 bound");
+    }
+
+    /// The pairing must treat participants symmetrically: with everyone
+    /// active, each ant's marginal success probability is identical, so
+    /// empirical rates for two fixed ants should agree.
+    #[test]
+    fn pairing_is_exchangeable() {
+        let mut r = rng(7);
+        let calls: Vec<RecruitCall> = (0..16).map(|i| call(i, true, 1)).collect();
+        let trials = 8_000;
+        let mut wins = [0u32; 2];
+        for _ in 0..trials {
+            let pairing = pair_ants(&calls, &mut r);
+            wins[0] += u32::from(pairing.succeeded(0));
+            wins[1] += u32::from(pairing.succeeded(8));
+        }
+        let (a, b) = (f64::from(wins[0]), f64::from(wins[1]));
+        assert!(
+            (a - b).abs() / a.max(b) < 0.15,
+            "asymmetric success rates: {a} vs {b}"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_rng_state() {
+        let calls: Vec<RecruitCall> = (0..30).map(|i| call(i, i % 3 != 0, 1)).collect();
+        let a = pair_ants(&calls, &mut rng(99));
+        let b = pair_ants(&calls, &mut rng(99));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,5 @@
+//! Small self-contained utility data structures used by the model.
+
+mod bitset;
+
+pub use bitset::{BitSet, Iter as BitSetIter};

@@ -1,0 +1,315 @@
+//! # hh-rumor — randomized rumor spreading on complete graphs
+//!
+//! The Ω(log n) house-hunting lower bound (Section 3 of *Distributed
+//! House-Hunting in Ant Colonies*, PODC 2015) "closely resembles lower
+//! bounds for rumor spreading in a complete graph, where the rumor is the
+//! location of the chosen nest" — citing Karp, Schindelhauer, Shenker and
+//! Vöcking, *Randomized Rumor Spreading* (FOCS 2000). This crate
+//! implements that substrate directly so the reproduction can compare the
+//! house-hunting spreading curves (experiment F1) against the classical
+//! PUSH / PULL / PUSH–PULL processes (experiment F15).
+//!
+//! In each synchronous round every node calls one uniformly random other
+//! node:
+//!
+//! * **PUSH** — callers that know the rumor transmit it to their callee;
+//! * **PULL** — callers that do not know the rumor learn it if their
+//!   callee knows it;
+//! * **PUSH–PULL** — both at once.
+//!
+//! Classical results: PUSH informs all `n` nodes in
+//! `log₂ n + ln n + O(1)` rounds with high probability (Frieze–Grimmett;
+//! Pittel), PULL in `Θ(log n)`, and PUSH–PULL in
+//! `log₃ n + O(log log n)` (Karp et al.).
+//!
+//! # Examples
+//!
+//! ```
+//! use hh_rumor::{spread, Protocol};
+//!
+//! let result = spread(1_000, Protocol::PushPull, 42);
+//! assert!(result.everyone_informed());
+//! // PUSH–PULL on 1000 nodes needs only a dozen-odd rounds.
+//! assert!(result.rounds < 40);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+
+/// The gossip protocol run by every node each round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Protocol {
+    /// Informed callers push the rumor to their callee.
+    Push,
+    /// Ignorant callers pull the rumor from an informed callee.
+    Pull,
+    /// Both directions at once.
+    PushPull,
+}
+
+impl Protocol {
+    /// A short static name for reporting.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            Protocol::Push => "push",
+            Protocol::Pull => "pull",
+            Protocol::PushPull => "push-pull",
+        }
+    }
+}
+
+/// The trace of one spreading execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpreadResult {
+    /// Number of nodes.
+    pub n: usize,
+    /// Rounds until every node was informed (or the round limit).
+    pub rounds: u64,
+    /// `history[r]` = number of informed nodes after round `r`;
+    /// `history[0] == 1` is the initial state.
+    pub history: Vec<usize>,
+}
+
+impl SpreadResult {
+    /// Returns `true` if the execution ended with all nodes informed.
+    #[must_use]
+    pub fn everyone_informed(&self) -> bool {
+        self.history.last().copied() == Some(self.n)
+    }
+
+    /// Returns the number of informed nodes after `round` (0 = initial).
+    #[must_use]
+    pub fn informed_after(&self, round: usize) -> Option<usize> {
+        self.history.get(round).copied()
+    }
+}
+
+/// Runs one spreading execution to completion on the complete graph
+/// `K_n`, starting from a single informed node.
+///
+/// Deterministic in `(n, protocol, seed)`.
+///
+/// # Panics
+///
+/// Panics if `n == 0`, or (internal safety margin) if the process
+/// somehow exceeds `64 + 8·(log₂ n + ln n)` rounds.
+#[must_use]
+pub fn spread(n: usize, protocol: Protocol, seed: u64) -> SpreadResult {
+    let cap = 64 + 8 * (theoretical_push_rounds(n).ceil() as u64);
+    spread_with_limit(n, protocol, seed, cap).expect("spread exceeded internal safety cap")
+}
+
+/// Runs one spreading execution with an explicit round limit; returns
+/// `None` if the rumor has not reached everyone within `max_rounds`.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+#[must_use]
+pub fn spread_with_limit(
+    n: usize,
+    protocol: Protocol,
+    seed: u64,
+    max_rounds: u64,
+) -> Option<SpreadResult> {
+    assert!(n > 0, "rumor spreading needs at least one node");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut informed = vec![false; n];
+    informed[0] = true;
+    let mut informed_count = 1usize;
+    let mut history = vec![1usize];
+
+    let mut round = 0u64;
+    while informed_count < n {
+        if round >= max_rounds {
+            return None;
+        }
+        round += 1;
+        // Each node calls one uniformly random *other* node. Calls are
+        // resolved against the state at the start of the round, as in the
+        // synchronous gossip model.
+        let snapshot = informed.clone();
+        for caller in 0..n {
+            if n == 1 {
+                break;
+            }
+            let mut callee = rng.random_range(0..n - 1);
+            if callee >= caller {
+                callee += 1;
+            }
+            match protocol {
+                Protocol::Push => {
+                    if snapshot[caller] {
+                        informed[callee] = true;
+                    }
+                }
+                Protocol::Pull => {
+                    if !snapshot[caller] && snapshot[callee] {
+                        informed[caller] = true;
+                    }
+                }
+                Protocol::PushPull => {
+                    if snapshot[caller] {
+                        informed[callee] = true;
+                    }
+                    if !snapshot[caller] && snapshot[callee] {
+                        informed[caller] = true;
+                    }
+                }
+            }
+        }
+        informed_count = informed.iter().filter(|&&b| b).count();
+        history.push(informed_count);
+    }
+
+    Some(SpreadResult { n, rounds: round, history })
+}
+
+/// The classical high-probability PUSH completion time,
+/// `log₂ n + ln n` (Frieze–Grimmett / Pittel), used as the overlay line
+/// in experiment F15.
+#[must_use]
+pub fn theoretical_push_rounds(n: usize) -> f64 {
+    if n <= 1 {
+        return 0.0;
+    }
+    let nf = n as f64;
+    nf.log2() + nf.ln()
+}
+
+/// The classical PUSH–PULL completion time scale, `log₃ n` (Karp et al.),
+/// ignoring the `O(log log n)` correction.
+#[must_use]
+pub fn theoretical_push_pull_rounds(n: usize) -> f64 {
+    if n <= 1 {
+        return 0.0;
+    }
+    (n as f64).ln() / 3f64.ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_node_is_trivially_done() {
+        for protocol in [Protocol::Push, Protocol::Pull, Protocol::PushPull] {
+            let result = spread(1, protocol, 0);
+            assert_eq!(result.rounds, 0);
+            assert!(result.everyone_informed());
+            assert_eq!(result.history, vec![1]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn zero_nodes_panics() {
+        let _ = spread(0, Protocol::Push, 0);
+    }
+
+    #[test]
+    fn history_is_monotone_and_complete() {
+        for protocol in [Protocol::Push, Protocol::Pull, Protocol::PushPull] {
+            let result = spread(500, protocol, 7);
+            assert!(result.everyone_informed(), "{}", protocol.label());
+            assert_eq!(result.history.len() as u64, result.rounds + 1);
+            assert_eq!(result.history[0], 1);
+            for window in result.history.windows(2) {
+                assert!(window[1] >= window[0], "informed count decreased");
+            }
+            assert_eq!(*result.history.last().unwrap(), 500);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = spread(300, Protocol::Push, 5);
+        let b = spread(300, Protocol::Push, 5);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn push_matches_classical_bound() {
+        // Mean over seeds should be within ±40% of log2 n + ln n.
+        let n = 4096;
+        let trials = 20;
+        let mean: f64 = (0..trials)
+            .map(|seed| spread(n, Protocol::Push, seed).rounds as f64)
+            .sum::<f64>()
+            / f64::from(trials as u32);
+        let theory = theoretical_push_rounds(n);
+        assert!(
+            (mean - theory).abs() / theory < 0.4,
+            "push mean {mean} vs theory {theory}"
+        );
+    }
+
+    #[test]
+    fn push_pull_beats_push() {
+        let n = 4096;
+        let trials = 10;
+        let mean = |protocol: Protocol| -> f64 {
+            (0..trials)
+                .map(|seed| spread(n, protocol, seed).rounds as f64)
+                .sum::<f64>()
+                / f64::from(trials as u32)
+        };
+        assert!(
+            mean(Protocol::PushPull) < mean(Protocol::Push),
+            "push-pull should finish sooner"
+        );
+    }
+
+    #[test]
+    fn rounds_grow_logarithmically() {
+        // Quadrupling n should add ≈ 2 + 2·ln 2 ≈ 3.4 rounds, not scale
+        // multiplicatively.
+        let mean = |n: usize| -> f64 {
+            (0..10u64)
+                .map(|seed| spread(n, Protocol::Push, seed).rounds as f64)
+                .sum::<f64>()
+                / 10.0
+        };
+        let small = mean(1024);
+        let large = mean(4096);
+        assert!(large > small, "more nodes, more rounds");
+        assert!(
+            large - small < 8.0,
+            "quadrupling n added {} rounds; expected ≈ 3.4",
+            large - small
+        );
+    }
+
+    #[test]
+    fn limit_is_respected() {
+        assert!(spread_with_limit(10_000, Protocol::Push, 0, 2).is_none());
+        assert!(spread_with_limit(16, Protocol::PushPull, 0, 1_000).is_some());
+    }
+
+    #[test]
+    fn informed_after_reads_history() {
+        let result = spread(64, Protocol::Push, 3);
+        assert_eq!(result.informed_after(0), Some(1));
+        assert_eq!(result.informed_after(result.rounds as usize), Some(64));
+        assert_eq!(result.informed_after(9_999), None);
+    }
+
+    #[test]
+    fn theory_helpers_are_sane() {
+        assert_eq!(theoretical_push_rounds(1), 0.0);
+        assert!(theoretical_push_rounds(1024) > 16.0);
+        assert!(theoretical_push_pull_rounds(1024) < theoretical_push_rounds(1024));
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(Protocol::Push.label(), "push");
+        assert_eq!(Protocol::Pull.label(), "pull");
+        assert_eq!(Protocol::PushPull.label(), "push-pull");
+    }
+}

@@ -1,0 +1,70 @@
+//! Error type for the execution harness.
+
+use std::error::Error;
+use std::fmt;
+
+use hh_model::ModelError;
+
+/// Errors raised when constructing or driving a simulation.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// A model-level error surfaced by the environment.
+    Model(ModelError),
+    /// The colony handed to the simulation does not match the
+    /// environment's ant count.
+    AgentCountMismatch {
+        /// Number of agents supplied.
+        agents: usize,
+        /// Environment colony size `n`.
+        n: usize,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Model(err) => write!(f, "model error: {err}"),
+            SimError::AgentCountMismatch { agents, n } => {
+                write!(f, "got {agents} agents for an environment of {n} ants")
+            }
+        }
+    }
+}
+
+impl Error for SimError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SimError::Model(err) => Some(err),
+            SimError::AgentCountMismatch { .. } => None,
+        }
+    }
+}
+
+impl From<ModelError> for SimError {
+    fn from(err: ModelError) -> Self {
+        SimError::Model(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_and_sources() {
+        let err = SimError::from(ModelError::EmptyColony);
+        assert!(err.to_string().contains("model error"));
+        assert!(err.source().is_some());
+
+        let err = SimError::AgentCountMismatch { agents: 3, n: 5 };
+        assert!(err.to_string().contains("3 agents"));
+        assert!(err.source().is_none());
+    }
+
+    #[test]
+    fn is_send_sync() {
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<SimError>();
+    }
+}

@@ -1,0 +1,483 @@
+//! The synchronous executor: drives a colony of agents against an
+//! environment, applying fault and asynchrony perturbations.
+//!
+//! [`Simulation`] owns an [`Environment`] plus one [`BoxedAgent`] per ant
+//! and advances them in lockstep rounds:
+//!
+//! 1. every live, undelayed agent chooses its action for the round;
+//! 2. crashed and delayed ants get a location-preserving no-op instead
+//!    (and, being skipped, never observe the round — the paper's
+//!    synchrony-fragility experiments rest on exactly this);
+//! 3. illegal actions (a Byzantine agent probing, or an agent bug) are
+//!    sandboxed: replaced by a no-op and counted, never aborting the run;
+//! 4. the environment resolves the round; every agent whose own action
+//!    ran receives its outcome.
+
+use hh_core::{Agent, BoxedAgent};
+use hh_model::faults::{noop_action, CrashPlan, CrashStyle, DelayPlan};
+use hh_model::{AntId, Environment, StepReport};
+
+use crate::convergence::{ConvergenceRule, Detector, Solved};
+use crate::error::SimError;
+
+/// The fault/asynchrony plans applied to one execution (Section 6).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Perturbations {
+    /// Permanent crash-stop schedule.
+    pub crash: CrashPlan,
+    /// Per-(ant, round) delay plan (partial asynchrony).
+    pub delay: DelayPlan,
+}
+
+impl Perturbations {
+    /// No perturbations, for a colony of `n` ants — the baseline model.
+    #[must_use]
+    pub fn none(n: usize) -> Self {
+        Self {
+            crash: CrashPlan::none(n),
+            delay: DelayPlan::never(),
+        }
+    }
+
+    /// Returns `true` if neither plan perturbs anything.
+    #[must_use]
+    pub fn is_none(&self) -> bool {
+        self.crash.is_empty() && self.delay.probability() == 0.0
+    }
+}
+
+/// Outcome of a bounded run (see [`Simulation::run_to_convergence`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunOutcome {
+    /// The detected convergence, if any.
+    pub solved: Option<Solved>,
+    /// Rounds actually executed.
+    pub rounds_run: u64,
+    /// Actions replaced by crash/delay no-ops.
+    pub replaced_actions: u64,
+    /// Illegal agent actions sandboxed into no-ops.
+    pub illegal_actions: u64,
+}
+
+/// One synchronous execution: environment + colony + perturbations.
+///
+/// # Examples
+///
+/// ```
+/// use hh_core::colony;
+/// use hh_sim::{ConvergenceRule, Simulation};
+/// use hh_model::{ColonyConfig, Environment, QualitySpec};
+///
+/// let n = 24;
+/// let config = ColonyConfig::new(n, QualitySpec::good_prefix(3, 1)).seed(5);
+/// let env = Environment::new(&config)?;
+/// let mut sim = Simulation::new(env, colony::simple(n, 5))?;
+/// let outcome = sim.run_to_convergence(ConvergenceRule::commitment(), 10_000)?;
+/// assert!(outcome.solved.is_some());
+/// # Ok::<(), hh_sim::SimError>(())
+/// ```
+pub struct Simulation {
+    env: Environment,
+    agents: Vec<BoxedAgent>,
+    perturbations: Perturbations,
+    replaced_actions: u64,
+    illegal_actions: u64,
+}
+
+impl std::fmt::Debug for Simulation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulation")
+            .field("round", &self.env.round())
+            .field("n", &self.env.n())
+            .field("k", &self.env.k())
+            .field("perturbations", &self.perturbations)
+            .field("replaced_actions", &self.replaced_actions)
+            .field("illegal_actions", &self.illegal_actions)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Simulation {
+    /// Creates an unperturbed simulation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::AgentCountMismatch`] if `agents.len()` differs
+    /// from the environment's colony size.
+    pub fn new(env: Environment, agents: Vec<BoxedAgent>) -> Result<Self, SimError> {
+        Self::with_perturbations(env, agents, None)
+    }
+
+    /// Creates a simulation with explicit perturbation plans (`None` for
+    /// the unperturbed baseline).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::AgentCountMismatch`] if `agents.len()` differs
+    /// from the environment's colony size.
+    pub fn with_perturbations(
+        env: Environment,
+        agents: Vec<BoxedAgent>,
+        perturbations: Option<Perturbations>,
+    ) -> Result<Self, SimError> {
+        if agents.len() != env.n() {
+            return Err(SimError::AgentCountMismatch {
+                agents: agents.len(),
+                n: env.n(),
+            });
+        }
+        let n = env.n();
+        Ok(Self {
+            env,
+            agents,
+            perturbations: perturbations.unwrap_or_else(|| Perturbations::none(n)),
+            replaced_actions: 0,
+            illegal_actions: 0,
+        })
+    }
+
+    /// The environment (read-only).
+    #[must_use]
+    pub fn env(&self) -> &Environment {
+        &self.env
+    }
+
+    /// The colony (read-only).
+    #[must_use]
+    pub fn agents(&self) -> &[BoxedAgent] {
+        &self.agents
+    }
+
+    /// Completed rounds.
+    #[must_use]
+    pub fn round(&self) -> u64 {
+        self.env.round()
+    }
+
+    /// Actions replaced by crash/delay no-ops so far.
+    #[must_use]
+    pub fn replaced_actions(&self) -> u64 {
+        self.replaced_actions
+    }
+
+    /// Illegal agent actions sandboxed so far.
+    #[must_use]
+    pub fn illegal_actions(&self) -> u64 {
+        self.illegal_actions
+    }
+
+    /// Executes one synchronous round and returns the environment's
+    /// report (outcomes + recruitment pairing) for instrumentation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates environment errors; these indicate harness bugs, since
+    /// agent actions are validated and sandboxed before execution.
+    pub fn step(&mut self) -> Result<StepReport, SimError> {
+        let round = self.env.round() + 1;
+        let n = self.env.n();
+        let mut actions = Vec::with_capacity(n);
+        let mut own_action_ran = vec![false; n];
+
+        for (idx, ran) in own_action_ran.iter_mut().enumerate() {
+            let ant = AntId::new(idx);
+            let crashed = self.perturbations.crash.is_crashed(ant, round);
+            let delayed = !crashed && self.perturbations.delay.is_delayed(ant, round);
+            if crashed || delayed {
+                let style = if crashed {
+                    self.perturbations.crash.style()
+                } else {
+                    CrashStyle::InPlace
+                };
+                actions.push(noop_action(&self.env, ant, style));
+                self.replaced_actions += 1;
+                continue;
+            }
+            let action = self.agents[idx].choose(round);
+            if self.env.check_action(ant, &action).is_ok() {
+                *ran = true;
+                actions.push(action);
+            } else {
+                self.illegal_actions += 1;
+                actions.push(noop_action(&self.env, ant, CrashStyle::InPlace));
+            }
+        }
+
+        let report = self.env.step(&actions)?;
+        for (idx, ran) in own_action_ran.iter().enumerate() {
+            if *ran {
+                self.agents[idx].observe(round, &report.outcomes[idx]);
+            }
+        }
+        Ok(report)
+    }
+
+    /// Runs until `rule` detects convergence or `max_rounds` rounds have
+    /// executed (counted from the simulation's current round).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Self::step`] errors.
+    pub fn run_to_convergence(
+        &mut self,
+        rule: ConvergenceRule,
+        max_rounds: u64,
+    ) -> Result<RunOutcome, SimError> {
+        let mut detector = Detector::new(rule);
+        let start = self.env.round();
+        let mut solved = None;
+        while self.env.round() - start < max_rounds {
+            self.step()?;
+            if let Some(found) = detector.check(self) {
+                solved = Some(found);
+                break;
+            }
+        }
+        Ok(RunOutcome {
+            solved,
+            rounds_run: self.env.round() - start,
+            replaced_actions: self.replaced_actions,
+            illegal_actions: self.illegal_actions,
+        })
+    }
+
+    /// Like [`run_to_convergence`](Self::run_to_convergence), invoking
+    /// `on_round` after every executed round (for metrics recording).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Self::step`] errors.
+    pub fn run_observed<F>(
+        &mut self,
+        rule: ConvergenceRule,
+        max_rounds: u64,
+        mut on_round: F,
+    ) -> Result<RunOutcome, SimError>
+    where
+        F: FnMut(&Simulation, &StepReport),
+    {
+        let mut detector = Detector::new(rule);
+        let start = self.env.round();
+        let mut solved = None;
+        while self.env.round() - start < max_rounds {
+            let report = self.step()?;
+            on_round(self, &report);
+            if let Some(found) = detector.check(self) {
+                solved = Some(found);
+                break;
+            }
+        }
+        Ok(RunOutcome {
+            solved,
+            rounds_run: self.env.round() - start,
+            replaced_actions: self.replaced_actions,
+            illegal_actions: self.illegal_actions,
+        })
+    }
+
+    /// Returns `true` if `ant` has not crashed as of the current round.
+    /// Delayed ants are still live; crashes are permanent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ant` is out of range.
+    #[must_use]
+    pub fn is_live(&self, ant: AntId) -> bool {
+        !self.perturbations.crash.is_crashed(ant, self.env.round())
+    }
+
+    /// Census of honest-agent roles, used by metrics and detectors.
+    #[must_use]
+    pub fn role_census(&self) -> RoleCensus {
+        RoleCensus::of(&self.agents)
+    }
+}
+
+/// Counts of honest agents per [`AgentRole`](hh_core::AgentRole).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RoleCensus {
+    /// Agents still searching.
+    pub searching: usize,
+    /// Active (competing/recruiting) agents.
+    pub active: usize,
+    /// Passive (waiting) agents.
+    pub passive: usize,
+    /// Final/settled agents.
+    pub final_count: usize,
+    /// Everything else (adversaries report `Other`).
+    pub other: usize,
+}
+
+impl RoleCensus {
+    /// Tallies the honest agents of a colony.
+    #[must_use]
+    pub fn of(agents: &[BoxedAgent]) -> Self {
+        let mut census = RoleCensus::default();
+        for agent in agents.iter().filter(|a| a.is_honest()) {
+            match agent.role() {
+                hh_core::AgentRole::Searching => census.searching += 1,
+                hh_core::AgentRole::Active => census.active += 1,
+                hh_core::AgentRole::Passive => census.passive += 1,
+                hh_core::AgentRole::Final => census.final_count += 1,
+                _ => census.other += 1,
+            }
+        }
+        census
+    }
+
+    /// Total honest agents tallied.
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.searching + self.active + self.passive + self.final_count + self.other
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hh_core::colony;
+    use hh_model::{ColonyConfig, NestId, QualitySpec};
+
+    fn env(n: usize, k: usize, seed: u64) -> Environment {
+        Environment::new(&ColonyConfig::new(n, QualitySpec::all_good(k)).seed(seed)).unwrap()
+    }
+
+    #[test]
+    fn rejects_mismatched_colony() {
+        let err = Simulation::new(env(5, 2, 0), colony::simple(3, 0)).unwrap_err();
+        assert_eq!(err, SimError::AgentCountMismatch { agents: 3, n: 5 });
+    }
+
+    #[test]
+    fn steps_advance_rounds() {
+        let mut sim = Simulation::new(env(8, 2, 1), colony::simple(8, 1)).unwrap();
+        assert_eq!(sim.round(), 0);
+        sim.step().unwrap();
+        assert_eq!(sim.round(), 1);
+        assert_eq!(sim.replaced_actions(), 0);
+        assert_eq!(sim.illegal_actions(), 0);
+    }
+
+    #[test]
+    fn converges_simple_colony() {
+        let mut sim = Simulation::new(env(32, 2, 2), colony::simple(32, 2)).unwrap();
+        let outcome = sim
+            .run_to_convergence(ConvergenceRule::commitment(), 5_000)
+            .unwrap();
+        let solved = outcome.solved.expect("simple colony converges");
+        assert!(solved.good);
+        assert!(solved.round >= 1);
+        assert!(outcome.rounds_run >= solved.round);
+    }
+
+    #[test]
+    fn converges_optimal_colony_all_final() {
+        let mut sim = Simulation::new(env(32, 3, 3), colony::optimal(32)).unwrap();
+        let outcome = sim
+            .run_to_convergence(ConvergenceRule::all_final(), 2_000)
+            .unwrap();
+        let solved = outcome.solved.expect("optimal colony finalizes");
+        assert!(solved.good);
+    }
+
+    #[test]
+    fn crashed_ants_are_skipped() {
+        use hh_model::faults::{CrashPlan, CrashStyle};
+        let n = 16;
+        let perturbations = Perturbations {
+            crash: CrashPlan::fraction(n, 0.25, 1, CrashStyle::InPlace, 9),
+            delay: DelayPlan::never(),
+        };
+        let mut sim = Simulation::with_perturbations(
+            env(n, 2, 4),
+            colony::simple(n, 4),
+            Some(perturbations),
+        )
+        .unwrap();
+        for _ in 0..10 {
+            sim.step().unwrap();
+        }
+        // 4 crashed ants × 10 rounds.
+        assert_eq!(sim.replaced_actions(), 40);
+    }
+
+    #[test]
+    fn delays_replace_probabilistically() {
+        let n = 50;
+        let perturbations = Perturbations {
+            crash: CrashPlan::none(n),
+            delay: DelayPlan::new(0.5, 7),
+        };
+        let mut sim = Simulation::with_perturbations(
+            env(n, 2, 5),
+            colony::simple(n, 5),
+            Some(perturbations),
+        )
+        .unwrap();
+        for _ in 0..20 {
+            sim.step().unwrap();
+        }
+        let replaced = sim.replaced_actions();
+        assert!(
+            (300..700).contains(&replaced),
+            "≈50% of 1000 actions should be delayed, got {replaced}"
+        );
+    }
+
+    #[test]
+    fn illegal_agents_are_sandboxed() {
+        struct Outlaw;
+        impl Agent for Outlaw {
+            fn choose(&mut self, _round: u64) -> hh_model::Action {
+                // Never legal: nest 99 does not exist.
+                hh_model::Action::Go(NestId::candidate(99))
+            }
+            fn observe(&mut self, _round: u64, _outcome: &hh_model::Outcome) {
+                panic!("an outlaw's action never executes, so it never observes");
+            }
+            fn committed_nest(&self) -> Option<NestId> {
+                None
+            }
+            fn label(&self) -> &'static str {
+                "outlaw"
+            }
+        }
+        let mut agents = colony::simple(4, 6);
+        agents[3] = Box::new(Outlaw);
+        let mut sim = Simulation::new(env(4, 2, 6), agents).unwrap();
+        for _ in 0..5 {
+            sim.step().unwrap();
+        }
+        assert_eq!(sim.illegal_actions(), 5);
+        // The honest ants were unaffected.
+        assert_eq!(sim.round(), 5);
+    }
+
+    #[test]
+    fn perturbations_none_is_none() {
+        assert!(Perturbations::none(5).is_none());
+        let p = Perturbations {
+            crash: CrashPlan::none(5),
+            delay: DelayPlan::new(0.1, 0),
+        };
+        assert!(!p.is_none());
+    }
+
+    #[test]
+    fn role_census_counts() {
+        let sim = Simulation::new(env(6, 2, 7), colony::simple(6, 7)).unwrap();
+        let census = sim.role_census();
+        assert_eq!(census.searching, 6);
+        assert_eq!(census.total(), 6);
+    }
+
+    #[test]
+    fn run_observed_sees_every_round() {
+        let mut sim = Simulation::new(env(16, 2, 8), colony::simple(16, 8)).unwrap();
+        let mut observed = 0u64;
+        let outcome = sim
+            .run_observed(ConvergenceRule::commitment(), 2_000, |_, _| observed += 1)
+            .unwrap();
+        assert_eq!(observed, outcome.rounds_run);
+    }
+}

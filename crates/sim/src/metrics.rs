@@ -1,0 +1,184 @@
+//! Per-round metrics capture for experiments and examples.
+//!
+//! A [`SeriesRecorder`] snapshots the observable state after each round:
+//! true nest populations, honest commitment histograms (total and
+//! active-role only), and the role census. The experiment harness derives
+//! its figures from these series — e.g. Lemma 4.2's per-cycle nest
+//! drop-out rate (experiment F8) needs the active-commitment histogram at
+//! consecutive competition rounds.
+
+use hh_core::problem;
+use hh_core::AgentRole;
+
+use crate::executor::{RoleCensus, Simulation};
+
+/// One round's observable state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoundSnapshot {
+    /// The round this snapshot describes (after execution).
+    pub round: u64,
+    /// True populations indexed by raw nest id (0 = home).
+    pub nest_populations: Vec<usize>,
+    /// Honest commitment histogram over candidate nests (index 0 ↦ n₁).
+    pub committed: Vec<usize>,
+    /// Honest *active-role* commitment histogram over candidate nests.
+    pub active_committed: Vec<usize>,
+    /// Honest role census.
+    pub roles: RoleCensus,
+}
+
+impl RoundSnapshot {
+    /// Captures the simulation's current state.
+    #[must_use]
+    pub fn capture(sim: &Simulation) -> Self {
+        let k = sim.env().k();
+        let committed = problem::commitment_histogram(sim.agents(), k);
+        let mut active_committed = vec![0usize; k];
+        for agent in sim.agents().iter().filter(|a| a.is_honest()) {
+            if agent.role() == AgentRole::Active {
+                if let Some(idx) = agent.committed_nest().and_then(|n| n.candidate_index()) {
+                    if idx < k {
+                        active_committed[idx] += 1;
+                    }
+                }
+            }
+        }
+        Self {
+            round: sim.round(),
+            nest_populations: sim.env().counts().to_vec(),
+            committed,
+            active_committed,
+            roles: sim.role_census(),
+        }
+    }
+
+    /// Number of nests with at least one active-committed honest ant —
+    /// the "competing nests" count of Section 4.2.
+    #[must_use]
+    pub fn competing_nests(&self) -> usize {
+        self.active_committed.iter().filter(|&&c| c > 0).count()
+    }
+
+    /// Number of honest ants committed anywhere.
+    #[must_use]
+    pub fn total_committed(&self) -> usize {
+        self.committed.iter().sum()
+    }
+}
+
+/// Records a [`RoundSnapshot`] per executed round.
+///
+/// # Examples
+///
+/// ```
+/// use hh_core::colony;
+/// use hh_sim::{ConvergenceRule, SeriesRecorder, Simulation};
+/// use hh_model::{ColonyConfig, Environment, QualitySpec};
+///
+/// let n = 16;
+/// let env = Environment::new(&ColonyConfig::new(n, QualitySpec::all_good(2)).seed(3))?;
+/// let mut sim = Simulation::new(env, colony::simple(n, 3))?;
+/// let mut recorder = SeriesRecorder::new();
+/// sim.run_observed(ConvergenceRule::commitment(), 1_000, |sim, _| recorder.record(sim))?;
+/// assert!(!recorder.snapshots().is_empty());
+/// # Ok::<(), hh_sim::SimError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SeriesRecorder {
+    snapshots: Vec<RoundSnapshot>,
+}
+
+impl SeriesRecorder {
+    /// Creates an empty recorder.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Captures the simulation state for the round just executed.
+    pub fn record(&mut self, sim: &Simulation) {
+        self.snapshots.push(RoundSnapshot::capture(sim));
+    }
+
+    /// The recorded series.
+    #[must_use]
+    pub fn snapshots(&self) -> &[RoundSnapshot] {
+        &self.snapshots
+    }
+
+    /// The competing-nest count per recorded round.
+    #[must_use]
+    pub fn competing_series(&self) -> Vec<usize> {
+        self.snapshots.iter().map(RoundSnapshot::competing_nests).collect()
+    }
+
+    /// The population series of one candidate nest (1-based id) across
+    /// recorded rounds.
+    #[must_use]
+    pub fn population_series(&self, nest_index: usize) -> Vec<usize> {
+        self.snapshots
+            .iter()
+            .map(|s| s.nest_populations.get(nest_index).copied().unwrap_or(0))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::convergence::ConvergenceRule;
+    use hh_core::colony;
+    use hh_model::{ColonyConfig, Environment, QualitySpec};
+
+    fn run_recorded(n: usize, k: usize, seed: u64) -> SeriesRecorder {
+        let env =
+            Environment::new(&ColonyConfig::new(n, QualitySpec::all_good(k)).seed(seed)).unwrap();
+        let mut sim = Simulation::new(env, colony::simple(n, seed)).unwrap();
+        let mut recorder = SeriesRecorder::new();
+        sim.run_observed(ConvergenceRule::commitment(), 2_000, |sim, _| {
+            recorder.record(sim)
+        })
+        .unwrap();
+        recorder
+    }
+
+    #[test]
+    fn snapshots_cover_every_round() {
+        let recorder = run_recorded(24, 2, 1);
+        let snaps = recorder.snapshots();
+        assert!(!snaps.is_empty());
+        for (i, snap) in snaps.iter().enumerate() {
+            assert_eq!(snap.round, i as u64 + 1);
+            assert_eq!(snap.nest_populations.iter().sum::<usize>(), 24);
+        }
+    }
+
+    #[test]
+    fn commitment_histograms_grow_to_consensus() {
+        let recorder = run_recorded(24, 2, 2);
+        let last = recorder.snapshots().last().unwrap();
+        // At the detected consensus, all 24 ants are committed to one nest.
+        assert_eq!(last.total_committed(), 24);
+        assert_eq!(last.committed.iter().filter(|&&c| c > 0).count(), 1);
+    }
+
+    #[test]
+    fn competing_series_is_bounded_by_k() {
+        let recorder = run_recorded(48, 4, 3);
+        for &competing in &recorder.competing_series() {
+            assert!(competing <= 4);
+        }
+        // Round 1 has everyone searching → competition starts at 0 or
+        // more; by the end exactly one nest competes.
+        assert_eq!(*recorder.competing_series().last().unwrap(), 1);
+    }
+
+    #[test]
+    fn population_series_reads_one_nest() {
+        let recorder = run_recorded(24, 2, 4);
+        let series = recorder.population_series(1);
+        assert_eq!(series.len(), recorder.snapshots().len());
+        let out_of_range = recorder.population_series(99);
+        assert!(out_of_range.iter().all(|&c| c == 0));
+    }
+}

@@ -1,0 +1,205 @@
+//! The multi-trial runner: "with high probability" made measurable.
+//!
+//! Every theorem in the paper is a statement over random executions, so
+//! every experiment runs many independent trials and aggregates.
+//! [`run_trials`] fans trials out over OS threads (std scoped threads; an
+//! atomic cursor hands out trial indices), each trial building its own
+//! simulation from the caller's factory — nothing is shared but the
+//! factory, so runs are embarrassingly parallel and results are
+//! bit-identical regardless of thread count.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use crate::convergence::{ConvergenceRule, Solved};
+use crate::error::SimError;
+use crate::executor::Simulation;
+
+/// One trial's result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrialOutcome {
+    /// Trial index (0-based).
+    pub trial: usize,
+    /// The detected convergence, if the trial solved in time.
+    pub solved: Option<Solved>,
+    /// Rounds executed.
+    pub rounds_run: u64,
+    /// Actions replaced by crash/delay no-ops.
+    pub replaced_actions: u64,
+    /// Illegal agent actions sandboxed.
+    pub illegal_actions: u64,
+}
+
+/// Runs `trials` independent simulations in parallel, each built by
+/// `build(trial_index)` and executed until `rule` fires or `max_rounds`
+/// elapse. Results are returned in trial order.
+///
+/// # Errors
+///
+/// Returns the first build or execution error encountered (remaining
+/// trials are abandoned).
+///
+/// # Examples
+///
+/// ```
+/// use hh_core::colony;
+/// use hh_sim::{run_trials, success_rate, ConvergenceRule, Simulation};
+/// use hh_model::{ColonyConfig, Environment, QualitySpec};
+///
+/// let outcomes = run_trials(8, 5_000, ConvergenceRule::commitment(), |trial| {
+///     let seed = 1_000 + trial as u64;
+///     let config = ColonyConfig::new(16, QualitySpec::all_good(2)).seed(seed);
+///     let env = Environment::new(&config)?;
+///     Simulation::new(env, colony::simple(16, seed))
+/// })?;
+/// assert_eq!(outcomes.len(), 8);
+/// assert!(success_rate(&outcomes) > 0.9);
+/// # Ok::<(), hh_sim::SimError>(())
+/// ```
+pub fn run_trials<F>(
+    trials: usize,
+    max_rounds: u64,
+    rule: ConvergenceRule,
+    build: F,
+) -> Result<Vec<TrialOutcome>, SimError>
+where
+    F: Fn(usize) -> Result<Simulation, SimError> + Sync,
+{
+    if trials == 0 {
+        return Ok(Vec::new());
+    }
+    let workers = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(trials);
+    let cursor = AtomicUsize::new(0);
+    let results: Mutex<Vec<TrialOutcome>> = Mutex::new(Vec::with_capacity(trials));
+    let failure: Mutex<Option<SimError>> = Mutex::new(None);
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                if failure.lock().expect("failure lock").is_some() {
+                    break;
+                }
+                let trial = cursor.fetch_add(1, Ordering::Relaxed);
+                if trial >= trials {
+                    break;
+                }
+                let run = build(trial).and_then(|mut sim| {
+                    let outcome = sim.run_to_convergence(rule, max_rounds)?;
+                    Ok(TrialOutcome {
+                        trial,
+                        solved: outcome.solved,
+                        rounds_run: outcome.rounds_run,
+                        replaced_actions: outcome.replaced_actions,
+                        illegal_actions: outcome.illegal_actions,
+                    })
+                });
+                match run {
+                    Ok(outcome) => results.lock().expect("results lock").push(outcome),
+                    Err(err) => {
+                        failure.lock().expect("failure lock").get_or_insert(err);
+                        break;
+                    }
+                }
+            });
+        }
+    });
+
+    if let Some(err) = failure.into_inner().expect("failure lock") {
+        return Err(err);
+    }
+    let mut outcomes = results.into_inner().expect("results lock");
+    outcomes.sort_by_key(|o| o.trial);
+    Ok(outcomes)
+}
+
+/// Fraction of trials that solved.
+#[must_use]
+pub fn success_rate(outcomes: &[TrialOutcome]) -> f64 {
+    if outcomes.is_empty() {
+        return 0.0;
+    }
+    outcomes.iter().filter(|o| o.solved.is_some()).count() as f64 / outcomes.len() as f64
+}
+
+/// The convergence rounds of the solved trials, as `f64`s ready for
+/// statistics.
+#[must_use]
+pub fn solved_rounds(outcomes: &[TrialOutcome]) -> Vec<f64> {
+    outcomes
+        .iter()
+        .filter_map(|o| o.solved.as_ref().map(|s| s.round as f64))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hh_core::colony;
+    use hh_model::{ColonyConfig, Environment, ModelError, QualitySpec};
+
+    fn build_simple(trial: usize) -> Result<Simulation, SimError> {
+        let seed = 10 + trial as u64;
+        let config = ColonyConfig::new(16, QualitySpec::good_prefix(2, 1)).seed(seed);
+        let env = Environment::new(&config)?;
+        Simulation::new(env, colony::simple(16, seed))
+    }
+
+    #[test]
+    fn zero_trials_is_empty() {
+        let outcomes =
+            run_trials(0, 100, ConvergenceRule::commitment(), build_simple).unwrap();
+        assert!(outcomes.is_empty());
+        assert_eq!(success_rate(&outcomes), 0.0);
+    }
+
+    #[test]
+    fn trials_return_in_order() {
+        let outcomes =
+            run_trials(12, 5_000, ConvergenceRule::commitment(), build_simple).unwrap();
+        assert_eq!(outcomes.len(), 12);
+        for (i, outcome) in outcomes.iter().enumerate() {
+            assert_eq!(outcome.trial, i);
+        }
+        assert!(success_rate(&outcomes) > 0.8);
+        assert_eq!(
+            solved_rounds(&outcomes).len(),
+            outcomes.iter().filter(|o| o.solved.is_some()).count()
+        );
+    }
+
+    #[test]
+    fn parallel_matches_trial_seeding() {
+        // Same factory twice: identical results (determinism is per-trial,
+        // independent of scheduling).
+        let a = run_trials(6, 5_000, ConvergenceRule::commitment(), build_simple).unwrap();
+        let b = run_trials(6, 5_000, ConvergenceRule::commitment(), build_simple).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn build_errors_propagate() {
+        let result = run_trials(4, 100, ConvergenceRule::commitment(), |_| {
+            Err(SimError::Model(ModelError::EmptyColony))
+        });
+        assert_eq!(result, Err(SimError::Model(ModelError::EmptyColony)));
+    }
+
+    #[test]
+    fn unsolvable_trials_report_no_solution() {
+        // All-bad environment (opted in): simple ants all turn passive and
+        // nothing ever converges.
+        let outcomes = run_trials(2, 50, ConvergenceRule::commitment(), |trial| {
+            let config = ColonyConfig::new(8, QualitySpec::good_prefix(2, 0))
+                .allow_no_good()
+                .seed(trial as u64);
+            let env = Environment::new(&config)?;
+            Simulation::new(env, colony::simple(8, trial as u64))
+        })
+        .unwrap();
+        assert_eq!(success_rate(&outcomes), 0.0);
+        assert!(outcomes.iter().all(|o| o.rounds_run == 50));
+    }
+}

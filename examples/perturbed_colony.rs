@@ -1,0 +1,113 @@
+//! Perturbed colony: the Section 6 robustness story in one run.
+//!
+//! Subjects the two algorithms to the perturbations the paper discusses —
+//! noisy population counts, crash faults, partial asynchrony (delays),
+//! and Byzantine recruiters — and prints a success-rate grid. The paper's
+//! qualitative prediction: the optimal algorithm, which "relies heavily
+//! on the synchrony in the execution and the precise counting of the
+//! number of ants", collapses, while the simple algorithm keeps working.
+//!
+//! ```text
+//! cargo run --release --example perturbed_colony
+//! ```
+
+use house_hunting::analysis::{fmt_f64, Table};
+use house_hunting::model::faults::{CrashPlan, CrashStyle, DelayPlan};
+use house_hunting::model::noise::CountNoise;
+use house_hunting::prelude::*;
+use house_hunting::sim::{run_trials, success_rate};
+
+#[derive(Clone, Copy)]
+enum Setup {
+    Baseline,
+    CountNoise(f64),
+    Crashes(f64),
+    Delays(f64),
+    Byzantine(usize),
+}
+
+impl Setup {
+    fn label(self) -> String {
+        match self {
+            Setup::Baseline => "baseline".into(),
+            Setup::CountNoise(sigma) => format!("count noise σ={sigma}"),
+            Setup::Crashes(frac) => format!("{:.0}% crash at r=10", frac * 100.0),
+            Setup::Delays(p) => format!("{:.0}% delays", p * 100.0),
+            Setup::Byzantine(count) => format!("{count} byzantine"),
+        }
+    }
+}
+
+fn run(setup: Setup, algorithm: &str, n: usize, trials: usize) -> Result<f64, SimError> {
+    let k = 4;
+    let rule = ConvergenceRule::stable_commitment(8);
+    let outcomes = run_trials(trials, 30_000, rule, |trial| {
+        let seed = 31_000 + trial as u64;
+        let mut spec = ScenarioSpec::new(n, QualitySpec::good_prefix(k, 2)).seed(seed);
+        match setup {
+            Setup::Baseline | Setup::Byzantine(_) => {}
+            Setup::CountNoise(sigma) => {
+                spec = spec.noise(NoiseModel {
+                    count: CountNoise::multiplicative(sigma).expect("valid sigma"),
+                    quality: Default::default(),
+                });
+            }
+            Setup::Crashes(frac) => {
+                spec = spec.perturbations(Perturbations {
+                    crash: CrashPlan::fraction(n, frac, 10, CrashStyle::InPlace, seed),
+                    delay: DelayPlan::never(),
+                });
+            }
+            Setup::Delays(p) => {
+                spec = spec.perturbations(Perturbations {
+                    crash: CrashPlan::none(n),
+                    delay: DelayPlan::new(p, seed),
+                });
+            }
+        }
+        let mut agents = match algorithm {
+            "optimal" => colony::optimal(n),
+            _ => colony::simple(n, seed),
+        };
+        if let Setup::Byzantine(count) = setup {
+            colony::plant_adversaries(&mut agents, count, |_| {
+                Box::new(house_hunting::core::BadNestRecruiter::new())
+            });
+        }
+        spec.build_simulation(agents)
+    })?;
+    Ok(success_rate(&outcomes))
+}
+
+fn main() -> Result<(), SimError> {
+    let n = 96;
+    let trials = 8;
+    println!(
+        "robustness grid: n = {n}, k = 4 (2 good), {trials} trials per cell,\n\
+         success = stable commitment consensus on a good nest\n"
+    );
+
+    let setups = [
+        Setup::Baseline,
+        Setup::CountNoise(0.3),
+        Setup::Crashes(0.10),
+        Setup::Delays(0.10),
+        Setup::Byzantine(4),
+    ];
+
+    let mut table = Table::new(["perturbation", "optimal", "simple"]);
+    for setup in setups {
+        let optimal = run(setup, "optimal", n, trials)?;
+        let simple = run(setup, "simple", n, trials)?;
+        table.row([
+            setup.label(),
+            format!("{}%", fmt_f64(optimal * 100.0, 0)),
+            format!("{}%", fmt_f64(simple * 100.0, 0)),
+        ]);
+    }
+    println!("{table}");
+    println!("expected shape: both near 100% at baseline; the optimal algorithm degrades");
+    println!("under noise/delays (it needs exact counts and lockstep cycles) while the");
+    println!("simple algorithm stays high — the paper's Section 6 robustness claim");
+    Ok(())
+}

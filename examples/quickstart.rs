@@ -1,0 +1,64 @@
+//! Quickstart: one colony, one emigration, narrated.
+//!
+//! Runs the paper's simple algorithm (Algorithm 3) on a single
+//! house-hunting instance and prints the population dynamics as the
+//! colony converges on a good nest.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use house_hunting::analysis::sparkline;
+use house_hunting::prelude::*;
+use house_hunting::sim::SeriesRecorder;
+
+fn main() -> Result<(), SimError> {
+    // A colony of 128 ants; 6 candidate nests, 2 of them good.
+    let n = 128;
+    let k = 6;
+    let seed = 2015; // the year the paper appeared
+    let spec = ScenarioSpec::new(n, QualitySpec::good_prefix(k, 2)).seed(seed);
+
+    let mut sim = spec.build_simulation(colony::simple(n, seed))?;
+    let mut recorder = SeriesRecorder::new();
+    let outcome = sim.run_observed(ConvergenceRule::commitment(), 20_000, |sim, _| {
+        recorder.record(sim);
+    })?;
+
+    let solved = outcome
+        .solved
+        .expect("a healthy colony always finds a home");
+    println!("colony of {n} ants, {k} candidate nests (n1, n2 good)");
+    println!(
+        "consensus: all ants committed to {} after {} rounds\n",
+        solved.nest, solved.round
+    );
+
+    println!("committed-population traces (one row per candidate nest):");
+    for nest in 1..=k {
+        let series: Vec<f64> = recorder
+            .snapshots()
+            .iter()
+            .map(|s| s.committed[nest - 1] as f64)
+            .collect();
+        let final_count = *series.last().unwrap() as usize;
+        let quality = if nest <= 2 { "good" } else { "bad " };
+        println!(
+            "  n{nest} ({quality})  {}  final {final_count:>4}",
+            sparkline(&series)
+        );
+    }
+
+    println!("\ncompeting nests per round:");
+    let competing: Vec<f64> = recorder
+        .competing_series()
+        .iter()
+        .map(|&c| c as f64)
+        .collect();
+    println!("  {}", sparkline(&competing));
+    println!(
+        "  (starts at ≤ {} good nests, ends at exactly 1)",
+        2.min(k)
+    );
+    Ok(())
+}

@@ -1,0 +1,152 @@
+//! Integration: the Section 6 perturbation matrix at small scale —
+//! noise, crashes, delays, Byzantine agents, and combinations.
+
+use house_hunting::core::BadNestRecruiter;
+use house_hunting::model::faults::{CrashPlan, CrashStyle, DelayPlan};
+use house_hunting::model::noise::{CountNoise, QualityNoise};
+use house_hunting::prelude::*;
+use house_hunting::sim::{run_trials, success_rate};
+
+const N: usize = 64;
+
+fn spec() -> QualitySpec {
+    QualitySpec::good_prefix(4, 2)
+}
+
+#[test]
+fn simple_survives_mild_count_noise() {
+    let outcomes = run_trials(8, 20_000, ConvergenceRule::stable_commitment(8), |trial| {
+        let seed = 100 + trial as u64;
+        ScenarioSpec::new(N, spec())
+            .seed(seed)
+            .noise(NoiseModel {
+                count: CountNoise::multiplicative(0.25).unwrap(),
+                quality: Default::default(),
+            })
+            .build_simulation(colony::simple(N, seed))
+    })
+    .unwrap();
+    assert!(success_rate(&outcomes) >= 0.75, "rate {}", success_rate(&outcomes));
+}
+
+#[test]
+fn simple_survives_quality_misreads() {
+    // 5% misclassification at search time: occasionally an ant campaigns
+    // for a bad nest, but the good-nest majority still wins.
+    let outcomes = run_trials(8, 20_000, ConvergenceRule::stable_commitment(8), |trial| {
+        let seed = 200 + trial as u64;
+        ScenarioSpec::new(N, spec())
+            .seed(seed)
+            .noise(NoiseModel {
+                count: CountNoise::Exact,
+                quality: QualityNoise::flip(0.05).unwrap(),
+            })
+            .build_simulation(colony::simple(N, seed))
+    })
+    .unwrap();
+    assert!(success_rate(&outcomes) >= 0.6, "rate {}", success_rate(&outcomes));
+}
+
+#[test]
+fn simple_survives_crashes_at_both_styles() {
+    for style in [CrashStyle::InPlace, CrashStyle::AtHome] {
+        let outcomes = run_trials(8, 20_000, ConvergenceRule::stable_commitment(8), |trial| {
+            let seed = 300 + trial as u64;
+            ScenarioSpec::new(N, spec())
+                .seed(seed)
+                .perturbations(Perturbations {
+                    crash: CrashPlan::fraction(N, 0.15, 8, style, seed),
+                    delay: DelayPlan::never(),
+                })
+                .build_simulation(colony::simple(N, seed))
+        })
+        .unwrap();
+        assert!(
+            success_rate(&outcomes) >= 0.75,
+            "{style:?}: rate {}",
+            success_rate(&outcomes)
+        );
+    }
+}
+
+#[test]
+fn simple_survives_delays() {
+    let outcomes = run_trials(8, 30_000, ConvergenceRule::stable_commitment(8), |trial| {
+        let seed = 400 + trial as u64;
+        ScenarioSpec::new(N, spec())
+            .seed(seed)
+            .perturbations(Perturbations {
+                crash: CrashPlan::none(N),
+                delay: DelayPlan::new(0.15, seed),
+            })
+            .build_simulation(colony::simple(N, seed))
+    })
+    .unwrap();
+    assert!(success_rate(&outcomes) >= 0.75, "rate {}", success_rate(&outcomes));
+}
+
+#[test]
+fn optimal_is_fragile_under_delays() {
+    // The paper's claim in the negative: the optimal algorithm needs
+    // lockstep synchrony. Under 15% delays it should fail noticeably
+    // more often than the simple one.
+    let measure = |agents_for: fn(u64) -> Vec<BoxedAgent>| {
+        let outcomes = run_trials(8, 30_000, ConvergenceRule::stable_commitment(8), |trial| {
+            let seed = 500 + trial as u64;
+            ScenarioSpec::new(N, spec())
+                .seed(seed)
+                .perturbations(Perturbations {
+                    crash: CrashPlan::none(N),
+                    delay: DelayPlan::new(0.15, seed),
+                })
+                .build_simulation(agents_for(seed))
+        })
+        .unwrap();
+        success_rate(&outcomes)
+    };
+    let optimal_rate = measure(|_| colony::optimal(N));
+    let simple_rate = measure(|seed| colony::simple(N, seed));
+    assert!(
+        simple_rate >= optimal_rate,
+        "simple {simple_rate} should be at least as robust as optimal {optimal_rate}"
+    );
+    assert!(optimal_rate <= 0.8, "optimal unexpectedly robust: {optimal_rate}");
+}
+
+#[test]
+fn byzantine_minority_does_not_stop_honest_quorum() {
+    let outcomes = run_trials(8, 20_000, ConvergenceRule::quorum(0.9, 8), |trial| {
+        let seed = 600 + trial as u64;
+        let mut agents = colony::simple(N, seed);
+        colony::plant_adversaries(&mut agents, 3, |_| Box::new(BadNestRecruiter::new()));
+        ScenarioSpec::new(N, spec())
+            .seed(seed)
+            .build_simulation(agents)
+    })
+    .unwrap();
+    assert!(success_rate(&outcomes) >= 0.75, "rate {}", success_rate(&outcomes));
+}
+
+#[test]
+fn combined_perturbations_small_doses() {
+    // Everything at once, mildly: noise + a couple of crashes + rare
+    // delays + one adversary.
+    let outcomes = run_trials(8, 30_000, ConvergenceRule::quorum(0.9, 8), |trial| {
+        let seed = 700 + trial as u64;
+        let mut agents = colony::simple(N, seed);
+        colony::plant_adversaries(&mut agents, 1, |_| Box::new(BadNestRecruiter::new()));
+        ScenarioSpec::new(N, spec())
+            .seed(seed)
+            .noise(NoiseModel {
+                count: CountNoise::uniform_relative(0.2).unwrap(),
+                quality: Default::default(),
+            })
+            .perturbations(Perturbations {
+                crash: CrashPlan::fraction(N, 0.05, 12, CrashStyle::InPlace, seed),
+                delay: DelayPlan::new(0.05, seed),
+            })
+            .build_simulation(agents)
+    })
+    .unwrap();
+    assert!(success_rate(&outcomes) >= 0.6, "rate {}", success_rate(&outcomes));
+}

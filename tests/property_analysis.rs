@@ -1,0 +1,102 @@
+//! Property-based tests on the analysis substrate: summary statistics,
+//! quantiles, and least-squares fitting.
+
+use house_hunting::analysis::{
+    fit_linear, growth_assessment, Quantiles, Summary,
+};
+use proptest::prelude::*;
+
+proptest! {
+    /// Welford accumulation matches the naive two-pass formulas.
+    #[test]
+    fn summary_matches_two_pass(values in proptest::collection::vec(-1e6f64..1e6, 1..200)) {
+        let summary: Summary = values.iter().copied().collect();
+        let n = values.len() as f64;
+        let mean = values.iter().sum::<f64>() / n;
+        let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+        prop_assert!((summary.mean() - mean).abs() <= 1e-6 * (1.0 + mean.abs()));
+        prop_assert!(
+            (summary.population_variance() - var).abs() <= 1e-4 * (1.0 + var.abs())
+        );
+        prop_assert_eq!(summary.count(), values.len() as u64);
+        let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert_eq!(summary.min(), min);
+        prop_assert_eq!(summary.max(), max);
+    }
+
+    /// Merging two accumulators equals accumulating the concatenation.
+    #[test]
+    fn summary_merge_is_concatenation(
+        left in proptest::collection::vec(-1e5f64..1e5, 0..100),
+        right in proptest::collection::vec(-1e5f64..1e5, 0..100),
+    ) {
+        let mut merged: Summary = left.iter().copied().collect();
+        let right_summary: Summary = right.iter().copied().collect();
+        merged.merge(&right_summary);
+        let whole: Summary = left.iter().chain(right.iter()).copied().collect();
+        prop_assert_eq!(merged.count(), whole.count());
+        if whole.count() > 0 {
+            prop_assert!((merged.mean() - whole.mean()).abs() <= 1e-6 * (1.0 + whole.mean().abs()));
+            prop_assert!(
+                (merged.sample_variance() - whole.sample_variance()).abs()
+                    <= 1e-4 * (1.0 + whole.sample_variance().abs())
+            );
+        }
+    }
+
+    /// Quantiles are monotone in q and bounded by the extremes.
+    #[test]
+    fn quantiles_are_monotone(values in proptest::collection::vec(-1e6f64..1e6, 1..100)) {
+        let q = Quantiles::new(values.clone()).unwrap();
+        let lo = q.quantile(0.0);
+        let hi = q.quantile(1.0);
+        let mut last = lo;
+        for step in 0..=20 {
+            let quantile = q.quantile(step as f64 / 20.0);
+            prop_assert!(quantile >= last - 1e-9);
+            prop_assert!(quantile >= lo && quantile <= hi);
+            last = quantile;
+        }
+        prop_assert!(q.median() >= lo && q.median() <= hi);
+    }
+
+    /// Least squares exactly recovers noise-free lines.
+    #[test]
+    fn fit_recovers_exact_lines(
+        slope in -100.0f64..100.0,
+        intercept in -100.0f64..100.0,
+        count in 3usize..40,
+    ) {
+        let xs: Vec<f64> = (0..count).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| slope * x + intercept).collect();
+        let fit = fit_linear(&xs, &ys).unwrap();
+        prop_assert!((fit.slope - slope).abs() < 1e-6 * (1.0 + slope.abs()));
+        prop_assert!((fit.intercept - intercept).abs() < 1e-5 * (1.0 + intercept.abs()));
+        prop_assert!(fit.r_squared > 0.999);
+    }
+
+    /// Adding symmetric residuals cannot flip a strong slope's sign.
+    #[test]
+    fn fit_is_stable_under_symmetric_noise(
+        slope in 1.0f64..50.0,
+        amplitude in 0.0f64..0.5,
+    ) {
+        let xs: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, x)| slope * x + if i % 2 == 0 { amplitude } else { -amplitude })
+            .collect();
+        let fit = fit_linear(&xs, &ys).unwrap();
+        prop_assert!(fit.slope > 0.0);
+    }
+
+    /// Growth assessment of exact geometric series reports the ratio.
+    #[test]
+    fn growth_of_geometric_series(base in 1.0f64..100.0, ratio in 1.1f64..3.0) {
+        let ys: Vec<f64> = (0..8).map(|i| base * ratio.powi(i)).collect();
+        let growth = growth_assessment(&ys).unwrap();
+        prop_assert!((growth.mean_ratio - ratio).abs() < 1e-6 * ratio);
+    }
+}

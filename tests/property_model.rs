@@ -1,0 +1,174 @@
+//! Property-based tests on the model substrate: the recruitment pairing
+//! process, the environment's invariants under arbitrary legal action
+//! sequences, seed derivation, and the bit set.
+
+use std::collections::HashSet;
+
+use house_hunting::model::recruitment::{pair_ants, RecruitCall};
+use house_hunting::model::seeding::{derive_seed, StreamKind};
+use house_hunting::model::util::BitSet;
+use house_hunting::prelude::*;
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+proptest! {
+    /// Algorithm 1 invariants for arbitrary participant vectors:
+    /// the matching is a partial injection (each ant recruited at most
+    /// once, recruiters are active, nobody both recruits another ant and
+    /// is recruited by a different ant), and every participant's return
+    /// value is either its own input or its recruiter's input.
+    #[test]
+    fn pairing_invariants(
+        actives in proptest::collection::vec(any::<bool>(), 1..80),
+        nests in proptest::collection::vec(1usize..5, 1..80),
+        seed in any::<u64>(),
+    ) {
+        let m = actives.len().min(nests.len());
+        let calls: Vec<RecruitCall> = (0..m)
+            .map(|i| RecruitCall::new(AntId::new(i), actives[i], NestId::candidate(nests[i])))
+            .collect();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let pairing = pair_ants(&calls, &mut rng);
+
+        prop_assert_eq!(pairing.len(), m);
+        let mut recruited_seen = HashSet::new();
+        for &(recruiter, recruited) in pairing.pairs() {
+            prop_assert!(calls[recruiter.index()].active, "recruiters are in S");
+            prop_assert!(recruited_seen.insert(recruited), "double recruitment");
+        }
+        for idx in 0..m {
+            let assigned = pairing.assigned_nest(idx);
+            match pairing.recruited_by(idx) {
+                Some(recruiter) => {
+                    prop_assert_eq!(assigned, calls[recruiter].nest);
+                    if recruiter != idx {
+                        prop_assert!(
+                            !pairing.succeeded(idx),
+                            "an ant recruited by another cannot also recruit"
+                        );
+                    }
+                }
+                None => prop_assert_eq!(assigned, calls[idx].nest),
+            }
+            if !calls[idx].active {
+                prop_assert!(!pairing.succeeded(idx), "passive ants never recruit");
+            }
+        }
+    }
+
+    /// The environment conserves ants, keeps locations consistent with
+    /// actions, and only grows knowledge sets, under arbitrary legal
+    /// action schedules.
+    #[test]
+    fn environment_invariants(
+        n in 1usize..40,
+        k in 1usize..6,
+        seed in any::<u64>(),
+        choices in proptest::collection::vec(0u8..4, 0..30),
+    ) {
+        let config = ColonyConfig::new(n, QualitySpec::all_good(k)).seed(seed);
+        let mut env = Environment::new(&config).unwrap();
+        env.step(&vec![Action::Search; n]).unwrap();
+        let mut known_sizes = vec![1usize; n];
+
+        for (r, &choice) in choices.iter().enumerate() {
+            let actions: Vec<Action> = (0..n)
+                .map(|i| {
+                    let ant = AntId::new(i);
+                    let here = env.location_of(ant);
+                    let anchor = env.first_known(ant).unwrap();
+                    match (choice as usize + i + r) % 4 {
+                        0 => Action::Search,
+                        1 if !here.is_home() => Action::Go(here),
+                        1 => Action::Go(anchor),
+                        2 => Action::recruit_active(anchor),
+                        _ => Action::recruit_passive(anchor),
+                    }
+                })
+                .collect();
+            let report = env.step(&actions).unwrap();
+
+            prop_assert_eq!(env.counts().iter().sum::<usize>(), n);
+            for i in 0..n {
+                let ant = AntId::new(i);
+                match actions[i] {
+                    Action::Search => {
+                        prop_assert!(!env.location_of(ant).is_home());
+                    }
+                    Action::Go(nest) => prop_assert_eq!(env.location_of(ant), nest),
+                    Action::Recruit { .. } => {
+                        prop_assert!(env.location_of(ant).is_home());
+                    }
+                }
+                // Knowledge is monotone.
+                let size = env.known_nests(ant).count();
+                prop_assert!(size >= known_sizes[i], "knowledge shrank");
+                known_sizes[i] = size;
+                // Outcome counts match the true state (no noise).
+                match (actions[i], &report.outcomes[i]) {
+                    (Action::Go(nest), Outcome::Go { count, .. }) => {
+                        prop_assert_eq!(*count, env.count(nest));
+                    }
+                    (Action::Recruit { .. }, Outcome::Recruit { home_count, .. }) => {
+                        prop_assert_eq!(*home_count, env.count(NestId::HOME));
+                    }
+                    (Action::Search, Outcome::Search { nest, count, .. }) => {
+                        prop_assert_eq!(*count, env.count(*nest));
+                    }
+                    (action, outcome) => {
+                        prop_assert!(false, "mismatched {action:?} / {outcome:?}");
+                    }
+                }
+            }
+        }
+    }
+
+    /// Seed derivation never collides across streams/indices in sampled
+    /// windows (a collision would silently correlate two random streams).
+    #[test]
+    fn seed_streams_do_not_collide(base in any::<u64>()) {
+        let mut seen = HashSet::new();
+        for kind in [StreamKind::Environment, StreamKind::Noise, StreamKind::Agent, StreamKind::Crash, StreamKind::Delay] {
+            for index in 0..64 {
+                prop_assert!(seen.insert(derive_seed(base, kind, index)));
+            }
+        }
+    }
+
+    /// BitSet agrees with a reference HashSet model under arbitrary
+    /// insert/remove interleavings.
+    #[test]
+    fn bitset_matches_hashset_model(
+        capacity in 1usize..200,
+        ops in proptest::collection::vec((any::<bool>(), 0usize..220), 0..100),
+    ) {
+        let mut set = BitSet::new(capacity);
+        let mut model: HashSet<usize> = HashSet::new();
+        for (insert, value) in ops {
+            if insert {
+                if value < capacity {
+                    prop_assert_eq!(set.insert(value), model.insert(value));
+                }
+            } else {
+                prop_assert_eq!(set.remove(value), model.remove(&value));
+            }
+            prop_assert_eq!(set.len(), model.len());
+        }
+        let mut expected: Vec<usize> = model.into_iter().collect();
+        expected.sort_unstable();
+        prop_assert_eq!(set.iter().collect::<Vec<_>>(), expected);
+    }
+
+    /// Delay plans are pure functions of (ant, round) and respect the
+    /// probability edge cases.
+    #[test]
+    fn delay_plans_are_pure(prob in 0.0f64..1.0, seed in any::<u64>(), ant in 0usize..100, round in 0u64..10_000) {
+        use house_hunting::model::faults::DelayPlan;
+        let plan = DelayPlan::new(prob, seed);
+        let first = plan.is_delayed(AntId::new(ant), round);
+        for _ in 0..3 {
+            prop_assert_eq!(plan.is_delayed(AntId::new(ant), round), first);
+        }
+    }
+}

@@ -1,0 +1,183 @@
+//! Integration: coarse asymptotic sanity at CI-friendly sizes.
+//!
+//! The full sweeps live in the experiment harness (`hh-bench`); these
+//! tests only pin the *direction* of each scaling claim so a regression
+//! that flips an asymptotic shows up in `cargo test`.
+
+use house_hunting::analysis::Summary;
+use house_hunting::prelude::*;
+use house_hunting::sim::{run_trials, solved_rounds};
+
+fn mean_rounds(
+    n: usize,
+    spec: QualitySpec,
+    rule: ConvergenceRule,
+    trials: usize,
+    seed_base: u64,
+    colony_for: impl Fn(u64) -> Vec<BoxedAgent> + Sync,
+) -> f64 {
+    let outcomes = run_trials(trials, 60_000, rule, |trial| {
+        let seed = seed_base + trial as u64;
+        ScenarioSpec::new(n, spec.clone())
+            .seed(seed)
+            .build_simulation(colony_for(seed))
+    })
+    .unwrap();
+    let rounds: Summary = solved_rounds(&outcomes).into_iter().collect();
+    assert!(rounds.count() as usize >= trials * 3 / 4, "too many failures");
+    rounds.mean()
+}
+
+#[test]
+fn optimal_growth_is_sublinear_in_n() {
+    let small = mean_rounds(
+        64,
+        QualitySpec::good_prefix(4, 2),
+        ConvergenceRule::all_final(),
+        10,
+        1_000,
+        |_| colony::optimal(64),
+    );
+    let large = mean_rounds(
+        512,
+        QualitySpec::good_prefix(4, 2),
+        ConvergenceRule::all_final(),
+        10,
+        2_000,
+        |_| colony::optimal(512),
+    );
+    // 8x the ants: rounds grow, but far less than 8x (log growth would
+    // add ~ a constant per doubling).
+    assert!(large < small * 3.0, "small {small}, large {large}");
+}
+
+#[test]
+fn simple_growth_is_sublinear_in_n_at_fixed_k() {
+    let small = mean_rounds(
+        64,
+        QualitySpec::all_good(2),
+        ConvergenceRule::commitment(),
+        10,
+        3_000,
+        |seed| colony::simple(64, seed),
+    );
+    let large = mean_rounds(
+        512,
+        QualitySpec::all_good(2),
+        ConvergenceRule::commitment(),
+        10,
+        4_000,
+        |seed| colony::simple(512, seed),
+    );
+    assert!(large < small * 3.0, "small {small}, large {large}");
+}
+
+#[test]
+fn simple_pays_for_k_optimal_does_not() {
+    let n = 256;
+    let simple_k2 = mean_rounds(
+        n,
+        QualitySpec::all_good(2),
+        ConvergenceRule::commitment(),
+        10,
+        5_000,
+        |seed| colony::simple(n, seed),
+    );
+    let simple_k16 = mean_rounds(
+        n,
+        QualitySpec::all_good(16),
+        ConvergenceRule::commitment(),
+        10,
+        6_000,
+        |seed| colony::simple(n, seed),
+    );
+    let optimal_k2 = mean_rounds(
+        n,
+        QualitySpec::all_good(2),
+        ConvergenceRule::all_final(),
+        10,
+        7_000,
+        |_| colony::optimal(n),
+    );
+    let optimal_k16 = mean_rounds(
+        n,
+        QualitySpec::all_good(16),
+        ConvergenceRule::all_final(),
+        10,
+        8_000,
+        |_| colony::optimal(n),
+    );
+    let simple_growth = simple_k16 / simple_k2;
+    let optimal_growth = optimal_k16 / optimal_k2;
+    assert!(
+        simple_growth > optimal_growth,
+        "simple x{simple_growth:.2} should outgrow optimal x{optimal_growth:.2} in k"
+    );
+}
+
+#[test]
+fn spreading_tracks_the_lower_bound_scale() {
+    // Rounds to inform everyone at n vs 8n: must grow by roughly the
+    // log-difference (≈ +3 doublings' worth), not by 8x.
+    let small = mean_rounds(
+        64,
+        QualitySpec::single_good(2, 1),
+        ConvergenceRule::commitment(),
+        10,
+        9_000,
+        |seed| colony::spreaders(64, seed, SpreadStrategy::WaitAtHome),
+    );
+    let large = mean_rounds(
+        512,
+        QualitySpec::single_good(2, 1),
+        ConvergenceRule::commitment(),
+        10,
+        10_000,
+        |seed| colony::spreaders(512, seed, SpreadStrategy::WaitAtHome),
+    );
+    assert!(large > small, "more ants take longer to inform");
+    assert!(large < small * 4.0, "informing grows logarithmically");
+}
+
+#[test]
+fn adaptive_is_flatter_than_simple_in_k() {
+    let n = 256;
+    let simple_k2 = mean_rounds(
+        n,
+        QualitySpec::all_good(2),
+        ConvergenceRule::commitment(),
+        8,
+        11_000,
+        |seed| colony::simple(n, seed),
+    );
+    let simple_k16 = mean_rounds(
+        n,
+        QualitySpec::all_good(16),
+        ConvergenceRule::commitment(),
+        8,
+        12_000,
+        |seed| colony::simple(n, seed),
+    );
+    let adaptive_k2 = mean_rounds(
+        n,
+        QualitySpec::all_good(2),
+        ConvergenceRule::commitment(),
+        8,
+        13_000,
+        |seed| colony::adaptive(n, seed),
+    );
+    let adaptive_k16 = mean_rounds(
+        n,
+        QualitySpec::all_good(16),
+        ConvergenceRule::commitment(),
+        8,
+        14_000,
+        |seed| colony::adaptive(n, seed),
+    );
+    assert!(
+        adaptive_k16 / adaptive_k2 < simple_k16 / simple_k2,
+        "adaptive growth {:.2} should be below simple growth {:.2}",
+        adaptive_k16 / adaptive_k2,
+        simple_k16 / simple_k2
+    );
+}
