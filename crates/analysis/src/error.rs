@@ -29,7 +29,10 @@ impl fmt::Display for AnalysisError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             AnalysisError::LengthMismatch { xs, ys } => {
-                write!(f, "paired data lengths differ: {xs} x values vs {ys} y values")
+                write!(
+                    f,
+                    "paired data lengths differ: {xs} x values vs {ys} y values"
+                )
             }
             AnalysisError::TooFewPoints { got, required } => {
                 write!(f, "need at least {required} points, got {got}")
@@ -51,7 +54,10 @@ mod tests {
     fn messages_are_lowercase() {
         for err in [
             AnalysisError::LengthMismatch { xs: 1, ys: 2 },
-            AnalysisError::TooFewPoints { got: 1, required: 2 },
+            AnalysisError::TooFewPoints {
+                got: 1,
+                required: 2,
+            },
             AnalysisError::DegenerateX,
         ] {
             let msg = err.to_string();

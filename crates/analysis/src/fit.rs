@@ -54,10 +54,16 @@ impl LinearFit {
 /// ```
 pub fn fit_linear(xs: &[f64], ys: &[f64]) -> Result<LinearFit, AnalysisError> {
     if xs.len() != ys.len() {
-        return Err(AnalysisError::LengthMismatch { xs: xs.len(), ys: ys.len() });
+        return Err(AnalysisError::LengthMismatch {
+            xs: xs.len(),
+            ys: ys.len(),
+        });
     }
     if xs.len() < 2 {
-        return Err(AnalysisError::TooFewPoints { got: xs.len(), required: 2 });
+        return Err(AnalysisError::TooFewPoints {
+            got: xs.len(),
+            required: 2,
+        });
     }
     let n = xs.len() as f64;
     let mean_x = xs.iter().sum::<f64>() / n;
@@ -91,7 +97,11 @@ pub fn fit_linear(xs: &[f64], ys: &[f64]) -> Result<LinearFit, AnalysisError> {
             .sum();
         (1.0 - ss_res / syy).clamp(0.0, 1.0)
     };
-    Ok(LinearFit { slope, intercept, r_squared })
+    Ok(LinearFit {
+        slope,
+        intercept,
+        r_squared,
+    })
 }
 
 /// Fits `y = a·log₂(n) + b` over a sweep of sizes `ns`.
@@ -139,7 +149,10 @@ impl GrowthAssessment {
 /// Returns [`AnalysisError::TooFewPoints`] with fewer than two points.
 pub fn growth_assessment(ys: &[f64]) -> Result<GrowthAssessment, AnalysisError> {
     if ys.len() < 2 {
-        return Err(AnalysisError::TooFewPoints { got: ys.len(), required: 2 });
+        return Err(AnalysisError::TooFewPoints {
+            got: ys.len(),
+            required: 2,
+        });
     }
     let differences: Vec<f64> = ys.windows(2).map(|w| w[1] - w[0]).collect();
     let ratios: Vec<f64> = ys
@@ -153,7 +166,12 @@ pub fn growth_assessment(ys: &[f64]) -> Result<GrowthAssessment, AnalysisError> 
     } else {
         ratios.iter().sum::<f64>() / ratios.len() as f64
     };
-    Ok(GrowthAssessment { differences, ratios, mean_difference, mean_ratio })
+    Ok(GrowthAssessment {
+        differences,
+        ratios,
+        mean_difference,
+        mean_ratio,
+    })
 }
 
 #[cfg(test)]
@@ -186,7 +204,10 @@ mod tests {
         );
         assert_eq!(
             fit_linear(&[1.0], &[1.0]),
-            Err(AnalysisError::TooFewPoints { got: 1, required: 2 })
+            Err(AnalysisError::TooFewPoints {
+                got: 1,
+                required: 2
+            })
         );
         assert_eq!(
             fit_linear(&[2.0, 2.0, 2.0], &[1.0, 2.0, 3.0]),
@@ -231,7 +252,10 @@ mod tests {
     fn growth_assessment_needs_two_points() {
         assert_eq!(
             growth_assessment(&[1.0]),
-            Err(AnalysisError::TooFewPoints { got: 1, required: 2 })
+            Err(AnalysisError::TooFewPoints {
+                got: 1,
+                required: 2
+            })
         );
     }
 

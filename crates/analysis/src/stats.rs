@@ -145,8 +145,7 @@ impl Summary {
         let total = self.count + other.count;
         let delta = other.mean - self.mean;
         let total_f = total as f64;
-        self.m2 += other.m2
-            + delta * delta * (self.count as f64) * (other.count as f64) / total_f;
+        self.m2 += other.m2 + delta * delta * (self.count as f64) * (other.count as f64) / total_f;
         self.mean += delta * (other.count as f64) / total_f;
         self.count = total;
         self.min = self.min.min(other.min);
@@ -198,7 +197,10 @@ impl Quantiles {
     /// Returns [`AnalysisError::TooFewPoints`] for an empty sample.
     pub fn new(mut sample: Vec<f64>) -> Result<Self, AnalysisError> {
         if sample.is_empty() {
-            return Err(AnalysisError::TooFewPoints { got: 0, required: 1 });
+            return Err(AnalysisError::TooFewPoints {
+                got: 0,
+                required: 1,
+            });
         }
         sample.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in quantile data"));
         Ok(Self { sorted: sample })
@@ -276,7 +278,9 @@ mod tests {
 
     #[test]
     fn known_moments() {
-        let s: Summary = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0].into_iter().collect();
+        let s: Summary = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+            .into_iter()
+            .collect();
         assert!((s.mean() - 5.0).abs() < 1e-12);
         assert!((s.population_variance() - 4.0).abs() < 1e-12);
         assert!((s.sample_variance() - 32.0 / 7.0).abs() < 1e-12);
@@ -320,7 +324,10 @@ mod tests {
     fn quantiles_reject_empty() {
         assert_eq!(
             Quantiles::new(vec![]),
-            Err(AnalysisError::TooFewPoints { got: 0, required: 1 })
+            Err(AnalysisError::TooFewPoints {
+                got: 0,
+                required: 1
+            })
         );
     }
 

@@ -18,7 +18,10 @@ fn bench_head_to_head(c: &mut Criterion) {
                 .seed(seed)
                 .build_simulation(colony::optimal(n))
                 .expect("valid");
-            black_box(sim.run_to_convergence(ConvergenceRule::all_final(), 60_000).expect("runs"))
+            black_box(
+                sim.run_to_convergence(ConvergenceRule::all_final(), 60_000)
+                    .expect("runs"),
+            )
         });
     });
     group.bench_function(BenchmarkId::new("simple", n), |b| {
@@ -29,7 +32,10 @@ fn bench_head_to_head(c: &mut Criterion) {
                 .seed(seed)
                 .build_simulation(colony::simple(n, seed))
                 .expect("valid");
-            black_box(sim.run_to_convergence(ConvergenceRule::commitment(), 120_000).expect("runs"))
+            black_box(
+                sim.run_to_convergence(ConvergenceRule::commitment(), 120_000)
+                    .expect("runs"),
+            )
         });
     });
     group.finish();

@@ -22,7 +22,9 @@ fn main() {
             "--quick" => mode = Mode::Quick,
             "--full" => mode = Mode::Full,
             "--help" | "-h" => {
-                println!("usage: experiments [--quick] [IDS...]   (e.g. experiments --quick F3 F5)");
+                println!(
+                    "usage: experiments [--quick] [IDS...]   (e.g. experiments --quick F3 F5)"
+                );
                 return;
             }
             id => selected.push(id.to_ascii_uppercase()),

@@ -8,7 +8,7 @@
 //! discussion into a measurement:
 //!
 //! * **chosen** — `p = max(c/n, min(1, θ·(c/n)·k̃(r)))` with `k̃` decaying
-//!   `√n → 2` (the shipped [`AdaptivePolicy`]);
+//!   `√n → 2` (the shipped [`AdaptivePolicy`](hh_core::AdaptivePolicy));
 //! * **concave** — smooth saturation `p = θ·c/(c + n/k̃(r))` with a
 //!   *growing* estimate: concavity in `c` boosts the smaller nest's
 //!   relative rate, weakening the rich-get-richer drift;
@@ -18,7 +18,7 @@
 //!   unbiased random walk.
 
 use hh_analysis::{fmt_f64, Table};
-use hh_core::{colony, AdaptivePolicy, RecruitPolicy, UrnAnt, UrnOptions};
+use hh_core::{colony, RecruitPolicy, UrnAnt, UrnOptions};
 use hh_sim::ConvergenceRule;
 
 use super::common::{measure_cell, plain_scenario};
@@ -106,7 +106,8 @@ pub fn run(mode: Mode) -> ExperimentReport {
         "1.00x".to_string(),
     ]);
 
-    let variants: Vec<(&str, Box<dyn Fn(u64) -> Vec<hh_core::BoxedAgent> + Sync>)> = vec![
+    type ColonyFactory = Box<dyn Fn(u64) -> Vec<hh_core::BoxedAgent> + Sync>;
+    let variants: Vec<(&str, ColonyFactory)> = vec![
         (
             "chosen (decaying k̃ + floor)",
             Box::new(move |seed| colony::adaptive(n, seed)),
@@ -203,6 +204,7 @@ pub fn run(mode: Mode) -> ExperimentReport {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use hh_core::AdaptivePolicy;
 
     #[test]
     fn rejected_policies_are_well_formed() {

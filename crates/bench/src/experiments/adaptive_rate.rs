@@ -56,7 +56,10 @@ pub fn run(mode: Mode) -> ExperimentReport {
             k.to_string(),
             fmt_f64(simple.mean_rounds(), 1),
             fmt_f64(adaptive.mean_rounds(), 1),
-            format!("{}x", fmt_f64(simple.mean_rounds() / adaptive.mean_rounds(), 2)),
+            format!(
+                "{}x",
+                fmt_f64(simple.mean_rounds() / adaptive.mean_rounds(), 2)
+            ),
         ]);
     }
 

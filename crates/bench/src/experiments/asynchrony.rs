@@ -31,12 +31,7 @@ pub fn run(mode: Mode) -> ExperimentReport {
     let delay_probs = [0.0, 0.05, 0.10, 0.20, 0.30];
     let rule = ConvergenceRule::stable_commitment(8);
 
-    let mut table = Table::new([
-        "delay probability",
-        "optimal",
-        "simple",
-        "simple slowdown",
-    ]);
+    let mut table = Table::new(["delay probability", "optimal", "simple", "simple slowdown"]);
     let mut simple_survives = true;
     let mut optimal_fragile = false;
     let mut baseline_rounds = 0.0;
@@ -51,9 +46,15 @@ pub fn run(mode: Mode) -> ExperimentReport {
         let optimal = measure_cell(trials, 40_000, rule, 17, di as u64 * 2, scenario, |_| {
             colony::optimal(N)
         });
-        let simple = measure_cell(trials, 40_000, rule, 17, di as u64 * 2 + 1, scenario, |seed| {
-            colony::simple(N, seed)
-        });
+        let simple = measure_cell(
+            trials,
+            40_000,
+            rule,
+            17,
+            di as u64 * 2 + 1,
+            scenario,
+            |seed| colony::simple(N, seed),
+        );
         if prob == 0.0 {
             baseline_rounds = simple.median_rounds();
         }
@@ -88,7 +89,7 @@ pub fn run(mode: Mode) -> ExperimentReport {
         Finding::new(
             "asynchrony costs the simple algorithm only extra running time",
             format!("slowdown at 20% delays: {:.2}x", slowdown_at_20),
-            slowdown_at_20 >= 1.0 && slowdown_at_20 <= 4.0,
+            (1.0..=4.0).contains(&slowdown_at_20),
         ),
         Finding::new(
             "the optimal algorithm relies on lockstep synchrony and degrades",

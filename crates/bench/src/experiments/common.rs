@@ -91,12 +91,7 @@ pub fn plain_scenario(n: usize, k: usize, good: usize) -> impl Fn(u64) -> Scenar
 ///
 /// Panics on invalid configurations (experiment-definition bugs).
 #[must_use]
-pub fn build_sim(
-    n: usize,
-    spec: QualitySpec,
-    seed: u64,
-    agents: Vec<BoxedAgent>,
-) -> Simulation {
+pub fn build_sim(n: usize, spec: QualitySpec, seed: u64, agents: Vec<BoxedAgent>) -> Simulation {
     ScenarioSpec::new(n, spec)
         .seed(seed)
         .build_simulation(agents)

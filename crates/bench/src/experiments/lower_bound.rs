@@ -33,7 +33,9 @@ pub fn run(mode: Mode) -> ExperimentReport {
     let strategies = [
         SpreadStrategy::WaitAtHome,
         SpreadStrategy::SearchForever,
-        SpreadStrategy::Hybrid { search_probability: 0.3 },
+        SpreadStrategy::Hybrid {
+            search_probability: 0.3,
+        },
     ];
 
     let mut table = Table::new([
@@ -73,7 +75,12 @@ pub fn run(mode: Mode) -> ExperimentReport {
     let mut findings = Vec::new();
     findings.push(Finding::new(
         "no strategy beats the Theorem 3.2 floor (log2 n)/4",
-        if all_above_bound { "all means above the bound line" } else { "a mean dipped below the bound" }.to_string(),
+        if all_above_bound {
+            "all means above the bound line"
+        } else {
+            "a mean dipped below the bound"
+        }
+        .to_string(),
         all_above_bound,
     ));
 
@@ -103,7 +110,12 @@ pub fn run(mode: Mode) -> ExperimentReport {
         "single good nest among k = 2; {trials} trials per cell;\n\
          rounds until every ant is informed of the winner\n\n{table}"
     );
-    ExperimentReport { id: "F1", title: "Theorem 3.2 — Ω(log n) lower bound", body, findings }
+    ExperimentReport {
+        id: "F1",
+        title: "Theorem 3.2 — Ω(log n) lower bound",
+        body,
+        findings,
+    }
 }
 
 #[cfg(test)]

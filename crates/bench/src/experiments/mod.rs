@@ -59,7 +59,11 @@ impl Finding {
     /// Builds a finding.
     #[must_use]
     pub fn new(claim: impl Into<String>, measured: impl Into<String>, pass: bool) -> Self {
-        Self { claim: claim.into(), measured: measured.into(), pass }
+        Self {
+            claim: claim.into(),
+            measured: measured.into(),
+            pass,
+        }
     }
 }
 
@@ -99,24 +103,100 @@ pub struct Experiment {
 #[must_use]
 pub fn all_experiments() -> Vec<Experiment> {
     vec![
-        Experiment { id: "F1", title: "Theorem 3.2 — Ω(log n) lower bound", run: lower_bound::run },
-        Experiment { id: "F2", title: "Lemma 2.1 — recruiter success ≥ 1/16", run: recruitment::run },
-        Experiment { id: "F3", title: "Theorem 4.3 — optimal algorithm is O(log n) in n", run: optimal::run_f3 },
-        Experiment { id: "F4", title: "Theorem 4.3 — optimal algorithm nearly flat in k", run: optimal::run_f4 },
-        Experiment { id: "F8", title: "Lemma 4.2 — competing nests drop out at ≥ 1/66 per cycle", run: optimal::run_f8 },
-        Experiment { id: "F5", title: "Theorem 5.11 — simple algorithm is O(log n) at fixed k", run: simple::run_f5 },
-        Experiment { id: "F6", title: "Theorem 5.11 — simple algorithm linear in k", run: simple::run_f6 },
-        Experiment { id: "F9", title: "Lemma 5.4 — initial gap E[ε] ≥ 1/(3(n−1))", run: simple::run_f9 },
-        Experiment { id: "F16", title: "Lemmas 5.8/5.9 — sub-threshold nests die out", run: simple::run_f16 },
-        Experiment { id: "F7", title: "Optimal vs simple — who wins, and by how much", run: head_to_head::run },
-        Experiment { id: "F10", title: "Section 6 — robustness to unbiased count noise", run: robustness::run_f10 },
-        Experiment { id: "F11", title: "Section 6 — robustness to crash faults", run: robustness::run_f11 },
-        Experiment { id: "F12", title: "Section 6 — robustness to Byzantine recruiters", run: robustness::run_f12 },
-        Experiment { id: "F17", title: "Section 6 — partial asynchrony (per-round delays)", run: asynchrony::run },
-        Experiment { id: "F13", title: "Section 6 — adaptive recruitment rate vs k", run: adaptive_rate::run },
-        Experiment { id: "F14", title: "Section 6 — non-binary quality: speed/accuracy", run: quality::run },
-        Experiment { id: "F15", title: "Rumor-spreading substrate (Karp et al.)", run: rumor::run },
-        Experiment { id: "F18", title: "Ablation — adaptive-rate design choices", run: ablation::run },
-        Experiment { id: "T2", title: "Engineering throughput (ant·rounds/sec)", run: throughput::run },
+        Experiment {
+            id: "F1",
+            title: "Theorem 3.2 — Ω(log n) lower bound",
+            run: lower_bound::run,
+        },
+        Experiment {
+            id: "F2",
+            title: "Lemma 2.1 — recruiter success ≥ 1/16",
+            run: recruitment::run,
+        },
+        Experiment {
+            id: "F3",
+            title: "Theorem 4.3 — optimal algorithm is O(log n) in n",
+            run: optimal::run_f3,
+        },
+        Experiment {
+            id: "F4",
+            title: "Theorem 4.3 — optimal algorithm nearly flat in k",
+            run: optimal::run_f4,
+        },
+        Experiment {
+            id: "F8",
+            title: "Lemma 4.2 — competing nests drop out at ≥ 1/66 per cycle",
+            run: optimal::run_f8,
+        },
+        Experiment {
+            id: "F5",
+            title: "Theorem 5.11 — simple algorithm is O(log n) at fixed k",
+            run: simple::run_f5,
+        },
+        Experiment {
+            id: "F6",
+            title: "Theorem 5.11 — simple algorithm linear in k",
+            run: simple::run_f6,
+        },
+        Experiment {
+            id: "F9",
+            title: "Lemma 5.4 — initial gap E[ε] ≥ 1/(3(n−1))",
+            run: simple::run_f9,
+        },
+        Experiment {
+            id: "F16",
+            title: "Lemmas 5.8/5.9 — sub-threshold nests die out",
+            run: simple::run_f16,
+        },
+        Experiment {
+            id: "F7",
+            title: "Optimal vs simple — who wins, and by how much",
+            run: head_to_head::run,
+        },
+        Experiment {
+            id: "F10",
+            title: "Section 6 — robustness to unbiased count noise",
+            run: robustness::run_f10,
+        },
+        Experiment {
+            id: "F11",
+            title: "Section 6 — robustness to crash faults",
+            run: robustness::run_f11,
+        },
+        Experiment {
+            id: "F12",
+            title: "Section 6 — robustness to Byzantine recruiters",
+            run: robustness::run_f12,
+        },
+        Experiment {
+            id: "F17",
+            title: "Section 6 — partial asynchrony (per-round delays)",
+            run: asynchrony::run,
+        },
+        Experiment {
+            id: "F13",
+            title: "Section 6 — adaptive recruitment rate vs k",
+            run: adaptive_rate::run,
+        },
+        Experiment {
+            id: "F14",
+            title: "Section 6 — non-binary quality: speed/accuracy",
+            run: quality::run,
+        },
+        Experiment {
+            id: "F15",
+            title: "Rumor-spreading substrate (Karp et al.)",
+            run: rumor::run,
+        },
+        Experiment {
+            id: "F18",
+            title: "Ablation — adaptive-rate design choices",
+            run: ablation::run,
+        },
+        Experiment {
+            id: "T2",
+            title: "Engineering throughput (ant·rounds/sec)",
+            run: throughput::run,
+        },
     ]
 }

@@ -74,7 +74,11 @@ pub fn measure_quality_cell(
             }
         }
     }
-    NestWins { solved, best_wins: wins, rounds }
+    NestWins {
+        solved,
+        best_wins: wins,
+        rounds,
+    }
 }
 
 /// Runs experiment F14.
@@ -97,14 +101,8 @@ pub fn run(mode: Mode) -> ExperimentReport {
         let mut acc_row = Vec::new();
         let mut spd_row = Vec::new();
         for (pi, &gap) in gaps.iter().enumerate() {
-            let cell = measure_quality_cell(
-                n,
-                0.9,
-                gap,
-                gamma,
-                trials,
-                (gi * gaps.len() + pi) as u64,
-            );
+            let cell =
+                measure_quality_cell(n, 0.9, gap, gamma, trials, (gi * gaps.len() + pi) as u64);
             let p_best = cell.best_win_rate();
             acc_row.push(p_best);
             spd_row.push(cell.rounds.mean());
@@ -142,7 +140,10 @@ pub fn run(mode: Mode) -> ExperimentReport {
         ),
         Finding::new(
             "γ = 0 ignores quality (≈ coin-flip winner at any gap)",
-            format!("P[best] = {:.0}% at γ=0, gap 0.6", accuracy[0][last_gap] * 100.0),
+            format!(
+                "P[best] = {:.0}% at γ=0, gap 0.6",
+                accuracy[0][last_gap] * 100.0
+            ),
             (0.2..=0.8).contains(&accuracy[0][last_gap]),
         ),
     ];

@@ -46,9 +46,15 @@ pub fn run_f10(mode: Mode) -> ExperimentReport {
         let optimal = measure_cell(trials, 30_000, rule(), 10, si as u64 * 2, scenario, |_| {
             colony::optimal(N)
         });
-        let simple = measure_cell(trials, 30_000, rule(), 10, si as u64 * 2 + 1, scenario, |seed| {
-            colony::simple(N, seed)
-        });
+        let simple = measure_cell(
+            trials,
+            30_000,
+            rule(),
+            10,
+            si as u64 * 2 + 1,
+            scenario,
+            |seed| colony::simple(N, seed),
+        );
         if sigma == 0.0 {
             baseline_rounds = simple.mean_rounds();
         }
@@ -114,9 +120,15 @@ pub fn run_f11(mode: Mode) -> ExperimentReport {
         let optimal = measure_cell(trials, 30_000, rule(), 11, fi as u64 * 2, scenario, |_| {
             colony::optimal(N)
         });
-        let simple = measure_cell(trials, 30_000, rule(), 11, fi as u64 * 2 + 1, scenario, |seed| {
-            colony::simple(N, seed)
-        });
+        let simple = measure_cell(
+            trials,
+            30_000,
+            rule(),
+            11,
+            fi as u64 * 2 + 1,
+            scenario,
+            |seed| colony::simple(N, seed),
+        );
         if fraction <= 0.2 && simple.success < 0.85 {
             simple_survives = false;
         }
@@ -188,14 +200,16 @@ pub fn run_f12(mode: Mode) -> ExperimentReport {
             quorum,
             12,
             bi as u64 * 3 + 1,
-            move |_| {
-                ScenarioSpec::new(N, QualitySpec::good_prefix(K, GOOD)).reveal_quality_on_go()
-            },
+            move |_| ScenarioSpec::new(N, QualitySpec::good_prefix(K, GOOD)).reveal_quality_on_go(),
             move |seed| {
-                let mut agents = colony::simple_with_options(N, seed, UrnOptions {
-                    reassess_on_arrival: true,
-                    ..UrnOptions::default()
-                });
+                let mut agents = colony::simple_with_options(
+                    N,
+                    seed,
+                    UrnOptions {
+                        reassess_on_arrival: true,
+                        ..UrnOptions::default()
+                    },
+                );
                 colony::plant_adversaries(&mut agents, byz, |_| Box::new(BadNestRecruiter::new()));
                 agents
             },
@@ -235,16 +249,12 @@ pub fn run_f12(mode: Mode) -> ExperimentReport {
     let findings = vec![
         Finding::new(
             "arrival re-assessment strictly improves on the paper-faithful rule",
-            format!(
-                "hardened ≥ paper-faithful at every adversary count: {hardened_dominates}"
-            ),
+            format!("hardened ≥ paper-faithful at every adversary count: {hardened_dominates}"),
             hardened_dominates,
         ),
         Finding::new(
             "re-assessment rescues regimes where the paper-faithful rule collapses",
-            format!(
-                "hardened ≥ 60% wherever paper-faithful ≤ 50%: {hardened_rescues}"
-            ),
+            format!("hardened ≥ 60% wherever paper-faithful ≤ 50%: {hardened_rescues}"),
             hardened_rescues,
         ),
         Finding::new(

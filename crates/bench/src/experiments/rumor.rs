@@ -63,7 +63,10 @@ pub fn run(mode: Mode) -> ExperimentReport {
         ),
         Finding::new(
             "PUSH rounds grow logarithmically",
-            format!("fit {:.2}·log2(n) + {:.2}, R² = {:.3}", fit.slope, fit.intercept, fit.r_squared),
+            format!(
+                "fit {:.2}·log2(n) + {:.2}, R² = {:.3}",
+                fit.slope, fit.intercept, fit.r_squared
+            ),
             fit.slope > 0.0 && fit.r_squared >= 0.9,
         ),
         Finding::new(

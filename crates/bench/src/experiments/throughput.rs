@@ -65,13 +65,14 @@ pub fn run(mode: Mode) -> ExperimentReport {
 
     let findings = vec![Finding::new(
         "the executor sustains at least one million agent steps per second",
-        format!("slowest configuration: {:.0} ant·rounds/sec", slowest_ant_rate),
+        format!(
+            "slowest configuration: {:.0} ant·rounds/sec",
+            slowest_ant_rate
+        ),
         slowest_ant_rate >= 1e6,
     )];
 
-    let body = format!(
-        "simple colony, all nests good, {rounds} timed rounds per row\n\n{table}"
-    );
+    let body = format!("simple colony, all nests good, {rounds} timed rounds per row\n\n{table}");
     ExperimentReport {
         id: "T2",
         title: "Engineering throughput (ant·rounds/sec)",

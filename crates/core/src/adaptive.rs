@@ -66,7 +66,10 @@ impl AdaptivePolicy {
     /// The defaults used in the paper reproduction (τ = 1, θ = 0.4).
     #[must_use]
     pub fn standard() -> Self {
-        Self { tau: 1.0, theta: 0.4 }
+        Self {
+            tau: 1.0,
+            theta: 0.4,
+        }
     }
 
     /// The round-indexed estimate `k̃(r)` of surviving nests: decays from
@@ -141,7 +144,10 @@ mod tests {
 
     #[test]
     fn estimate_decays_on_schedule_and_floors() {
-        let policy = AdaptivePolicy { tau: 2.0, theta: 0.4 };
+        let policy = AdaptivePolicy {
+            tau: 2.0,
+            theta: 0.4,
+        };
         let n = 1024; // log2 = 10, period = 20 rounds, start √n = 32
         assert!((policy.k_estimate(0, n) - 32.0).abs() < 1e-9);
         assert!((policy.k_estimate(20, n) - 16.0).abs() < 1e-9);

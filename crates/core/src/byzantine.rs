@@ -307,15 +307,9 @@ mod tests {
             },
         );
         // Pre-trigger: passive simple behaviour (bad nest → wait).
-        assert_eq!(
-            ant.choose(2),
-            Action::recruit_passive(NestId::candidate(1))
-        );
+        assert_eq!(ant.choose(2), Action::recruit_passive(NestId::candidate(1)));
         // Post-trigger: attacks with the recorded bad nest.
-        assert_eq!(
-            ant.choose(6),
-            Action::recruit_active(NestId::candidate(1))
-        );
+        assert_eq!(ant.choose(6), Action::recruit_active(NestId::candidate(1)));
     }
 
     /// The paper-faithful simple colony still converges when a *small*

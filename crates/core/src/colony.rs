@@ -69,11 +69,7 @@ pub fn adaptive(n: usize, base_seed: u64) -> Vec<BoxedAgent> {
 
 /// An adaptive colony with an explicit schedule.
 #[must_use]
-pub fn adaptive_with_policy(
-    n: usize,
-    base_seed: u64,
-    policy: AdaptivePolicy,
-) -> Vec<BoxedAgent> {
+pub fn adaptive_with_policy(n: usize, base_seed: u64, policy: AdaptivePolicy) -> Vec<BoxedAgent> {
     from_factory(n, base_seed, |_, seed| {
         AdaptiveAnt::with_schedule(n, seed, policy, UrnOptions::paper())
     })
@@ -119,11 +115,9 @@ mod tests {
         assert!(simple(3, 0).iter().all(|a| a.label() == "simple"));
         assert!(adaptive(3, 0).iter().all(|a| a.label() == "adaptive"));
         assert!(quality(3, 0, 1.0).iter().all(|a| a.label() == "quality"));
-        assert!(
-            spreaders(3, 0, SpreadStrategy::WaitAtHome)
-                .iter()
-                .all(|a| a.label() == "spreader-wait")
-        );
+        assert!(spreaders(3, 0, SpreadStrategy::WaitAtHome)
+            .iter()
+            .all(|a| a.label() == "spreader-wait"));
     }
 
     #[test]

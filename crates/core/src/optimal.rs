@@ -186,7 +186,11 @@ impl OptimalAnt {
 
     fn observe_search(&mut self, outcome: &Outcome) {
         match *outcome {
-            Outcome::Search { nest, quality, count } => {
+            Outcome::Search {
+                nest,
+                quality,
+                count,
+            } => {
                 self.nest = Some(nest);
                 self.count = count;
                 self.state = if quality.is_good() {
@@ -241,9 +245,7 @@ impl OptimalAnt {
             (CyclePhase::R3, Outcome::Recruit { .. }) if self.case == Case::Two => {
                 // Padding recruit(0, ·) (line 35): result ignored.
             }
-            (CyclePhase::R4, Outcome::Recruit { home_count, .. })
-                if self.case == Case::One =>
-            {
+            (CyclePhase::R4, Outcome::Recruit { home_count, .. }) if self.case == Case::One => {
                 if *home_count == self.count {
                     // Everyone at home belongs to this nest: it won.
                     self.state = State::Final;
@@ -373,10 +375,7 @@ mod tests {
         assert_eq!(ant.role(), AgentRole::Active);
         assert_eq!(ant.remembered_count(), 5);
         // Cycle 1 begins with active recruitment.
-        assert_eq!(
-            ant.choose(2),
-            Action::recruit_active(NestId::candidate(2))
-        );
+        assert_eq!(ant.choose(2), Action::recruit_active(NestId::candidate(2)));
     }
 
     #[test]
@@ -394,10 +393,7 @@ mod tests {
         assert_eq!(ant.role(), AgentRole::Passive);
         // Passive cycle: R1 go, R2 recruit(0), R3 go, R4 go.
         assert_eq!(ant.choose(2), Action::Go(NestId::candidate(1)));
-        assert_eq!(
-            ant.choose(3),
-            Action::recruit_passive(NestId::candidate(1))
-        );
+        assert_eq!(ant.choose(3), Action::recruit_passive(NestId::candidate(1)));
         assert_eq!(ant.choose(4), Action::Go(NestId::candidate(1)));
         assert_eq!(ant.choose(5), Action::Go(NestId::candidate(1)));
     }
@@ -409,20 +405,48 @@ mod tests {
         ant.choose(1);
         ant.observe(
             1,
-            &Outcome::Search { nest, quality: hh_model::Quality::GOOD, count: 10 },
+            &Outcome::Search {
+                nest,
+                quality: hh_model::Quality::GOOD,
+                count: 10,
+            },
         );
         // R1: recruit, no steal.
         ant.choose(2);
-        ant.observe(2, &Outcome::Recruit { nest, home_count: 10 });
+        ant.observe(
+            2,
+            &Outcome::Recruit {
+                nest,
+                home_count: 10,
+            },
+        );
         // R2: count dropped from 10 to 4 → Case 2.
         assert_eq!(ant.choose(3), Action::Go(nest));
-        ant.observe(3, &Outcome::Go { count: 4, quality: None });
+        ant.observe(
+            3,
+            &Outcome::Go {
+                count: 4,
+                quality: None,
+            },
+        );
         // Still formally active through R3/R4 padding...
         assert_eq!(ant.role(), AgentRole::Active);
         assert_eq!(ant.choose(4), Action::recruit_passive(nest));
-        ant.observe(4, &Outcome::Recruit { nest, home_count: 1 });
+        ant.observe(
+            4,
+            &Outcome::Recruit {
+                nest,
+                home_count: 1,
+            },
+        );
         assert_eq!(ant.choose(5), Action::Go(nest));
-        ant.observe(5, &Outcome::Go { count: 4, quality: None });
+        ant.observe(
+            5,
+            &Outcome::Go {
+                count: 4,
+                quality: None,
+            },
+        );
         // ...then passive from the next cycle.
         assert_eq!(ant.role(), AgentRole::Passive);
         assert_eq!(ant.choose(6), Action::Go(nest));
@@ -435,17 +459,45 @@ mod tests {
         ant.choose(1);
         ant.observe(
             1,
-            &Outcome::Search { nest, quality: hh_model::Quality::GOOD, count: 4 },
+            &Outcome::Search {
+                nest,
+                quality: hh_model::Quality::GOOD,
+                count: 4,
+            },
         );
         ant.choose(2);
-        ant.observe(2, &Outcome::Recruit { nest, home_count: 4 });
+        ant.observe(
+            2,
+            &Outcome::Recruit {
+                nest,
+                home_count: 4,
+            },
+        );
         ant.choose(3);
-        ant.observe(3, &Outcome::Go { count: 4, quality: None });
+        ant.observe(
+            3,
+            &Outcome::Go {
+                count: 4,
+                quality: None,
+            },
+        );
         ant.choose(4);
-        ant.observe(4, &Outcome::Go { count: 4, quality: None });
+        ant.observe(
+            4,
+            &Outcome::Go {
+                count: 4,
+                quality: None,
+            },
+        );
         ant.choose(5);
         // R4: home population equals the nest population → final.
-        ant.observe(5, &Outcome::Recruit { nest, home_count: 4 });
+        ant.observe(
+            5,
+            &Outcome::Recruit {
+                nest,
+                home_count: 4,
+            },
+        );
         assert!(ant.is_final());
         assert_eq!(ant.role(), AgentRole::Final);
         // Final ants recruit actively every round.
@@ -462,12 +514,22 @@ mod tests {
         ant.choose(1);
         ant.observe(
             1,
-            &Outcome::Search { nest: bad, quality: hh_model::Quality::BAD, count: 2 },
+            &Outcome::Search {
+                nest: bad,
+                quality: hh_model::Quality::BAD,
+                count: 2,
+            },
         );
         // Passive cycle: picked up at R2 by a final ant advocating n2.
         ant.choose(2);
         ant.choose(3);
-        ant.observe(3, &Outcome::Recruit { nest: winner, home_count: 7 });
+        ant.observe(
+            3,
+            &Outcome::Recruit {
+                nest: winner,
+                home_count: 7,
+            },
+        );
         assert!(ant.is_final());
         assert_eq!(ant.committed_nest(), Some(winner));
         // Remaining padding rounds walk to the new nest, then recruit.
@@ -478,12 +540,17 @@ mod tests {
     fn solves_single_nest_quickly() {
         let (solved, _env) = drive_to_consensus(
             make_env(8, QualitySpec::all_good(1), 1),
-            (0..8).map(|_| Box::new(OptimalAnt::new()) as crate::BoxedAgent).collect(),
+            (0..8)
+                .map(|_| Box::new(OptimalAnt::new()) as crate::BoxedAgent)
+                .collect(),
             100,
         );
         let (round, winner) = solved.expect("single-nest instance must converge");
         assert_eq!(winner, NestId::candidate(1));
-        assert!(round <= 6, "one nest should finalize in the first cycle, got {round}");
+        assert!(
+            round <= 6,
+            "one nest should finalize in the first cycle, got {round}"
+        );
     }
 
     #[test]
@@ -494,9 +561,8 @@ mod tests {
                 .map(|_| Box::new(OptimalAnt::new()) as crate::BoxedAgent)
                 .collect();
             let (solved, env) = drive_to_consensus(env, agents, 400);
-            let (_round, winner) = solved.unwrap_or_else(|| {
-                panic!("seed {seed}: no consensus within 400 rounds")
-            });
+            let (_round, winner) =
+                solved.unwrap_or_else(|| panic!("seed {seed}: no consensus within 400 rounds"));
             assert!(
                 env.quality_of(winner).unwrap().is_good(),
                 "seed {seed}: converged to bad nest {winner}"
@@ -511,8 +577,9 @@ mod tests {
     fn actives_and_passives_never_meet_before_finals() {
         let config = ColonyConfig::new(48, QualitySpec::good_prefix(6, 3)).seed(5);
         let mut env = Environment::new(&config).unwrap();
-        let mut agents: Vec<crate::BoxedAgent> =
-            (0..48).map(|_| Box::new(OptimalAnt::new()) as crate::BoxedAgent).collect();
+        let mut agents: Vec<crate::BoxedAgent> = (0..48)
+            .map(|_| Box::new(OptimalAnt::new()) as crate::BoxedAgent)
+            .collect();
         for round in 1..=200u64 {
             step_once(&mut env, &mut agents);
             let any_final = agents.iter().any(|a| a.is_final());
@@ -540,8 +607,9 @@ mod tests {
     #[test]
     fn unperturbed_runs_never_derail() {
         let env = make_env(32, QualitySpec::good_prefix(4, 2), 9);
-        let agents: Vec<crate::BoxedAgent> =
-            (0..32).map(|_| Box::new(OptimalAnt::new()) as crate::BoxedAgent).collect();
+        let agents: Vec<crate::BoxedAgent> = (0..32)
+            .map(|_| Box::new(OptimalAnt::new()) as crate::BoxedAgent)
+            .collect();
         let (solved, _env) = drive_to_consensus(env, agents, 400);
         assert!(solved.is_some());
     }
@@ -557,7 +625,11 @@ mod tests {
             ant.choose(1);
             ant.observe(
                 1,
-                &Outcome::Search { nest, quality: hh_model::Quality::GOOD, count: 8 },
+                &Outcome::Search {
+                    nest,
+                    quality: hh_model::Quality::GOOD,
+                    count: 8,
+                },
             );
             for round in 2..100u64 {
                 let action = ant.choose(round);
@@ -572,8 +644,13 @@ mod tests {
                         quality: hh_model::Quality::GOOD,
                         count: 3,
                     },
-                    Action::Go(_) => Outcome::Go { count: 5, quality: None },
-                    Action::Recruit { nest: advocated, .. } => Outcome::Recruit {
+                    Action::Go(_) => Outcome::Go {
+                        count: 5,
+                        quality: None,
+                    },
+                    Action::Recruit {
+                        nest: advocated, ..
+                    } => Outcome::Recruit {
                         nest: advocated,
                         home_count: 6,
                     },
@@ -596,13 +673,29 @@ mod tests {
         ant.choose(1);
         ant.observe(
             1,
-            &Outcome::Search { nest, quality: hh_model::Quality::GOOD, count: 10 },
+            &Outcome::Search {
+                nest,
+                quality: hh_model::Quality::GOOD,
+                count: 10,
+            },
         );
         // Cycle 1: R1 recruit (kept), R2 shows a population drop → Case 2.
         ant.choose(2);
-        ant.observe(2, &Outcome::Recruit { nest, home_count: 10 });
+        ant.observe(
+            2,
+            &Outcome::Recruit {
+                nest,
+                home_count: 10,
+            },
+        );
         ant.choose(3);
-        ant.observe(3, &Outcome::Go { count: 4, quality: None });
+        ant.observe(
+            3,
+            &Outcome::Go {
+                count: 4,
+                quality: None,
+            },
+        );
         // R3 and R4 observations are lost (delays).
         ant.choose(4);
         ant.choose(5);
@@ -617,7 +710,13 @@ mod tests {
         let mut ant = OptimalAnt::new();
         ant.choose(1);
         // A Go outcome can never answer a search.
-        ant.observe(1, &Outcome::Go { count: 1, quality: None });
+        ant.observe(
+            1,
+            &Outcome::Go {
+                count: 1,
+                quality: None,
+            },
+        );
         assert!(ant.is_derailed());
         // The ant keeps producing *some* action.
         let _ = ant.choose(2);

@@ -53,10 +53,7 @@ pub fn honest_consensus<A: Agent>(agents: &[A]) -> Option<NestId> {
 
 /// Returns `true` if every honest agent reports the final/settled state.
 pub fn all_honest_final<A: Agent>(agents: &[A]) -> bool {
-    agents
-        .iter()
-        .filter(|a| a.is_honest())
-        .all(Agent::is_final)
+    agents.iter().filter(|a| a.is_honest()).all(Agent::is_final)
 }
 
 /// Counts honest agents committed to each candidate nest of a `k`-nest

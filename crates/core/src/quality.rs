@@ -141,7 +141,11 @@ impl Agent for QualityAnt {
 
     fn observe(&mut self, _round: u64, outcome: &Outcome) {
         match outcome {
-            Outcome::Search { nest, quality, count } => {
+            Outcome::Search {
+                nest,
+                quality,
+                count,
+            } => {
                 self.nest = Some(*nest);
                 self.count = *count;
                 self.quality = quality.value();
@@ -222,12 +226,7 @@ mod tests {
                 .map(|&q| Quality::new(q).unwrap())
                 .collect(),
         );
-        Environment::new(
-            &ColonyConfig::new(n, spec)
-                .seed(seed)
-                .reveal_quality_on_go(),
-        )
-        .unwrap()
+        Environment::new(&ColonyConfig::new(n, spec).seed(seed).reveal_quality_on_go()).unwrap()
     }
 
     #[test]
@@ -314,7 +313,10 @@ mod tests {
             }
             rates.push(f64::from(active) / f64::from(trials as u32));
         }
-        assert!(rates[0] > rates[1] && rates[1] > rates[2], "rates {rates:?}");
+        assert!(
+            rates[0] > rates[1] && rates[1] > rates[2],
+            "rates {rates:?}"
+        );
     }
 
     #[test]
@@ -324,14 +326,27 @@ mod tests {
         let second = NestId::candidate(2);
         ant.observe(
             1,
-            &Outcome::Search { nest: first, quality: Quality::new(0.4).unwrap(), count: 2 },
+            &Outcome::Search {
+                nest: first,
+                quality: Quality::new(0.4).unwrap(),
+                count: 2,
+            },
         );
-        ant.observe(2, &Outcome::Recruit { nest: second, home_count: 5 });
+        ant.observe(
+            2,
+            &Outcome::Recruit {
+                nest: second,
+                home_count: 5,
+            },
+        );
         assert_eq!(ant.committed_nest(), Some(second));
         // Quality estimate updates at the assessing go.
         ant.observe(
             3,
-            &Outcome::Go { count: 6, quality: Some(Quality::new(0.9).unwrap()) },
+            &Outcome::Go {
+                count: 6,
+                quality: Some(Quality::new(0.9).unwrap()),
+            },
         );
         assert!((ant.observed_quality() - 0.9).abs() < 1e-12);
         assert_eq!(ant.last_observed_count_for_tests(), 6);
@@ -344,12 +359,25 @@ mod tests {
         let worse = NestId::candidate(2);
         ant.observe(
             1,
-            &Outcome::Search { nest: good, quality: Quality::new(0.9).unwrap(), count: 3 },
+            &Outcome::Search {
+                nest: good,
+                quality: Quality::new(0.9).unwrap(),
+                count: 3,
+            },
         );
-        ant.observe(2, &Outcome::Recruit { nest: worse, home_count: 4 });
+        ant.observe(
+            2,
+            &Outcome::Recruit {
+                nest: worse,
+                home_count: 4,
+            },
+        );
         ant.observe(
             3,
-            &Outcome::Go { count: 5, quality: Some(Quality::new(0.3).unwrap()) },
+            &Outcome::Go {
+                count: 5,
+                quality: Some(Quality::new(0.3).unwrap()),
+            },
         );
         // 0.3 + 0.2 < 0.9: rejected, back to the original commitment.
         assert_eq!(ant.committed_nest(), Some(good));
@@ -363,12 +391,25 @@ mod tests {
         let b = NestId::candidate(2);
         ant.observe(
             1,
-            &Outcome::Search { nest: a, quality: Quality::new(0.8).unwrap(), count: 3 },
+            &Outcome::Search {
+                nest: a,
+                quality: Quality::new(0.8).unwrap(),
+                count: 3,
+            },
         );
-        ant.observe(2, &Outcome::Recruit { nest: b, home_count: 4 });
+        ant.observe(
+            2,
+            &Outcome::Recruit {
+                nest: b,
+                home_count: 4,
+            },
+        );
         ant.observe(
             3,
-            &Outcome::Go { count: 5, quality: Some(Quality::new(0.7).unwrap()) },
+            &Outcome::Go {
+                count: 5,
+                quality: Some(Quality::new(0.7).unwrap()),
+            },
         );
         assert_eq!(ant.committed_nest(), Some(b), "0.1 drop within tolerance");
     }

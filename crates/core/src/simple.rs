@@ -217,7 +217,11 @@ impl<P: RecruitPolicy> Agent for UrnAnt<P> {
 
     fn observe(&mut self, round: u64, outcome: &Outcome) {
         match outcome {
-            Outcome::Search { nest, quality, count } => {
+            Outcome::Search {
+                nest,
+                quality,
+                count,
+            } => {
                 self.nest = Some(*nest);
                 self.count = *count;
                 self.state = if quality.is_good() {
@@ -319,10 +323,7 @@ mod tests {
         );
         assert_eq!(bad.role(), AgentRole::Passive);
         // Passive ants always wait.
-        assert_eq!(
-            bad.choose(2),
-            Action::recruit_passive(NestId::candidate(2))
-        );
+        assert_eq!(bad.choose(2), Action::recruit_passive(NestId::candidate(2)));
         assert_eq!(bad.choose(3), Action::Go(NestId::candidate(2)));
     }
 
@@ -330,7 +331,14 @@ mod tests {
     fn alternates_recruitment_and_assessment() {
         let mut ant = SimpleAnt::new(10, 1);
         let nest = NestId::candidate(1);
-        ant.observe(1, &Outcome::Search { nest, quality: Quality::GOOD, count: 10 });
+        ant.observe(
+            1,
+            &Outcome::Search {
+                nest,
+                quality: Quality::GOOD,
+                count: 10,
+            },
+        );
         // count = n: recruit probability 1 — always active.
         match ant.choose(2) {
             Action::Recruit { active, nest: n2 } => {
@@ -346,8 +354,21 @@ mod tests {
     fn zero_count_never_recruits_actively() {
         let mut ant = SimpleAnt::new(10, 2);
         let nest = NestId::candidate(1);
-        ant.observe(1, &Outcome::Search { nest, quality: Quality::GOOD, count: 10 });
-        ant.observe(3, &Outcome::Go { count: 0, quality: None });
+        ant.observe(
+            1,
+            &Outcome::Search {
+                nest,
+                quality: Quality::GOOD,
+                count: 10,
+            },
+        );
+        ant.observe(
+            3,
+            &Outcome::Go {
+                count: 0,
+                quality: None,
+            },
+        );
         for trial in 0..50u64 {
             match ant.choose(4 + trial * 2) {
                 Action::Recruit { active, .. } => assert!(!active),
@@ -361,7 +382,14 @@ mod tests {
         // Statistical check of the count/n rule.
         let mut ant = SimpleAnt::new(100, 3);
         let nest = NestId::candidate(1);
-        ant.observe(1, &Outcome::Search { nest, quality: Quality::GOOD, count: 25 });
+        ant.observe(
+            1,
+            &Outcome::Search {
+                nest,
+                quality: Quality::GOOD,
+                count: 25,
+            },
+        );
         let trials = 8_000;
         let mut active = 0;
         for t in 0..trials {
@@ -381,9 +409,22 @@ mod tests {
         let mut ant = SimpleAnt::new(10, 4);
         let bad = NestId::candidate(1);
         let good = NestId::candidate(2);
-        ant.observe(1, &Outcome::Search { nest: bad, quality: Quality::BAD, count: 1 });
+        ant.observe(
+            1,
+            &Outcome::Search {
+                nest: bad,
+                quality: Quality::BAD,
+                count: 1,
+            },
+        );
         assert_eq!(ant.role(), AgentRole::Passive);
-        ant.observe(2, &Outcome::Recruit { nest: good, home_count: 5 });
+        ant.observe(
+            2,
+            &Outcome::Recruit {
+                nest: good,
+                home_count: 5,
+            },
+        );
         assert_eq!(ant.committed_nest(), Some(good));
         assert_eq!(ant.role(), AgentRole::Active);
         assert_eq!(ant.choose(3), Action::Go(good));
@@ -393,21 +434,51 @@ mod tests {
     fn unrecruited_passive_stays_passive() {
         let mut ant = SimpleAnt::new(10, 5);
         let bad = NestId::candidate(1);
-        ant.observe(1, &Outcome::Search { nest: bad, quality: Quality::BAD, count: 1 });
+        ant.observe(
+            1,
+            &Outcome::Search {
+                nest: bad,
+                quality: Quality::BAD,
+                count: 1,
+            },
+        );
         // recruit() returned its own input: not recruited.
-        ant.observe(2, &Outcome::Recruit { nest: bad, home_count: 5 });
+        ant.observe(
+            2,
+            &Outcome::Recruit {
+                nest: bad,
+                home_count: 5,
+            },
+        );
         assert_eq!(ant.role(), AgentRole::Passive);
     }
 
     #[test]
     fn settlement_parks_at_full_count() {
-        let mut ant = SimpleAnt::with_options(10, 6, UrnOptions {
-            settle_at_full_count: true,
-            ..UrnOptions::default()
-        });
+        let mut ant = SimpleAnt::with_options(
+            10,
+            6,
+            UrnOptions {
+                settle_at_full_count: true,
+                ..UrnOptions::default()
+            },
+        );
         let nest = NestId::candidate(1);
-        ant.observe(1, &Outcome::Search { nest, quality: Quality::GOOD, count: 10 });
-        ant.observe(3, &Outcome::Go { count: 10, quality: None });
+        ant.observe(
+            1,
+            &Outcome::Search {
+                nest,
+                quality: Quality::GOOD,
+                count: 10,
+            },
+        );
+        ant.observe(
+            3,
+            &Outcome::Go {
+                count: 10,
+                quality: None,
+            },
+        );
         assert!(ant.is_final());
         for round in 4..8 {
             assert_eq!(ant.choose(round), Action::Go(nest));
@@ -418,25 +489,65 @@ mod tests {
     fn paper_options_never_settle() {
         let mut ant = SimpleAnt::new(10, 7);
         let nest = NestId::candidate(1);
-        ant.observe(1, &Outcome::Search { nest, quality: Quality::GOOD, count: 10 });
-        ant.observe(3, &Outcome::Go { count: 10, quality: None });
+        ant.observe(
+            1,
+            &Outcome::Search {
+                nest,
+                quality: Quality::GOOD,
+                count: 10,
+            },
+        );
+        ant.observe(
+            3,
+            &Outcome::Go {
+                count: 10,
+                quality: None,
+            },
+        );
         assert!(!ant.is_final());
     }
 
     #[test]
     fn reassessment_rejects_bad_nest() {
-        let mut ant = SimpleAnt::with_options(10, 8, UrnOptions {
-            reassess_on_arrival: true,
-            ..UrnOptions::default()
-        });
+        let mut ant = SimpleAnt::with_options(
+            10,
+            8,
+            UrnOptions {
+                reassess_on_arrival: true,
+                ..UrnOptions::default()
+            },
+        );
         let good = NestId::candidate(1);
         let bad = NestId::candidate(2);
-        ant.observe(1, &Outcome::Search { nest: good, quality: Quality::GOOD, count: 3 });
+        ant.observe(
+            1,
+            &Outcome::Search {
+                nest: good,
+                quality: Quality::GOOD,
+                count: 3,
+            },
+        );
         // Byzantine recruiter drags the ant to a bad nest...
-        ant.observe(2, &Outcome::Recruit { nest: bad, home_count: 5 });
-        assert_eq!(ant.role(), AgentRole::Active, "trusts the tandem run initially");
+        ant.observe(
+            2,
+            &Outcome::Recruit {
+                nest: bad,
+                home_count: 5,
+            },
+        );
+        assert_eq!(
+            ant.role(),
+            AgentRole::Active,
+            "trusts the tandem run initially"
+        );
         // ...but the assessing go reveals the truth.
-        ant.observe(3, &Outcome::Go { count: 2, quality: Some(Quality::BAD) });
+        ant.observe(
+            3,
+            &Outcome::Go {
+                count: 2,
+                quality: Some(Quality::BAD),
+            },
+        );
         assert_eq!(ant.role(), AgentRole::Passive);
     }
 
@@ -445,9 +556,28 @@ mod tests {
         let mut ant = SimpleAnt::new(10, 9);
         let good = NestId::candidate(1);
         let bad = NestId::candidate(2);
-        ant.observe(1, &Outcome::Search { nest: good, quality: Quality::GOOD, count: 3 });
-        ant.observe(2, &Outcome::Recruit { nest: bad, home_count: 5 });
-        ant.observe(3, &Outcome::Go { count: 2, quality: Some(Quality::BAD) });
+        ant.observe(
+            1,
+            &Outcome::Search {
+                nest: good,
+                quality: Quality::GOOD,
+                count: 3,
+            },
+        );
+        ant.observe(
+            2,
+            &Outcome::Recruit {
+                nest: bad,
+                home_count: 5,
+            },
+        );
+        ant.observe(
+            3,
+            &Outcome::Go {
+                count: 2,
+                quality: Some(Quality::BAD),
+            },
+        );
         // Paper-faithful: quality is never re-checked.
         assert_eq!(ant.role(), AgentRole::Active);
     }
@@ -470,10 +600,14 @@ mod tests {
     fn colony_with_settlement_physically_relocates() {
         let mut env = make_env(32, QualitySpec::all_good(2), 11);
         let mut agents = boxed_colony(32, |i| {
-            SimpleAnt::with_options(32, i as u64, UrnOptions {
-                settle_at_full_count: true,
-                ..UrnOptions::default()
-            })
+            SimpleAnt::with_options(
+                32,
+                i as u64,
+                UrnOptions {
+                    settle_at_full_count: true,
+                    ..UrnOptions::default()
+                },
+            )
         });
         let mut settled_round = None;
         for round in 1..=4_000u64 {

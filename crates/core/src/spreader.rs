@@ -194,10 +194,7 @@ mod tests {
         );
         assert!(ant.is_informed());
         assert_eq!(ant.committed_nest(), Some(NestId::candidate(3)));
-        assert_eq!(
-            ant.choose(2),
-            Action::recruit_active(NestId::candidate(3))
-        );
+        assert_eq!(ant.choose(2), Action::recruit_active(NestId::candidate(3)));
     }
 
     #[test]
@@ -212,10 +209,7 @@ mod tests {
             },
         );
         assert!(!ant.is_informed());
-        assert_eq!(
-            ant.choose(2),
-            Action::recruit_passive(NestId::candidate(2))
-        );
+        assert_eq!(ant.choose(2), Action::recruit_passive(NestId::candidate(2)));
     }
 
     #[test]
@@ -231,7 +225,10 @@ mod tests {
         );
         ant.observe(
             2,
-            &Outcome::Recruit { nest: NestId::candidate(4), home_count: 9 },
+            &Outcome::Recruit {
+                nest: NestId::candidate(4),
+                home_count: 9,
+            },
         );
         assert!(ant.is_informed());
         assert_eq!(ant.committed_nest(), Some(NestId::candidate(4)));
@@ -251,7 +248,10 @@ mod tests {
         // recruit() returned its own input.
         ant.observe(
             2,
-            &Outcome::Recruit { nest: NestId::candidate(1), home_count: 9 },
+            &Outcome::Recruit {
+                nest: NestId::candidate(1),
+                home_count: 9,
+            },
         );
         assert!(!ant.is_informed());
     }
@@ -275,7 +275,9 @@ mod tests {
     #[test]
     fn hybrid_mixes_both() {
         let mut ant = SpreaderAnt::new(
-            SpreadStrategy::Hybrid { search_probability: 0.5 },
+            SpreadStrategy::Hybrid {
+                search_probability: 0.5,
+            },
             5,
         );
         ant.observe(
@@ -295,7 +297,10 @@ mod tests {
                 other => panic!("unexpected action {other}"),
             }
         }
-        assert!(searches > 50 && waits > 50, "searches {searches}, waits {waits}");
+        assert!(
+            searches > 50 && waits > 50,
+            "searches {searches}, waits {waits}"
+        );
     }
 
     #[test]
@@ -303,7 +308,9 @@ mod tests {
         for strategy in [
             SpreadStrategy::WaitAtHome,
             SpreadStrategy::SearchForever,
-            SpreadStrategy::Hybrid { search_probability: 0.3 },
+            SpreadStrategy::Hybrid {
+                search_probability: 0.3,
+            },
         ] {
             let mut env = make_env(64, QualitySpec::single_good(2, 1), 17);
             let mut agents = boxed_colony(64, |i| SpreaderAnt::new(strategy, i as u64));

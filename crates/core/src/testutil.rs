@@ -15,12 +15,8 @@ pub(crate) fn make_env(n: usize, spec: QualitySpec, seed: u64) -> Environment {
 
 /// Builds an environment with the "assessing go" extension enabled.
 pub(crate) fn make_env_revealing(n: usize, spec: QualitySpec, seed: u64) -> Environment {
-    Environment::new(
-        &ColonyConfig::new(n, spec)
-            .seed(seed)
-            .reveal_quality_on_go(),
-    )
-    .expect("valid test config")
+    Environment::new(&ColonyConfig::new(n, spec).seed(seed).reveal_quality_on_go())
+        .expect("valid test config")
 }
 
 /// Runs one synchronous round: every agent chooses, the environment steps,
@@ -78,7 +74,5 @@ where
     A: Agent + Send + 'static,
     F: FnMut(usize) -> A,
 {
-    (0..n)
-        .map(|i| Box::new(factory(i)) as BoxedAgent)
-        .collect()
+    (0..n).map(|i| Box::new(factory(i)) as BoxedAgent).collect()
 }

@@ -58,7 +58,10 @@ impl Action {
     /// Convenience constructor for `recruit(0, nest)`.
     #[must_use]
     pub const fn recruit_passive(nest: NestId) -> Self {
-        Action::Recruit { active: false, nest }
+        Action::Recruit {
+            active: false,
+            nest,
+        }
     }
 
     /// Returns the nest argument of the call, if the call takes one.
@@ -155,7 +158,11 @@ impl Outcome {
 impl fmt::Display for Outcome {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Outcome::Search { nest, quality, count } => {
+            Outcome::Search {
+                nest,
+                quality,
+                count,
+            } => {
                 write!(f, "⟨{nest}, q={quality}, c={count}⟩")
             }
             Outcome::Go { count, quality } => match quality {
@@ -210,7 +217,10 @@ mod tests {
         assert_eq!(search.count(), 10);
         assert_eq!(search.nest(), Some(NestId::candidate(1)));
 
-        let go = Outcome::Go { count: 3, quality: None };
+        let go = Outcome::Go {
+            count: 3,
+            quality: None,
+        };
         assert_eq!(go.count(), 3);
         assert_eq!(go.nest(), None);
 
@@ -230,7 +240,10 @@ mod tests {
                 quality: Quality::BAD,
                 count: 0,
             },
-            Outcome::Go { count: 1, quality: Some(Quality::GOOD) },
+            Outcome::Go {
+                count: 1,
+                quality: Some(Quality::GOOD),
+            },
             Outcome::Recruit {
                 nest: NestId::candidate(1),
                 home_count: 2,

@@ -326,11 +326,14 @@ impl Environment {
             .map(|(idx, action)| match *action {
                 Action::Search => {
                     let nest = self.locations[idx];
-                    let true_quality = self.nests[nest.candidate_index().expect("searched nest")]
-                        .quality();
+                    let true_quality =
+                        self.nests[nest.candidate_index().expect("searched nest")].quality();
                     Outcome::Search {
                         nest,
-                        quality: self.noise.quality.observe(true_quality, &mut self.noise_rng),
+                        quality: self
+                            .noise
+                            .quality
+                            .observe(true_quality, &mut self.noise_rng),
                         count: self
                             .noise
                             .count
@@ -345,7 +348,11 @@ impl Environment {
                     quality: if self.reveal_quality_on_go {
                         let true_quality =
                             self.nests[nest.candidate_index().expect("candidate nest")].quality();
-                        Some(self.noise.quality.observe(true_quality, &mut self.noise_rng))
+                        Some(
+                            self.noise
+                                .quality
+                                .observe(true_quality, &mut self.noise_rng),
+                        )
                     } else {
                         None
                     },
@@ -444,7 +451,13 @@ mod tests {
     fn wrong_action_count_is_rejected() {
         let mut env = env(5, 2, 0);
         let err = env.step(&[Action::Search; 3]).unwrap_err();
-        assert_eq!(err, ModelError::WrongActionCount { got: 3, expected: 5 });
+        assert_eq!(
+            err,
+            ModelError::WrongActionCount {
+                got: 3,
+                expected: 5
+            }
+        );
         assert_eq!(env.round(), 0, "failed step must not advance the round");
     }
 
@@ -455,14 +468,20 @@ mod tests {
         let err = env.step(&[Action::Go(n1), Action::Search]).unwrap_err();
         assert_eq!(
             err,
-            ModelError::NestNotKnown { ant: AntId::new(0), nest: n1 }
+            ModelError::NestNotKnown {
+                ant: AntId::new(0),
+                nest: n1
+            }
         );
         let err = env
             .step(&[Action::recruit_passive(n1), Action::Search])
             .unwrap_err();
         assert_eq!(
             err,
-            ModelError::NestNotKnown { ant: AntId::new(0), nest: n1 }
+            ModelError::NestNotKnown {
+                ant: AntId::new(0),
+                nest: n1
+            }
         );
     }
 
@@ -479,7 +498,10 @@ mod tests {
         let err = env.step(&[Action::Go(NestId::candidate(9))]).unwrap_err();
         assert_eq!(
             err,
-            ModelError::UnknownNest { ant: AntId::new(0), nest: NestId::candidate(9) }
+            ModelError::UnknownNest {
+                ant: AntId::new(0),
+                nest: NestId::candidate(9)
+            }
         );
     }
 
@@ -497,7 +519,11 @@ mod tests {
         for (idx, outcome) in report.outcomes.iter().enumerate() {
             let ant = AntId::new(idx);
             match outcome {
-                Outcome::Search { nest, quality, count } => {
+                Outcome::Search {
+                    nest,
+                    quality,
+                    count,
+                } => {
                     assert_eq!(env.location_of(ant), *nest);
                     assert!(env.knows(ant, *nest));
                     assert!(quality.is_good());
@@ -516,7 +542,13 @@ mod tests {
         // Going back home is impossible except via recruit; go to the same
         // nest keeps the ant there.
         let report = env.step(&[Action::Go(nest)]).unwrap();
-        assert_eq!(report.outcomes[0], Outcome::Go { count: 1, quality: None });
+        assert_eq!(
+            report.outcomes[0],
+            Outcome::Go {
+                count: 1,
+                quality: None
+            }
+        );
         assert_eq!(env.location_of(AntId::new(0)), nest);
     }
 
@@ -524,11 +556,7 @@ mod tests {
     fn recruit_returns_home() {
         let mut env = env(3, 2, 5);
         let report = env.step(&[Action::Search; 3]).unwrap();
-        let nests: Vec<NestId> = report
-            .outcomes
-            .iter()
-            .map(|o| o.nest().unwrap())
-            .collect();
+        let nests: Vec<NestId> = report.outcomes.iter().map(|o| o.nest().unwrap()).collect();
         let actions: Vec<Action> = nests
             .iter()
             .map(|&nest| Action::recruit_passive(nest))
@@ -683,10 +711,7 @@ mod tests {
         let report = env.step(&vec![Action::Search; 1000]).unwrap();
         // All ants are in the single nest (true count 1000); with ±50 %
         // uniform noise some observation should differ from the truth.
-        let distinct = report
-            .outcomes
-            .iter()
-            .any(|o| o.count() != 1000);
+        let distinct = report.outcomes.iter().any(|o| o.count() != 1000);
         assert!(distinct, "noise should perturb at least one observation");
         // But the true state is unaffected.
         assert_eq!(env.count(NestId::candidate(1)), 1000);

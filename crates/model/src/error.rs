@@ -66,7 +66,10 @@ impl fmt::Display for ModelError {
                 write!(f, "environment must contain at least one candidate nest")
             }
             ModelError::NoGoodNest => {
-                write!(f, "environment has no good nest (the paper assumes at least one)")
+                write!(
+                    f,
+                    "environment has no good nest (the paper assumes at least one)"
+                )
             }
             ModelError::WrongActionCount { got, expected } => {
                 write!(f, "got {got} actions for a colony of {expected} ants")
@@ -78,7 +81,10 @@ impl fmt::Display for ModelError {
                 write!(f, "{ant} has neither visited nor been recruited to {nest}")
             }
             ModelError::HomeNotAllowed { ant } => {
-                write!(f, "{ant} passed the home nest where a candidate nest is required")
+                write!(
+                    f,
+                    "{ant} passed the home nest where a candidate nest is required"
+                )
             }
         }
     }
@@ -97,7 +103,10 @@ mod tests {
             ModelError::EmptyColony,
             ModelError::NoCandidateNests,
             ModelError::NoGoodNest,
-            ModelError::WrongActionCount { got: 3, expected: 5 },
+            ModelError::WrongActionCount {
+                got: 3,
+                expected: 5,
+            },
             ModelError::UnknownNest {
                 ant: AntId::new(1),
                 nest: NestId::candidate(9),

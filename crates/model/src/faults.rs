@@ -312,12 +312,12 @@ mod tests {
         let loc = env.location_of(a0);
         // At a candidate nest: in-place means stay, at-home means walk back
         // and wait.
-        assert_eq!(
-            noop_action(&env, a0, CrashStyle::InPlace),
-            Action::Go(loc)
-        );
+        assert_eq!(noop_action(&env, a0, CrashStyle::InPlace), Action::Go(loc));
         match noop_action(&env, a0, CrashStyle::AtHome) {
-            Action::Recruit { active: false, nest } => assert!(!nest.is_home()),
+            Action::Recruit {
+                active: false,
+                nest,
+            } => assert!(!nest.is_home()),
             other => panic!("expected passive recruit, got {other:?}"),
         }
     }

@@ -73,7 +73,10 @@ impl NestId {
     /// candidate.
     #[must_use]
     pub const fn candidate(i: usize) -> Self {
-        assert!(i != 0, "candidate nest indices start at 1; 0 is the home nest");
+        assert!(
+            i != 0,
+            "candidate nest indices start at 1; 0 is the home nest"
+        );
         Self(i)
     }
 

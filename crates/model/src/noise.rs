@@ -204,8 +204,8 @@ impl QualityNoise {
                 if eps == 0.0 {
                     return true_quality;
                 }
-                let jittered = (true_quality.value() + rng.random_range(-eps..=eps))
-                    .clamp(0.0, 1.0);
+                let jittered =
+                    (true_quality.value() + rng.random_range(-eps..=eps)).clamp(0.0, 1.0);
                 Quality::new(jittered).expect("clamped quality in range")
             }
         }

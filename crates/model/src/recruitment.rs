@@ -277,9 +277,7 @@ mod tests {
     fn matching_is_a_partial_injection() {
         // No ant appears as recruited in two pairs, and no ant that
         // recruited also got recruited by someone else.
-        let calls: Vec<RecruitCall> = (0..200)
-            .map(|i| call(i, i % 2 == 0, 1 + i % 3))
-            .collect();
+        let calls: Vec<RecruitCall> = (0..200).map(|i| call(i, i % 2 == 0, 1 + i % 3)).collect();
         for seed in 0..20 {
             let pairing = pair_ants(&calls, &mut rng(seed));
             let mut recruited_seen = vec![false; calls.len()];
@@ -312,7 +310,10 @@ mod tests {
             .filter(|_| pair_ants(&calls, &mut r).succeeded(0))
             .count();
         let p = successes as f64 / f64::from(trials);
-        assert!(p >= 1.0 / 16.0, "success probability {p} below Lemma 2.1 bound");
+        assert!(
+            p >= 1.0 / 16.0,
+            "success probability {p} below Lemma 2.1 bound"
+        );
     }
 
     /// The pairing must treat participants symmetrically: with everyone

@@ -167,7 +167,11 @@ pub fn spread_with_limit(
         history.push(informed_count);
     }
 
-    Some(SpreadResult { n, rounds: round, history })
+    Some(SpreadResult {
+        n,
+        rounds: round,
+        history,
+    })
 }
 
 /// The classical high-probability PUSH completion time,

@@ -66,13 +66,19 @@ impl ConvergenceRule {
     /// Commitment consensus on a good nest, detected immediately.
     #[must_use]
     pub fn commitment() -> Self {
-        ConvergenceRule::Commitment { stable_rounds: 1, require_good: true }
+        ConvergenceRule::Commitment {
+            stable_rounds: 1,
+            require_good: true,
+        }
     }
 
     /// Commitment consensus on any nest (non-binary-quality colonies).
     #[must_use]
     pub fn commitment_any() -> Self {
-        ConvergenceRule::Commitment { stable_rounds: 1, require_good: false }
+        ConvergenceRule::Commitment {
+            stable_rounds: 1,
+            require_good: false,
+        }
     }
 
     /// Commitment consensus held for `stable_rounds` consecutive rounds —
@@ -80,7 +86,10 @@ impl ConvergenceRule {
     /// flicker.
     #[must_use]
     pub fn stable_commitment(stable_rounds: u64) -> Self {
-        ConvergenceRule::Commitment { stable_rounds: stable_rounds.max(1), require_good: true }
+        ConvergenceRule::Commitment {
+            stable_rounds: stable_rounds.max(1),
+            require_good: true,
+        }
     }
 
     /// Good-nest consensus with every honest agent final.
@@ -92,7 +101,9 @@ impl ConvergenceRule {
     /// The literal problem statement over a stability window.
     #[must_use]
     pub fn location(stable_rounds: u64) -> Self {
-        ConvergenceRule::Location { stable_rounds: stable_rounds.max(1) }
+        ConvergenceRule::Location {
+            stable_rounds: stable_rounds.max(1),
+        }
     }
 
     /// Quorum commitment on a good nest over a stability window.
@@ -131,34 +142,39 @@ impl Detector {
     /// Creates a fresh detector for `rule`.
     #[must_use]
     pub fn new(rule: ConvergenceRule) -> Self {
-        Self { rule, candidate: None, streak: 0 }
+        Self {
+            rule,
+            candidate: None,
+            streak: 0,
+        }
     }
 
     /// Checks the simulation's current state; returns the detection once
     /// the rule's window is satisfied.
     pub fn check(&mut self, sim: &Simulation) -> Option<Solved> {
         let (agreed, window) = match self.rule {
-            ConvergenceRule::Commitment { stable_rounds, require_good } => {
+            ConvergenceRule::Commitment {
+                stable_rounds,
+                require_good,
+            } => {
                 let nest = live_honest_consensus(sim);
-                let nest = nest.filter(|&nest| {
-                    !require_good || is_good(sim, nest)
-                });
+                let nest = nest.filter(|&nest| !require_good || is_good(sim, nest));
                 (nest, stable_rounds)
             }
             ConvergenceRule::AllFinal => {
                 let nest = live_honest_consensus(sim)
                     .filter(|&nest| is_good(sim, nest))
-                    .filter(|_| {
-                        live_honest(sim).all(|(_, agent)| agent.is_final())
-                    });
+                    .filter(|_| live_honest(sim).all(|(_, agent)| agent.is_final()));
                 (nest, 1)
             }
-            ConvergenceRule::Location { stable_rounds } => {
-                (honest_colocation(sim).filter(|&nest| is_good(sim, nest)), stable_rounds)
-            }
-            ConvergenceRule::Quorum { fraction, stable_rounds } => {
-                (quorum_nest(sim, fraction), stable_rounds)
-            }
+            ConvergenceRule::Location { stable_rounds } => (
+                honest_colocation(sim).filter(|&nest| is_good(sim, nest)),
+                stable_rounds,
+            ),
+            ConvergenceRule::Quorum {
+                fraction,
+                stable_rounds,
+            } => (quorum_nest(sim, fraction), stable_rounds),
         };
 
         match agreed {
@@ -187,9 +203,7 @@ impl Detector {
 }
 
 /// Iterates `(index, agent)` over the live honest colony.
-fn live_honest(
-    sim: &Simulation,
-) -> impl Iterator<Item = (usize, &hh_core::BoxedAgent)> + '_ {
+fn live_honest(sim: &Simulation) -> impl Iterator<Item = (usize, &hh_core::BoxedAgent)> + '_ {
     sim.agents()
         .iter()
         .enumerate()
@@ -276,7 +290,10 @@ mod tests {
     fn constructors_clamp_windows() {
         assert_eq!(
             ConvergenceRule::stable_commitment(0),
-            ConvergenceRule::Commitment { stable_rounds: 1, require_good: true }
+            ConvergenceRule::Commitment {
+                stable_rounds: 1,
+                require_good: true
+            }
         );
         assert_eq!(
             ConvergenceRule::location(0),
@@ -327,10 +344,14 @@ mod tests {
         assert!(outcome.solved.is_none());
 
         // With settlement they do settle.
-        let agents = colony::simple_with_options(16, 5, UrnOptions {
-            settle_at_full_count: true,
-            ..UrnOptions::default()
-        });
+        let agents = colony::simple_with_options(
+            16,
+            5,
+            UrnOptions {
+                settle_at_full_count: true,
+                ..UrnOptions::default()
+            },
+        );
         let mut s = sim(16, QualitySpec::all_good(2), 5, agents);
         let outcome = s
             .run_to_convergence(ConvergenceRule::all_final(), 5_000)
@@ -340,10 +361,14 @@ mod tests {
 
     #[test]
     fn location_rule_detects_physical_consensus() {
-        let agents = colony::simple_with_options(16, 7, UrnOptions {
-            settle_at_full_count: true,
-            ..UrnOptions::default()
-        });
+        let agents = colony::simple_with_options(
+            16,
+            7,
+            UrnOptions {
+                settle_at_full_count: true,
+                ..UrnOptions::default()
+            },
+        );
         let mut s = sim(16, QualitySpec::all_good(2), 7, agents);
         let outcome = s
             .run_to_convergence(ConvergenceRule::location(5), 5_000)
@@ -358,14 +383,24 @@ mod tests {
     fn quorum_rule_tolerates_stragglers() {
         // Strict commitment and a 90% quorum on the same converging
         // colony: the quorum can only fire at or before unanimity.
-        let mut strict = sim(24, QualitySpec::good_prefix(3, 1), 21, colony::simple(24, 21));
+        let mut strict = sim(
+            24,
+            QualitySpec::good_prefix(3, 1),
+            21,
+            colony::simple(24, 21),
+        );
         let strict_round = strict
             .run_to_convergence(ConvergenceRule::commitment(), 5_000)
             .unwrap()
             .solved
             .unwrap()
             .round;
-        let mut quorum = sim(24, QualitySpec::good_prefix(3, 1), 21, colony::simple(24, 21));
+        let mut quorum = sim(
+            24,
+            QualitySpec::good_prefix(3, 1),
+            21,
+            colony::simple(24, 21),
+        );
         let quorum_round = quorum
             .run_to_convergence(ConvergenceRule::quorum(0.9, 1), 5_000)
             .unwrap()
@@ -378,7 +413,10 @@ mod tests {
     #[test]
     fn quorum_constructor_clamps() {
         match ConvergenceRule::quorum(5.0, 0) {
-            ConvergenceRule::Quorum { fraction, stable_rounds } => {
+            ConvergenceRule::Quorum {
+                fraction,
+                stable_rounds,
+            } => {
                 assert_eq!(fraction, 1.0);
                 assert_eq!(stable_rounds, 1);
             }
@@ -389,10 +427,8 @@ mod tests {
     #[test]
     fn commitment_any_ignores_quality() {
         use hh_model::Quality;
-        let spec = QualitySpec::Explicit(vec![
-            Quality::new(0.3).unwrap(),
-            Quality::new(0.4).unwrap(),
-        ]);
+        let spec =
+            QualitySpec::Explicit(vec![Quality::new(0.3).unwrap(), Quality::new(0.4).unwrap()]);
         let env = Environment::new(
             &ColonyConfig::new(16, spec)
                 .seed(9)

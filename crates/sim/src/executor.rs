@@ -388,12 +388,9 @@ mod tests {
             crash: CrashPlan::fraction(n, 0.25, 1, CrashStyle::InPlace, 9),
             delay: DelayPlan::never(),
         };
-        let mut sim = Simulation::with_perturbations(
-            env(n, 2, 4),
-            colony::simple(n, 4),
-            Some(perturbations),
-        )
-        .unwrap();
+        let mut sim =
+            Simulation::with_perturbations(env(n, 2, 4), colony::simple(n, 4), Some(perturbations))
+                .unwrap();
         for _ in 0..10 {
             sim.step().unwrap();
         }
@@ -408,12 +405,9 @@ mod tests {
             crash: CrashPlan::none(n),
             delay: DelayPlan::new(0.5, 7),
         };
-        let mut sim = Simulation::with_perturbations(
-            env(n, 2, 5),
-            colony::simple(n, 5),
-            Some(perturbations),
-        )
-        .unwrap();
+        let mut sim =
+            Simulation::with_perturbations(env(n, 2, 5), colony::simple(n, 5), Some(perturbations))
+                .unwrap();
         for _ in 0..20 {
             sim.step().unwrap();
         }

@@ -109,7 +109,10 @@ impl SeriesRecorder {
     /// The competing-nest count per recorded round.
     #[must_use]
     pub fn competing_series(&self) -> Vec<usize> {
-        self.snapshots.iter().map(RoundSnapshot::competing_nests).collect()
+        self.snapshots
+            .iter()
+            .map(RoundSnapshot::competing_nests)
+            .collect()
     }
 
     /// The population series of one candidate nest (1-based id) across

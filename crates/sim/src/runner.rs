@@ -149,16 +149,14 @@ mod tests {
 
     #[test]
     fn zero_trials_is_empty() {
-        let outcomes =
-            run_trials(0, 100, ConvergenceRule::commitment(), build_simple).unwrap();
+        let outcomes = run_trials(0, 100, ConvergenceRule::commitment(), build_simple).unwrap();
         assert!(outcomes.is_empty());
         assert_eq!(success_rate(&outcomes), 0.0);
     }
 
     #[test]
     fn trials_return_in_order() {
-        let outcomes =
-            run_trials(12, 5_000, ConvergenceRule::commitment(), build_simple).unwrap();
+        let outcomes = run_trials(12, 5_000, ConvergenceRule::commitment(), build_simple).unwrap();
         assert_eq!(outcomes.len(), 12);
         for (i, outcome) in outcomes.iter().enumerate() {
             assert_eq!(outcome.trial, i);

@@ -47,7 +47,10 @@ impl ScenarioSpec {
     /// Wraps an existing environment configuration.
     #[must_use]
     pub fn from_config(config: ColonyConfig) -> Self {
-        Self { config, perturbations: None }
+        Self {
+            config,
+            perturbations: None,
+        }
     }
 
     /// Sets the base seed (environment, noise, and perturbation streams

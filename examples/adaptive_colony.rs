@@ -40,7 +40,10 @@ fn main() -> Result<(), SimError> {
     for k in [2usize, 4, 8, 16] {
         let (simple, s_rate) = measure(n, k, trials, |seed| colony::simple(n, seed))?;
         let (adaptive, a_rate) = measure(n, k, trials, |seed| colony::adaptive(n, seed))?;
-        assert!(s_rate > 0.0 && a_rate > 0.0, "k={k}: a variant never converged");
+        assert!(
+            s_rate > 0.0 && a_rate > 0.0,
+            "k={k}: a variant never converged"
+        );
         table.row([
             k.to_string(),
             fmt_f64(simple, 1),

@@ -41,7 +41,10 @@ fn mean_rounds(
 fn main() -> Result<(), SimError> {
     let k = 8;
     let trials = 10;
-    println!("emigration race: k = {k} nests ({} good), {trials} trials per cell\n", k / 2);
+    println!(
+        "emigration race: k = {k} nests ({} good), {trials} trials per cell\n",
+        k / 2
+    );
 
     let mut table = Table::new([
         "n",

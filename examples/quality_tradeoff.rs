@@ -19,9 +19,7 @@ fn main() -> Result<(), SimError> {
     let n = 128;
     let trials = 16;
     let qualities = [0.9, 0.6];
-    println!(
-        "speed/accuracy trade-off: n = {n}, nest qualities {qualities:?}, {trials} trials\n"
-    );
+    println!("speed/accuracy trade-off: n = {n}, nest qualities {qualities:?}, {trials} trials\n");
 
     let spec_qualities = QualitySpec::Explicit(
         qualities
@@ -47,7 +45,11 @@ fn main() -> Result<(), SimError> {
                     .is_some_and(|s| s.nest == NestId::candidate(1))
             })
             .count();
-        let solved = outcomes.iter().filter(|o| o.solved.is_some()).count().max(1);
+        let solved = outcomes
+            .iter()
+            .filter(|o| o.solved.is_some())
+            .count()
+            .max(1);
         let rounds: Summary = outcomes
             .iter()
             .filter_map(|o| o.solved.as_ref().map(|s| s.round as f64))

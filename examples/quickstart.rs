@@ -56,9 +56,6 @@ fn main() -> Result<(), SimError> {
         .map(|&c| c as f64)
         .collect();
     println!("  {}", sparkline(&competing));
-    println!(
-        "  (starts at ≤ {} good nests, ends at exactly 1)",
-        2.min(k)
-    );
+    println!("  (starts at ≤ {} good nests, ends at exactly 1)", 2.min(k));
     Ok(())
 }

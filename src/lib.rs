@@ -56,8 +56,8 @@ pub mod prelude {
         QualityAnt, SimpleAnt, SpreadStrategy, SpreaderAnt, UrnOptions,
     };
     pub use hh_model::{
-        Action, AntId, ColonyConfig, Environment, ModelError, NestId, NoiseModel, Outcome,
-        Quality, QualitySpec,
+        Action, AntId, ColonyConfig, Environment, ModelError, NestId, NoiseModel, Outcome, Quality,
+        QualitySpec,
     };
     pub use hh_sim::{
         ConvergenceRule, Perturbations, ScenarioSpec, SimError, Simulation, Solved, TrialOutcome,

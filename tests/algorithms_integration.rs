@@ -76,10 +76,14 @@ fn bad_nests_never_win_without_noise() {
 #[test]
 fn settled_simple_colony_reaches_location_consensus() {
     let n = 40;
-    let agents = colony::simple_with_options(n, 5, UrnOptions {
-        settle_at_full_count: true,
-        ..UrnOptions::default()
-    });
+    let agents = colony::simple_with_options(
+        n,
+        5,
+        UrnOptions {
+            settle_at_full_count: true,
+            ..UrnOptions::default()
+        },
+    );
     let solved = solve(
         n,
         QualitySpec::all_good(3),
@@ -156,6 +160,10 @@ fn optimal_beats_lower_bound_floor() {
             5_000,
         )
         .expect("solves");
-        assert!(solved.round >= 4, "round {} beats the lower bound", solved.round);
+        assert!(
+            solved.round >= 4,
+            "round {} beats the lower bound",
+            solved.round
+        );
     }
 }

@@ -49,10 +49,7 @@ fn quality_colony_picks_the_best_of_three_graded_nests() {
 
 #[test]
 fn downgrade_rejection_does_not_break_convergence() {
-    let spec = QualitySpec::Explicit(vec![
-        Quality::new(0.9).unwrap(),
-        Quality::new(0.4).unwrap(),
-    ]);
+    let spec = QualitySpec::Explicit(vec![Quality::new(0.9).unwrap(), Quality::new(0.4).unwrap()]);
     let agents = colony::from_factory(64, 9, |_, seed| {
         QualityAnt::new(64, seed, 2.0).with_rejection(0.2)
     });
@@ -75,7 +72,9 @@ fn spreader_strategies_all_inform_with_wait_fastest_at_scale() {
     for strategy in [
         SpreadStrategy::WaitAtHome,
         SpreadStrategy::SearchForever,
-        SpreadStrategy::Hybrid { search_probability: 0.3 },
+        SpreadStrategy::Hybrid {
+            search_probability: 0.3,
+        },
     ] {
         let outcomes = run_trials(6, 20_000, ConvergenceRule::commitment(), |trial| {
             let seed = 40 + trial as u64;

@@ -161,5 +161,8 @@ fn noise_affects_observations_not_state() {
     let distinct: std::collections::HashSet<usize> = counts.iter().copied().collect();
     assert!(distinct.len() > 1, "independent noise draws should differ");
     let mean = counts.iter().sum::<usize>() as f64 / n as f64;
-    assert!((mean - n as f64).abs() / (n as f64) < 0.1, "unbiased around truth");
+    assert!(
+        (mean - n as f64).abs() / (n as f64) < 0.1,
+        "unbiased around truth"
+    );
 }

@@ -26,7 +26,11 @@ fn simple_survives_mild_count_noise() {
             .build_simulation(colony::simple(N, seed))
     })
     .unwrap();
-    assert!(success_rate(&outcomes) >= 0.75, "rate {}", success_rate(&outcomes));
+    assert!(
+        success_rate(&outcomes) >= 0.75,
+        "rate {}",
+        success_rate(&outcomes)
+    );
 }
 
 #[test]
@@ -44,7 +48,11 @@ fn simple_survives_quality_misreads() {
             .build_simulation(colony::simple(N, seed))
     })
     .unwrap();
-    assert!(success_rate(&outcomes) >= 0.6, "rate {}", success_rate(&outcomes));
+    assert!(
+        success_rate(&outcomes) >= 0.6,
+        "rate {}",
+        success_rate(&outcomes)
+    );
 }
 
 #[test]
@@ -82,7 +90,11 @@ fn simple_survives_delays() {
             .build_simulation(colony::simple(N, seed))
     })
     .unwrap();
-    assert!(success_rate(&outcomes) >= 0.75, "rate {}", success_rate(&outcomes));
+    assert!(
+        success_rate(&outcomes) >= 0.75,
+        "rate {}",
+        success_rate(&outcomes)
+    );
 }
 
 #[test]
@@ -110,7 +122,10 @@ fn optimal_is_fragile_under_delays() {
         simple_rate >= optimal_rate,
         "simple {simple_rate} should be at least as robust as optimal {optimal_rate}"
     );
-    assert!(optimal_rate <= 0.8, "optimal unexpectedly robust: {optimal_rate}");
+    assert!(
+        optimal_rate <= 0.8,
+        "optimal unexpectedly robust: {optimal_rate}"
+    );
 }
 
 #[test]
@@ -124,7 +139,11 @@ fn byzantine_minority_does_not_stop_honest_quorum() {
             .build_simulation(agents)
     })
     .unwrap();
-    assert!(success_rate(&outcomes) >= 0.75, "rate {}", success_rate(&outcomes));
+    assert!(
+        success_rate(&outcomes) >= 0.75,
+        "rate {}",
+        success_rate(&outcomes)
+    );
 }
 
 #[test]
@@ -148,5 +167,9 @@ fn combined_perturbations_small_doses() {
             .build_simulation(agents)
     })
     .unwrap();
-    assert!(success_rate(&outcomes) >= 0.6, "rate {}", success_rate(&outcomes));
+    assert!(
+        success_rate(&outcomes) >= 0.6,
+        "rate {}",
+        success_rate(&outcomes)
+    );
 }

@@ -21,10 +21,7 @@ fn assert_always_legal(
     }
     let mut env = Environment::new(&config).unwrap();
     for round in 1..=rounds {
-        let actions: Vec<Action> = agents
-            .iter_mut()
-            .map(|agent| agent.choose(round))
-            .collect();
+        let actions: Vec<Action> = agents.iter_mut().map(|agent| agent.choose(round)).collect();
         for (i, action) in actions.iter().enumerate() {
             prop_assert!(
                 env.check_action(AntId::new(i), action).is_ok(),

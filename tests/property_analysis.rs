@@ -1,9 +1,7 @@
 //! Property-based tests on the analysis substrate: summary statistics,
 //! quantiles, and least-squares fitting.
 
-use house_hunting::analysis::{
-    fit_linear, growth_assessment, Quantiles, Summary,
-};
+use house_hunting::analysis::{fit_linear, growth_assessment, Quantiles, Summary};
 use proptest::prelude::*;
 
 proptest! {

@@ -1,0 +1,317 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! crate, providing the surface this workspace's property tests use:
+//!
+//! * the [`proptest!`] macro (with optional `#![proptest_config(..)]`),
+//! * [`prop_assert!`] / [`prop_assert_eq!`],
+//! * [`any::<T>()`](any), integer and float range strategies,
+//! * [`collection::vec`].
+//!
+//! Unlike the real crate this shim does **not shrink** failing inputs.
+//! Every case is generated deterministically from the test's module path
+//! and the case index, so a failure report ("case k of test t") is a
+//! complete reproduction recipe. See `vendor/README.md`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+pub mod test_runner;
+
+use test_runner::TestRng;
+
+/// A source of random values of one type.
+///
+/// The shim's reduction of proptest's `Strategy`: generation only, no
+/// value tree and no shrinking.
+pub trait Strategy {
+    /// The type of value this strategy generates.
+    type Value;
+
+    /// Generates one value from deterministic entropy.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+/// Run-loop configuration accepted by `#![proptest_config(..)]`.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of cases each test in the block runs. The shim's default
+    /// is 64 (the real crate's is 256), chosen because several suites
+    /// here run whole-colony simulations per case.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A failed (or rejected) test case.
+///
+/// The real crate's `prop_assert!` returns this through the test body;
+/// the shim's `prop_assert!` panics instead, but the type is still
+/// needed so helper functions declared as
+/// `fn helper(..) -> Result<(), TestCaseError>` and `?`-style bodies
+/// compile unchanged.
+#[derive(Clone, Debug)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// A case failure with the given reason.
+    pub fn fail(reason: impl Into<String>) -> Self {
+        TestCaseError(reason.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// The strategy returned by [`any`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// A strategy generating arbitrary values of `T` (uniform over the
+/// whole domain, like the real crate's `any` for primitives).
+pub fn any<T>() -> Any<T>
+where
+    Any<T>: Strategy<Value = T>,
+{
+    Any(std::marker::PhantomData)
+}
+
+impl Strategy for Any<bool> {
+    type Value = bool;
+    fn sample(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! any_uint {
+    ($($ty:ty),*) => {$(
+        impl Strategy for Any<$ty> {
+            type Value = $ty;
+            fn sample(&self, rng: &mut TestRng) -> $ty {
+                rng.next_u64() as $ty
+            }
+        }
+    )*};
+}
+
+any_uint!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! int_range_strategy {
+    ($($ty:ty),*) => {$(
+        impl Strategy for Range<$ty> {
+            type Value = $ty;
+            fn sample(&self, rng: &mut TestRng) -> $ty {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start.wrapping_add(rng.below(span) as $ty)
+            }
+        }
+        impl Strategy for RangeInclusive<$ty> {
+            type Value = $ty;
+            fn sample(&self, rng: &mut TestRng) -> $ty {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty strategy range");
+                let span = (end as u64).wrapping_sub(start as u64).wrapping_add(1);
+                if span == 0 {
+                    return rng.next_u64() as $ty;
+                }
+                start.wrapping_add(rng.below(span) as $ty)
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty strategy range");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        let (start, end) = (*self.start(), *self.end());
+        assert!(start <= end, "empty strategy range");
+        start + rng.unit_f64() * (end - start)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident),+)),+ $(,)?) => {$(
+        #[allow(non_snake_case)]
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    )+};
+}
+
+tuple_strategy!((A, B), (A, B, C), (A, B, C, D), (A, B, C, D, E));
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn sample(&self, rng: &mut TestRng) -> S::Value {
+        S::sample(self, rng)
+    }
+}
+
+/// Strategies for collections (just [`vec()`](collection::vec())).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// The strategy returned by [`vec()`](vec()).
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// A strategy generating `Vec`s whose length is drawn uniformly from
+    /// `size` and whose elements come from `element`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "empty size range");
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.end - self.size.start) as u64;
+            let len = self.size.start + rng.below(span) as usize;
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Everything a property-test file needs, re-exported flat.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, proptest, Any, ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+/// Asserts a condition inside a property test.
+///
+/// The shim maps this to [`assert!`]: a failure panics (failing the
+/// case) instead of returning `TestCaseError`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a property test (see [`prop_assert!`]).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Defines a block of property tests.
+///
+/// Supports the subset of the real macro's grammar this workspace uses:
+/// an optional leading `#![proptest_config(expr)]`, then any number of
+/// `fn name(arg in strategy, ..) { body }` items carrying outer
+/// attributes (doc comments, `#[test]`).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { (<$crate::ProptestConfig as ::std::default::Default>::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ( ($cfg:expr) ) => {};
+    ( ($cfg:expr)
+      $(#[$meta:meta])*
+      fn $name:ident ( $( $arg:ident in $strat:expr ),* $(,)? ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            let __test = concat!(module_path!(), "::", stringify!($name));
+            for __case in 0..__config.cases {
+                let __guard = $crate::test_runner::CaseGuard::new(__test, __case);
+                let mut __rng = $crate::test_runner::TestRng::for_case(__test, __case);
+                $( let $arg = $crate::Strategy::sample(&($strat), &mut __rng); )*
+                // Mirror the real crate: the body runs inside a
+                // `Result`-returning scope so helpers can use `?`.
+                #[allow(clippy::redundant_closure_call)]
+                let __outcome: ::std::result::Result<(), $crate::TestCaseError> = (|| {
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                if let ::std::result::Result::Err(__err) = __outcome {
+                    panic!("{}", __err);
+                }
+                __guard.disarm();
+            }
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_hold(x in 3usize..10, y in -2.5f64..2.5, b in any::<bool>()) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((-2.5..2.5).contains(&y));
+            prop_assert_eq!(b as u8 <= 1, true);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(5))]
+
+        /// Vec strategies respect their size range.
+        #[test]
+        fn vec_sizes(v in crate::collection::vec(any::<u64>(), 2..6)) {
+            prop_assert!((2..6).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        use crate::test_runner::TestRng;
+        let a: Vec<u64> = (0..4)
+            .map(|c| TestRng::for_case("t", c).next_u64())
+            .collect();
+        let b: Vec<u64> = (0..4)
+            .map(|c| TestRng::for_case("t", c).next_u64())
+            .collect();
+        assert_eq!(a, b);
+        assert!(a.windows(2).any(|w| w[0] != w[1]));
+    }
+}

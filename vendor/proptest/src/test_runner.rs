@@ -1,0 +1,95 @@
+//! Deterministic entropy and failure reporting for the proptest shim.
+
+/// SplitMix64 seeded from `(test path, case index)`.
+///
+/// Every value a case sees derives from this stream, so "case `k` of
+/// test `t`" fully identifies the failing input on any machine.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// The generator for one case of one test.
+    pub fn for_case(test_path: &str, case: u32) -> Self {
+        // FNV-1a over the test path, mixed with the case index.
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in test_path.bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng {
+            state: hash ^ (u64::from(case).wrapping_mul(0x9e37_79b9_7f4a_7c15)),
+        }
+    }
+
+    /// Next 64 uniform bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Unbiased uniform integer in `[0, bound)` (`bound = 0` means the
+    /// full `u64` domain).
+    pub fn below(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            return self.next_u64();
+        }
+        let mut m = u128::from(self.next_u64()) * u128::from(bound);
+        if (m as u64) < bound {
+            let threshold = bound.wrapping_neg() % bound;
+            while (m as u64) < threshold {
+                m = u128::from(self.next_u64()) * u128::from(bound);
+            }
+        }
+        (m >> 64) as u64
+    }
+
+    /// Uniform `f64` in `[0, 1)` with 53 bits of precision.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Prints the failing case's identity if a test body panics.
+///
+/// Armed on construction; [`disarm`](CaseGuard::disarm) after the body
+/// runs. If the body panics instead, `Drop` fires while panicking and
+/// reports which deterministic case failed.
+#[derive(Debug)]
+pub struct CaseGuard {
+    test_path: &'static str,
+    case: u32,
+    armed: bool,
+}
+
+impl CaseGuard {
+    /// Arms a guard for one case.
+    pub fn new(test_path: &'static str, case: u32) -> Self {
+        CaseGuard {
+            test_path,
+            case,
+            armed: true,
+        }
+    }
+
+    /// Marks the case as passed.
+    pub fn disarm(mut self) {
+        self.armed = false;
+    }
+}
+
+impl Drop for CaseGuard {
+    fn drop(&mut self) {
+        if self.armed && std::thread::panicking() {
+            eprintln!(
+                "proptest shim: test {} failed at case {} \
+                 (cases are deterministic; rerunning reproduces it)",
+                self.test_path, self.case
+            );
+        }
+    }
+}

@@ -1,0 +1,280 @@
+//! Offline stand-in for the [`rand`](https://crates.io/crates/rand) crate
+//! (0.9-era API), providing exactly the surface this workspace uses:
+//!
+//! * [`Rng`] — the core word source (`next_u64`);
+//! * [`RngExt`] — convenience sampling (`random_range`, `random_bool`),
+//!   blanket-implemented for every [`Rng`];
+//! * [`SeedableRng`] — deterministic construction from a `u64` seed;
+//! * [`rngs::SmallRng`] — xoshiro256++, seeded exactly like real rand's
+//!   `seed_from_u64` (SplitMix64 seed expansion, the rand_xoshiro
+//!   override), so seeded raw word streams match the real crate;
+//! * [`seq::SliceRandom`] — Fisher–Yates [`shuffle`](seq::SliceRandom::shuffle).
+//!
+//! See `vendor/README.md` for the compatibility contract.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// A source of uniformly distributed random 64-bit words.
+///
+/// The shim's equivalent of `rand_core::RngCore`, reduced to the one
+/// method everything else derives from.
+pub trait Rng {
+    /// Returns the next uniformly distributed `u64`.
+    fn next_u64(&mut self) -> u64;
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        R::next_u64(self)
+    }
+}
+
+/// Convenience sampling methods, blanket-implemented for every [`Rng`].
+///
+/// Mirrors the distribution-sampling methods the real crate exposes on
+/// its `Rng` trait; split out so both names can be imported side by side.
+pub trait RngExt: Rng {
+    /// Samples a value uniformly from `range`.
+    ///
+    /// Integer ranges use unbiased Lemire rejection sampling; float
+    /// ranges map a 53-bit mantissa into `[low, high)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn random_range<T, R>(&mut self, range: R) -> T
+    where
+        R: distr::SampleRange<T>,
+    {
+        range.sample_from(self)
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    fn random_bool(&mut self, p: f64) -> bool {
+        distr::unit_f64(self) < p
+    }
+}
+
+impl<R: Rng + ?Sized> RngExt for R {}
+
+/// Deterministic construction of a generator from seed material.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a `u64` seed, expanding it the same way
+    /// the real crate's implementation for that generator does (SplitMix64
+    /// for [`rngs::SmallRng`]), so equal seeds yield equal streams across
+    /// the shim and the real crate.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Uniform sampling from range types (the shim's `rand::distr`).
+pub mod distr {
+    use super::Rng;
+
+    /// A range that supports uniform sampling of `T`.
+    pub trait SampleRange<T> {
+        /// Draws one uniform sample from the range.
+        fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+    }
+
+    /// Uniform `f64` in `[0, 1)` with 53 bits of precision.
+    pub(crate) fn unit_f64<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Unbiased uniform integer in `[0, bound)` via Lemire rejection.
+    fn uniform_below<R: Rng + ?Sized>(rng: &mut R, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        let mut m = u128::from(rng.next_u64()) * u128::from(bound);
+        if (m as u64) < bound {
+            let threshold = bound.wrapping_neg() % bound;
+            while (m as u64) < threshold {
+                m = u128::from(rng.next_u64()) * u128::from(bound);
+            }
+        }
+        (m >> 64) as u64
+    }
+
+    macro_rules! int_range_impls {
+        ($($ty:ty),*) => {$(
+            impl SampleRange<$ty> for core::ops::Range<$ty> {
+                fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> $ty {
+                    assert!(self.start < self.end, "cannot sample empty range");
+                    let span = (self.end as u64).wrapping_sub(self.start as u64);
+                    self.start.wrapping_add(uniform_below(rng, span) as $ty)
+                }
+            }
+            impl SampleRange<$ty> for core::ops::RangeInclusive<$ty> {
+                fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> $ty {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "cannot sample empty range");
+                    let span = (end as u64).wrapping_sub(start as u64).wrapping_add(1);
+                    if span == 0 {
+                        // Full-width inclusive range: every word is valid.
+                        return rng.next_u64() as $ty;
+                    }
+                    start.wrapping_add(uniform_below(rng, span) as $ty)
+                }
+            }
+        )*};
+    }
+
+    int_range_impls!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl SampleRange<f64> for core::ops::Range<f64> {
+        fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> f64 {
+            assert!(self.start < self.end, "cannot sample empty range");
+            self.start + unit_f64(rng) * (self.end - self.start)
+        }
+    }
+
+    impl SampleRange<f64> for core::ops::RangeInclusive<f64> {
+        fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> f64 {
+            let (start, end) = (*self.start(), *self.end());
+            assert!(start <= end, "cannot sample empty range");
+            start + unit_f64(rng) * (end - start)
+        }
+    }
+
+    impl SampleRange<f32> for core::ops::Range<f32> {
+        fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> f32 {
+            assert!(self.start < self.end, "cannot sample empty range");
+            self.start + (unit_f64(rng) as f32) * (self.end - self.start)
+        }
+    }
+}
+
+/// The generators the shim ships (just [`SmallRng`](rngs::SmallRng)).
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// xoshiro256++ — the same algorithm real rand 0.9 uses for
+    /// `SmallRng` on 64-bit targets.
+    ///
+    /// Seeding via [`SeedableRng::seed_from_u64`] reproduces the real
+    /// crate's construction (rand_xoshiro overrides the rand_core
+    /// default with SplitMix64 expansion of the seed into the 256-bit
+    /// state), so `SmallRng::seed_from_u64(s).next_u64()` matches real
+    /// rand for every `s`.
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    #[inline]
+    fn rotl(x: u64, k: u32) -> u64 {
+        x.rotate_left(k)
+    }
+
+    impl Rng for SmallRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            let result = rotl(self.s[0].wrapping_add(self.s[3]), 23).wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = rotl(self.s[3], 45);
+            result
+        }
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(mut state: u64) -> Self {
+            // rand_xoshiro's `seed_from_u64`: one SplitMix64 step per
+            // state word (it overrides rand_core's PCG-based default).
+            const PHI: u64 = 0x9e37_79b9_7f4a_7c15;
+            let mut next_u64 = move || {
+                state = state.wrapping_add(PHI);
+                let mut z = state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                z ^ (z >> 31)
+            };
+            let mut s = [0u64; 4];
+            for word in &mut s {
+                *word = next_u64();
+            }
+            if s == [0; 4] {
+                // xoshiro's one forbidden state; unreachable from the
+                // expansion above, but guard anyway.
+                s = [1, 2, 3, 4];
+            }
+            SmallRng { s }
+        }
+    }
+}
+
+/// Sequence-related helpers (the shim's `rand::seq`).
+pub mod seq {
+    use super::Rng;
+    use crate::distr::SampleRange;
+
+    /// Extension trait for slices: in-place Fisher–Yates shuffling.
+    pub trait SliceRandom {
+        /// Shuffles the slice uniformly at random, in place.
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = (0..=i).sample_from(rng);
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::seq::SliceRandom;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn seeded_streams_are_deterministic() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        let xs: Vec<u64> = (0..8).map(|_| super::Rng::next_u64(&mut a)).collect();
+        let ys: Vec<u64> = (0..8).map(|_| super::Rng::next_u64(&mut b)).collect();
+        assert_eq!(xs, ys);
+        assert!(xs.windows(2).any(|w| w[0] != w[1]));
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..1_000 {
+            let x: usize = rng.random_range(3..17);
+            assert!((3..17).contains(&x));
+            let y: i64 = rng.random_range(-5..=5);
+            assert!((-5..=5).contains(&y));
+            let f: f64 = rng.random_range(-1.0..1.0);
+            assert!((-1.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn random_bool_edges() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        assert!((0..64).all(|_| !rng.random_bool(0.0)));
+        assert!((0..64).all(|_| rng.random_bool(1.0)));
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let mut v: Vec<usize> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(
+            v, sorted,
+            "a 50-element shuffle virtually never fixes every point"
+        );
+    }
+}
