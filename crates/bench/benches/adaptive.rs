@@ -1,43 +1,30 @@
 //! Criterion bench for experiment F13: the adaptive-rate variant.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use hh_core::colony;
-use hh_model::QualitySpec;
-use hh_sim::{ConvergenceRule, ScenarioSpec};
+use hh_sim::registry::{Algorithm, ColonyMix, FaultSchedule, QualityProfile, Scenario};
 use std::hint::black_box;
 
 fn bench_adaptive(c: &mut Criterion) {
     let mut group = c.benchmark_group("adaptive/converge_commitment");
     group.sample_size(10);
     for k in [4usize, 16] {
-        group.bench_with_input(BenchmarkId::new("adaptive", k), &k, |b, &k| {
-            let mut seed = 0u64;
-            b.iter(|| {
-                seed += 1;
-                let mut sim = ScenarioSpec::new(512, QualitySpec::all_good(k))
-                    .seed(seed)
-                    .build_simulation(colony::adaptive(512, seed))
-                    .expect("valid");
-                black_box(
-                    sim.run_to_convergence(ConvergenceRule::commitment(), 120_000)
-                        .expect("runs"),
-                )
+        for algorithm in [Algorithm::Adaptive, Algorithm::Simple] {
+            let scenario = Scenario::custom(
+                format!("bench-{}-k{k}", algorithm.label()),
+                512,
+                QualityProfile::AllGood { k },
+                FaultSchedule::None,
+                ColonyMix::Uniform(algorithm.clone()),
+            )
+            .max_rounds(120_000);
+            group.bench_with_input(BenchmarkId::new(algorithm.label(), k), &scenario, |b, s| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    black_box(s.run(seed).expect("runs"))
+                });
             });
-        });
-        group.bench_with_input(BenchmarkId::new("simple", k), &k, |b, &k| {
-            let mut seed = 0u64;
-            b.iter(|| {
-                seed += 1;
-                let mut sim = ScenarioSpec::new(512, QualitySpec::all_good(k))
-                    .seed(seed)
-                    .build_simulation(colony::simple(512, seed))
-                    .expect("valid");
-                black_box(
-                    sim.run_to_convergence(ConvergenceRule::commitment(), 120_000)
-                        .expect("runs"),
-                )
-            });
-        });
+        }
     }
     group.finish();
 }

@@ -1,43 +1,36 @@
 //! Criterion bench for experiment F7: both algorithms on one instance.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use hh_core::colony;
-use hh_model::QualitySpec;
-use hh_sim::{ConvergenceRule, ScenarioSpec};
+use hh_sim::registry::{Algorithm, ColonyMix, FaultSchedule, QualityProfile, Scenario};
+use hh_sim::ConvergenceRule;
 use std::hint::black_box;
 
 fn bench_head_to_head(c: &mut Criterion) {
     let mut group = c.benchmark_group("head_to_head/n1024_k8");
     group.sample_size(10);
     let n = 1024;
-    group.bench_function(BenchmarkId::new("optimal", n), |b| {
-        let mut seed = 0u64;
-        b.iter(|| {
-            seed += 1;
-            let mut sim = ScenarioSpec::new(n, QualitySpec::all_good(8))
-                .seed(seed)
-                .build_simulation(colony::optimal(n))
-                .expect("valid");
-            black_box(
-                sim.run_to_convergence(ConvergenceRule::all_final(), 60_000)
-                    .expect("runs"),
-            )
+    for algorithm in [Algorithm::Optimal, Algorithm::Simple] {
+        let (rule, budget) = match algorithm {
+            Algorithm::Optimal => (ConvergenceRule::all_final(), 60_000),
+            _ => (ConvergenceRule::commitment(), 120_000),
+        };
+        let scenario = Scenario::custom(
+            format!("bench-h2h-{}", algorithm.label()),
+            n,
+            QualityProfile::AllGood { k: 8 },
+            FaultSchedule::None,
+            ColonyMix::Uniform(algorithm.clone()),
+        )
+        .rule(rule)
+        .max_rounds(budget);
+        group.bench_function(BenchmarkId::new(algorithm.label(), n), |b| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                black_box(scenario.run(seed).expect("runs"))
+            });
         });
-    });
-    group.bench_function(BenchmarkId::new("simple", n), |b| {
-        let mut seed = 0u64;
-        b.iter(|| {
-            seed += 1;
-            let mut sim = ScenarioSpec::new(n, QualitySpec::all_good(8))
-                .seed(seed)
-                .build_simulation(colony::simple(n, seed))
-                .expect("valid");
-            black_box(
-                sim.run_to_convergence(ConvergenceRule::commitment(), 120_000)
-                    .expect("runs"),
-            )
-        });
-    });
+    }
     group.finish();
 }
 

@@ -1,27 +1,28 @@
 //! Criterion bench for experiments F3/F4/F8: the optimal algorithm.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use hh_core::colony;
-use hh_model::QualitySpec;
-use hh_sim::{ConvergenceRule, ScenarioSpec};
+use hh_sim::registry::{Algorithm, ColonyMix, FaultSchedule, QualityProfile, Scenario};
+use hh_sim::ConvergenceRule;
 use std::hint::black_box;
 
 fn bench_optimal_convergence(c: &mut Criterion) {
     let mut group = c.benchmark_group("optimal/converge_all_final");
     group.sample_size(10);
     for n in [256usize, 1024, 4096] {
-        group.bench_with_input(BenchmarkId::new("k4", n), &n, |b, &n| {
+        let scenario = Scenario::custom(
+            format!("bench-optimal-n{n}"),
+            n,
+            QualityProfile::GoodPrefix { k: 4, good: 2 },
+            FaultSchedule::None,
+            ColonyMix::Uniform(Algorithm::Optimal),
+        )
+        .rule(ConvergenceRule::all_final())
+        .max_rounds(20_000);
+        group.bench_with_input(BenchmarkId::new("k4", n), &scenario, |b, s| {
             let mut seed = 0u64;
             b.iter(|| {
                 seed += 1;
-                let mut sim = ScenarioSpec::new(n, QualitySpec::good_prefix(4, 2))
-                    .seed(seed)
-                    .build_simulation(colony::optimal(n))
-                    .expect("valid");
-                black_box(
-                    sim.run_to_convergence(ConvergenceRule::all_final(), 20_000)
-                        .expect("runs"),
-                )
+                black_box(s.run(seed).expect("runs"))
             });
         });
     }

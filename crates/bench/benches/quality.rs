@@ -1,35 +1,33 @@
 //! Criterion bench for experiment F14: quality-weighted colonies.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use hh_core::colony;
-use hh_model::{Quality, QualitySpec};
-use hh_sim::{ConvergenceRule, ScenarioSpec};
+use hh_model::Quality;
+use hh_sim::registry::{Algorithm, ColonyMix, FaultSchedule, QualityProfile, Scenario};
 use std::hint::black_box;
 
 fn bench_quality(c: &mut Criterion) {
     let mut group = c.benchmark_group("quality/converge_any");
     group.sample_size(10);
     for gamma in [0.0f64, 2.0] {
+        let scenario = Scenario::custom(
+            format!("bench-quality-gamma{gamma}"),
+            128,
+            QualityProfile::Explicit(vec![
+                Quality::new(0.9).expect("valid"),
+                Quality::new(0.5).expect("valid"),
+            ]),
+            FaultSchedule::None,
+            ColonyMix::Uniform(Algorithm::Quality { gamma }),
+        )
+        .max_rounds(60_000);
         group.bench_with_input(
             BenchmarkId::new("gamma", format!("{gamma}")),
-            &gamma,
-            |b, &gamma| {
-                let spec = QualitySpec::Explicit(vec![
-                    Quality::new(0.9).expect("valid"),
-                    Quality::new(0.5).expect("valid"),
-                ]);
+            &scenario,
+            |b, s| {
                 let mut seed = 0u64;
                 b.iter(|| {
                     seed += 1;
-                    let mut sim = ScenarioSpec::new(128, spec.clone())
-                        .seed(seed)
-                        .reveal_quality_on_go()
-                        .build_simulation(colony::quality(128, seed, gamma))
-                        .expect("valid");
-                    black_box(
-                        sim.run_to_convergence(ConvergenceRule::commitment_any(), 60_000)
-                            .expect("runs"),
-                    )
+                    black_box(s.run(seed).expect("runs"))
                 });
             },
         );

@@ -1,32 +1,34 @@
 //! Criterion bench for experiments F10–F12: perturbed executions.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use hh_core::colony;
 use hh_model::noise::CountNoise;
-use hh_model::{NoiseModel, QualitySpec};
-use hh_sim::{ConvergenceRule, ScenarioSpec};
+use hh_model::NoiseModel;
+use hh_sim::registry::{Algorithm, ColonyMix, FaultSchedule, QualityProfile, Scenario};
+use hh_sim::ConvergenceRule;
 use std::hint::black_box;
 
 fn bench_noisy_convergence(c: &mut Criterion) {
     let mut group = c.benchmark_group("robustness/simple_with_count_noise");
     group.sample_size(10);
     for sigma in [0.0f64, 0.3] {
+        let scenario = Scenario::custom(
+            format!("bench-noise-sigma{sigma}"),
+            128,
+            QualityProfile::GoodPrefix { k: 4, good: 2 },
+            FaultSchedule::None,
+            ColonyMix::Uniform(Algorithm::Simple),
+        )
+        .noise(NoiseModel {
+            count: CountNoise::multiplicative(sigma).expect("valid"),
+            quality: Default::default(),
+        })
+        .rule(ConvergenceRule::stable_commitment(8))
+        .max_rounds(30_000);
         group.bench_function(format!("sigma_{sigma}"), |b| {
             let mut seed = 0u64;
             b.iter(|| {
                 seed += 1;
-                let mut sim = ScenarioSpec::new(128, QualitySpec::good_prefix(4, 2))
-                    .seed(seed)
-                    .noise(NoiseModel {
-                        count: CountNoise::multiplicative(sigma).expect("valid"),
-                        quality: Default::default(),
-                    })
-                    .build_simulation(colony::simple(128, seed))
-                    .expect("valid");
-                black_box(
-                    sim.run_to_convergence(ConvergenceRule::stable_commitment(8), 30_000)
-                        .expect("runs"),
-                )
+                black_box(scenario.run(seed).expect("runs"))
             });
         });
     }

@@ -1,33 +1,28 @@
 //! Criterion bench for experiments F5/F6/F9/F16: the simple algorithm.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use hh_core::colony;
-use hh_model::QualitySpec;
-use hh_sim::{ConvergenceRule, ScenarioSpec};
+use hh_sim::registry::{Algorithm, ColonyMix, FaultSchedule, QualityProfile, Scenario};
 use std::hint::black_box;
 
 fn bench_simple_convergence(c: &mut Criterion) {
     let mut group = c.benchmark_group("simple/converge_commitment");
     group.sample_size(10);
     for (n, k) in [(256usize, 2usize), (1024, 2), (1024, 8)] {
-        group.bench_with_input(
-            BenchmarkId::new(format!("k{k}"), n),
-            &(n, k),
-            |b, &(n, k)| {
-                let mut seed = 0u64;
-                b.iter(|| {
-                    seed += 1;
-                    let mut sim = ScenarioSpec::new(n, QualitySpec::all_good(k))
-                        .seed(seed)
-                        .build_simulation(colony::simple(n, seed))
-                        .expect("valid");
-                    black_box(
-                        sim.run_to_convergence(ConvergenceRule::commitment(), 120_000)
-                            .expect("runs"),
-                    )
-                });
-            },
-        );
+        let scenario = Scenario::custom(
+            format!("bench-simple-n{n}-k{k}"),
+            n,
+            QualityProfile::AllGood { k },
+            FaultSchedule::None,
+            ColonyMix::Uniform(Algorithm::Simple),
+        )
+        .max_rounds(120_000);
+        group.bench_with_input(BenchmarkId::new(format!("k{k}"), n), &scenario, |b, s| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                black_box(s.run(seed).expect("runs"))
+            });
+        });
     }
     group.finish();
 }

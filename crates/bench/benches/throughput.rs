@@ -1,20 +1,22 @@
 //! Criterion bench for T2: raw executor round throughput.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use hh_core::colony;
-use hh_model::QualitySpec;
-use hh_sim::ScenarioSpec;
+use hh_sim::registry::{Algorithm, ColonyMix, FaultSchedule, QualityProfile, Scenario};
 use std::hint::black_box;
 
 fn bench_rounds(c: &mut Criterion) {
     let mut group = c.benchmark_group("throughput/steady_state_round");
     for n in [256usize, 4096] {
         group.throughput(Throughput::Elements(n as u64));
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
-            let mut sim = ScenarioSpec::new(n, QualitySpec::all_good(4))
-                .seed(1)
-                .build_simulation(colony::simple(n, 1))
-                .expect("valid");
+        let scenario = Scenario::custom(
+            format!("bench-throughput-n{n}"),
+            n,
+            QualityProfile::AllGood { k: 4 },
+            FaultSchedule::None,
+            ColonyMix::Uniform(Algorithm::Simple),
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(n), &scenario, |b, s| {
+            let mut sim = s.build(1).expect("valid");
             for _ in 0..4 {
                 sim.step().expect("runs");
             }

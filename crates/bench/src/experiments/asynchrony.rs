@@ -8,16 +8,14 @@
 //! round) delays: a delayed ant misses its whole round (its action is
 //! replaced by a location-preserving no-op and it observes nothing).
 //!
-//! The experiment sweeps the delay probability for both algorithms and
-//! reports success rate and slowdown.
+//! The experiment sweeps the registry's delay fault axis for both
+//! algorithms and reports success rate and slowdown.
 
 use hh_analysis::{fmt_f64, Table};
-use hh_core::colony;
-use hh_model::faults::{CrashPlan, DelayPlan};
-use hh_model::QualitySpec;
-use hh_sim::{ConvergenceRule, Perturbations, ScenarioSpec};
+use hh_sim::registry::{Algorithm, ColonyMix, FaultSchedule, QualityProfile, Scenario};
+use hh_sim::ConvergenceRule;
 
-use super::common::measure_cell;
+use super::common::{cell_seed, measure_scenario};
 use super::{ExperimentReport, Finding, Mode};
 
 const N: usize = 128;
@@ -31,29 +29,35 @@ pub fn run(mode: Mode) -> ExperimentReport {
     let delay_probs = [0.0, 0.05, 0.10, 0.20, 0.30];
     let rule = ConvergenceRule::stable_commitment(8);
 
+    let delay_cell = |algorithm: Algorithm, probability: f64, cell: u64| {
+        let faults = if probability > 0.0 {
+            FaultSchedule::Delay { probability }
+        } else {
+            FaultSchedule::None
+        };
+        Scenario::custom(
+            format!("f17-{}-p{probability}", algorithm.label()),
+            N,
+            QualityProfile::GoodPrefix { k: K, good: GOOD },
+            faults,
+            ColonyMix::Uniform(algorithm),
+        )
+        .rule(rule)
+        .max_rounds(40_000)
+        .base_seed_value(cell_seed(17, cell, 0))
+    };
+
     let mut table = Table::new(["delay probability", "optimal", "simple", "simple slowdown"]);
     let mut simple_survives = true;
     let mut optimal_fragile = false;
     let mut baseline_rounds = 0.0;
     let mut slowdown_at_20 = 0.0;
     for (di, &prob) in delay_probs.iter().enumerate() {
-        let scenario = move |seed: u64| {
-            ScenarioSpec::new(N, QualitySpec::good_prefix(K, GOOD)).perturbations(Perturbations {
-                crash: CrashPlan::none(N),
-                delay: DelayPlan::new(prob, seed),
-            })
-        };
-        let optimal = measure_cell(trials, 40_000, rule, 17, di as u64 * 2, scenario, |_| {
-            colony::optimal(N)
-        });
-        let simple = measure_cell(
+        let optimal =
+            measure_scenario(trials, &delay_cell(Algorithm::Optimal, prob, di as u64 * 2));
+        let simple = measure_scenario(
             trials,
-            40_000,
-            rule,
-            17,
-            di as u64 * 2 + 1,
-            scenario,
-            |seed| colony::simple(N, seed),
+            &delay_cell(Algorithm::Simple, prob, di as u64 * 2 + 1),
         );
         if prob == 0.0 {
             baseline_rounds = simple.median_rounds();

@@ -3,6 +3,7 @@
 use hh_analysis::{Quantiles, Summary};
 use hh_core::BoxedAgent;
 use hh_model::QualitySpec;
+use hh_sim::registry::Scenario;
 use hh_sim::{run_trials, solved_rounds, success_rate, ConvergenceRule, ScenarioSpec, Simulation};
 
 /// Base seed for all experiments; every (experiment, cell, trial) derives
@@ -83,6 +84,28 @@ pub fn measure_cell(
 /// Convenience: an unperturbed scenario with a good-prefix quality spec.
 pub fn plain_scenario(n: usize, k: usize, good: usize) -> impl Fn(u64) -> ScenarioSpec + Sync {
     move |_seed| ScenarioSpec::new(n, QualitySpec::good_prefix(k, good))
+}
+
+/// Measures one sweep cell described as a registry [`Scenario`]: runs
+/// `trials` trials under the scenario's own convergence rule and round
+/// budget, with trial seeds derived from its base seed (experiments pin
+/// the base seed to [`cell_seed`] for sweep-stable reproducibility).
+///
+/// # Panics
+///
+/// Panics on harness errors (invalid configuration), which indicate bugs
+/// in the scenario definition rather than interesting outcomes.
+#[must_use]
+pub fn measure_scenario(trials: usize, scenario: &Scenario) -> CellResult {
+    let outcomes = scenario
+        .run_trials(trials)
+        .expect("registry scenario must be a valid configuration");
+    let rounds_list = solved_rounds(&outcomes);
+    CellResult {
+        rounds: rounds_list.iter().copied().collect(),
+        rounds_list,
+        success: success_rate(&outcomes),
+    }
 }
 
 /// Builds a simulation directly (for instrumented single runs).

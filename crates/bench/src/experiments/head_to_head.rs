@@ -8,10 +8,10 @@
 //! simple/optimal ratio growing with `k`.
 
 use hh_analysis::{fmt_f64, Table};
-use hh_core::colony;
+use hh_sim::registry::{Algorithm, ColonyMix, FaultSchedule, QualityProfile, Scenario};
 use hh_sim::ConvergenceRule;
 
-use super::common::{measure_cell, plain_scenario};
+use super::common::{cell_seed, measure_scenario};
 use super::{ExperimentReport, Finding, Mode};
 
 /// Runs experiment F7.
@@ -30,27 +30,29 @@ pub fn run(mode: Mode) -> ExperimentReport {
         Mode::Full => vec![2usize, 4, 8, 16, 32, 64],
     };
 
+    // All-good habitats: both algorithms race on pure competition.
+    let race_cell = |algorithm: Algorithm, k: usize, cell: u64| {
+        let (rule, budget) = match algorithm {
+            Algorithm::Optimal => (ConvergenceRule::all_final(), 60_000),
+            _ => (ConvergenceRule::commitment(), 120_000),
+        };
+        Scenario::custom(
+            format!("f7-{}-k{k}", algorithm.label()),
+            n,
+            QualityProfile::AllGood { k },
+            FaultSchedule::None,
+            ColonyMix::Uniform(algorithm),
+        )
+        .rule(rule)
+        .max_rounds(budget)
+        .base_seed_value(cell_seed(7, cell, 0))
+    };
+
     let mut table = Table::new(["k", "optimal (rounds)", "simple (rounds)", "simple/optimal"]);
     let mut ratios = Vec::new();
     for (ki, &k) in ks.iter().enumerate() {
-        let optimal = measure_cell(
-            trials,
-            60_000,
-            ConvergenceRule::all_final(),
-            7,
-            ki as u64 * 2,
-            plain_scenario(n, k, k),
-            move |_| colony::optimal(n),
-        );
-        let simple = measure_cell(
-            trials,
-            120_000,
-            ConvergenceRule::commitment(),
-            7,
-            ki as u64 * 2 + 1,
-            plain_scenario(n, k, k),
-            move |seed| colony::simple(n, seed),
-        );
+        let optimal = measure_scenario(trials, &race_cell(Algorithm::Optimal, k, ki as u64 * 2));
+        let simple = measure_scenario(trials, &race_cell(Algorithm::Simple, k, ki as u64 * 2 + 1));
         assert!(optimal.success > 0.9 && simple.success > 0.9);
         let ratio = simple.median_rounds() / optimal.median_rounds();
         ratios.push(ratio);

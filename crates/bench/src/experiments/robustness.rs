@@ -4,16 +4,18 @@
 //! crash faults, and a small number of malicious ants, while the optimal
 //! algorithm's reliance on exact counts and strict synchrony makes it
 //! fragile. Each experiment sweeps a perturbation strength for both
-//! algorithms and reports success rates.
+//! algorithms and reports success rates; every cell is a registry
+//! [`Scenario`] assembled from the fault and colony-mix axes.
 
 use hh_analysis::{fmt_f64, Table};
-use hh_core::{colony, BadNestRecruiter, SleeperAnt, UrnOptions};
-use hh_model::faults::{CrashPlan, CrashStyle, DelayPlan};
+use hh_core::{colony, SleeperAnt};
+use hh_model::faults::CrashStyle;
 use hh_model::noise::CountNoise;
 use hh_model::{NoiseModel, QualitySpec};
-use hh_sim::{ConvergenceRule, Perturbations, ScenarioSpec};
+use hh_sim::registry::{Algorithm, ColonyMix, FaultSchedule, QualityProfile, Scenario};
+use hh_sim::{ConvergenceRule, ScenarioSpec};
 
-use super::common::measure_cell;
+use super::common::{cell_seed, measure_cell, measure_scenario};
 use super::{ExperimentReport, Finding, Mode};
 
 const N: usize = 128;
@@ -24,6 +26,26 @@ fn rule() -> ConvergenceRule {
     // A stability window guards against flickering agreement under
     // perturbations.
     ConvergenceRule::stable_commitment(8)
+}
+
+/// The shared habitat of the robustness sweeps.
+fn habitat() -> QualityProfile {
+    QualityProfile::GoodPrefix { k: K, good: GOOD }
+}
+
+/// One registry cell of a robustness sweep: `algorithm` under `faults`,
+/// seeded from the experiment's cell-seed scheme.
+fn cell(
+    name: String,
+    experiment: u64,
+    cell: u64,
+    faults: FaultSchedule,
+    mix: ColonyMix,
+) -> Scenario {
+    Scenario::custom(name, N, habitat(), faults, mix)
+        .rule(rule())
+        .max_rounds(30_000)
+        .base_seed_value(cell_seed(experiment, cell, 0))
 }
 
 /// Runs experiment F10 (unbiased count noise).
@@ -37,23 +59,31 @@ pub fn run_f10(mode: Mode) -> ExperimentReport {
     let mut baseline_rounds = 0.0;
     let mut optimal_degrades = false;
     for (si, &sigma) in sigmas.iter().enumerate() {
-        let scenario = move |_seed: u64| {
-            ScenarioSpec::new(N, QualitySpec::good_prefix(K, GOOD)).noise(NoiseModel {
-                count: CountNoise::multiplicative(sigma).expect("valid sigma"),
-                quality: Default::default(),
-            })
+        let noise = NoiseModel {
+            count: CountNoise::multiplicative(sigma).expect("valid sigma"),
+            quality: Default::default(),
         };
-        let optimal = measure_cell(trials, 30_000, rule(), 10, si as u64 * 2, scenario, |_| {
-            colony::optimal(N)
-        });
-        let simple = measure_cell(
+        let optimal = measure_scenario(
             trials,
-            30_000,
-            rule(),
-            10,
-            si as u64 * 2 + 1,
-            scenario,
-            |seed| colony::simple(N, seed),
+            &cell(
+                format!("f10-optimal-sigma{sigma}"),
+                10,
+                si as u64 * 2,
+                FaultSchedule::None,
+                ColonyMix::Uniform(Algorithm::Optimal),
+            )
+            .noise(noise),
+        );
+        let simple = measure_scenario(
+            trials,
+            &cell(
+                format!("f10-simple-sigma{sigma}"),
+                10,
+                si as u64 * 2 + 1,
+                FaultSchedule::None,
+                ColonyMix::Uniform(Algorithm::Simple),
+            )
+            .noise(noise),
         );
         if sigma == 0.0 {
             baseline_rounds = simple.mean_rounds();
@@ -111,23 +141,34 @@ pub fn run_f11(mode: Mode) -> ExperimentReport {
     let mut table = Table::new(["crash fraction", "optimal", "simple"]);
     let mut simple_survives = true;
     for (fi, &fraction) in fractions.iter().enumerate() {
-        let scenario = move |seed: u64| {
-            ScenarioSpec::new(N, QualitySpec::good_prefix(K, GOOD)).perturbations(Perturbations {
-                crash: CrashPlan::fraction(N, fraction, 10, CrashStyle::InPlace, seed),
-                delay: DelayPlan::never(),
-            })
+        let faults = if fraction > 0.0 {
+            FaultSchedule::Crash {
+                fraction,
+                round: 10,
+                style: CrashStyle::InPlace,
+            }
+        } else {
+            FaultSchedule::None
         };
-        let optimal = measure_cell(trials, 30_000, rule(), 11, fi as u64 * 2, scenario, |_| {
-            colony::optimal(N)
-        });
-        let simple = measure_cell(
+        let optimal = measure_scenario(
             trials,
-            30_000,
-            rule(),
-            11,
-            fi as u64 * 2 + 1,
-            scenario,
-            |seed| colony::simple(N, seed),
+            &cell(
+                format!("f11-optimal-crash{fraction}"),
+                11,
+                fi as u64 * 2,
+                faults,
+                ColonyMix::Uniform(Algorithm::Optimal),
+            ),
+        );
+        let simple = measure_scenario(
+            trials,
+            &cell(
+                format!("f11-simple-crash{fraction}"),
+                11,
+                fi as u64 * 2 + 1,
+                faults,
+                ColonyMix::Uniform(Algorithm::Simple),
+            ),
         );
         if fraction <= 0.2 && simple.success < 0.85 {
             simple_survives = false;
@@ -179,41 +220,39 @@ pub fn run_f12(mode: Mode) -> ExperimentReport {
     let mut hardened_rescues = true;
     let mut paper_simple_at_max = 1.0;
     for (bi, &byz) in byz_counts.iter().enumerate() {
-        let paper = measure_cell(
+        let paper = measure_scenario(
             trials,
-            30_000,
-            quorum,
-            12,
-            bi as u64 * 3,
-            move |_| ScenarioSpec::new(N, QualitySpec::good_prefix(K, GOOD)),
-            move |seed| {
-                let mut agents = colony::simple(N, seed);
-                colony::plant_adversaries(&mut agents, byz, |_| Box::new(BadNestRecruiter::new()));
-                agents
-            },
+            &cell(
+                format!("f12-paper-byz{byz}"),
+                12,
+                bi as u64 * 3,
+                FaultSchedule::None,
+                ColonyMix::Byzantine {
+                    algorithm: Algorithm::Simple,
+                    adversaries: byz,
+                },
+            )
+            .rule(quorum),
         );
         // The hardened variant re-checks quality on arrival, which needs
-        // the assessing-go model extension.
-        let hardened = measure_cell(
+        // the assessing-go model extension (the registry enables it for
+        // `HardenedSimple` automatically).
+        let hardened = measure_scenario(
             trials,
-            30_000,
-            quorum,
-            12,
-            bi as u64 * 3 + 1,
-            move |_| ScenarioSpec::new(N, QualitySpec::good_prefix(K, GOOD)).reveal_quality_on_go(),
-            move |seed| {
-                let mut agents = colony::simple_with_options(
-                    N,
-                    seed,
-                    UrnOptions {
-                        reassess_on_arrival: true,
-                        ..UrnOptions::default()
-                    },
-                );
-                colony::plant_adversaries(&mut agents, byz, |_| Box::new(BadNestRecruiter::new()));
-                agents
-            },
+            &cell(
+                format!("f12-hardened-byz{byz}"),
+                12,
+                bi as u64 * 3 + 1,
+                FaultSchedule::None,
+                ColonyMix::Byzantine {
+                    algorithm: Algorithm::HardenedSimple,
+                    adversaries: byz,
+                },
+            )
+            .rule(quorum),
         );
+        // Sleeper adversaries are per-slot-seeded agents, not a registry
+        // mix; this column keeps the bespoke colony path.
         let sleepers = measure_cell(
             trials,
             30_000,

@@ -7,10 +7,9 @@
 use std::time::Instant;
 
 use hh_analysis::{fmt_f64, Table};
-use hh_core::colony;
-use hh_model::QualitySpec;
+use hh_sim::registry::{Algorithm, ColonyMix, FaultSchedule, QualityProfile, Scenario};
 
-use super::common::{build_sim, cell_seed};
+use super::common::cell_seed;
 use super::{ExperimentReport, Finding, Mode};
 
 /// Measured executor throughput at one colony size.
@@ -25,8 +24,17 @@ pub struct Throughput {
 /// Measures steady-state executor throughput for the simple colony.
 #[must_use]
 pub fn measure_throughput(n: usize, rounds: u64, cell: u64) -> Throughput {
-    let seed = cell_seed(22, cell, 0);
-    let mut sim = build_sim(n, QualitySpec::all_good(4), seed, colony::simple(n, seed));
+    let scenario = Scenario::custom(
+        format!("t2-n{n}"),
+        n,
+        QualityProfile::AllGood { k: 4 },
+        FaultSchedule::None,
+        ColonyMix::Uniform(Algorithm::Simple),
+    )
+    .base_seed_value(cell_seed(22, cell, 0));
+    let mut sim = scenario
+        .build(scenario.trial_seed(0))
+        .expect("valid experiment configuration");
     // Warm-up: past the search round.
     for _ in 0..4 {
         sim.step().expect("legal run");

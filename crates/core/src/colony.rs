@@ -88,6 +88,14 @@ pub fn spreaders(n: usize, base_seed: u64, strategy: SpreadStrategy) -> Vec<Boxe
     from_factory(n, base_seed, |_, seed| SpreaderAnt::new(strategy, seed))
 }
 
+/// Replaces the last `count` agents of `colony` with honest idlers
+/// ([`IdlerAnt`](crate::IdlerAnt)): live colony members that do no
+/// house-hunting work and rely on being carried. The colony size is
+/// unchanged; `count` is clamped to the colony size.
+pub fn plant_idlers(colony: &mut [BoxedAgent], count: usize) {
+    plant_adversaries(colony, count, |_| Box::new(crate::IdlerAnt::new()));
+}
+
 /// Replaces the last `count` agents of `colony` with adversaries built by
 /// `factory` (receiving the slot index). The colony size is unchanged;
 /// `count` is clamped to the colony size.
@@ -172,6 +180,16 @@ mod tests {
         assert_eq!(colony.len(), 10);
         assert_eq!(colony.iter().filter(|a| !a.is_honest()).count(), 3);
         assert!(colony[..7].iter().all(|a| a.is_honest()));
+    }
+
+    #[test]
+    fn plant_idlers_replaces_tail_with_honest_idlers() {
+        let mut colony = simple(10, 1);
+        plant_idlers(&mut colony, 4);
+        assert_eq!(colony.len(), 10);
+        assert!(colony.iter().all(|a| a.is_honest()));
+        assert_eq!(colony.iter().filter(|a| a.label() == "idler").count(), 4);
+        assert!(colony[..6].iter().all(|a| a.label() == "simple"));
     }
 
     #[test]

@@ -13,6 +13,7 @@
 //! | Adaptive-rate variant (improved running time) | §6 | [`AdaptiveAnt`] |
 //! | Non-binary-quality variant | §6 | [`QualityAnt`] |
 //! | Byzantine adversaries (malicious faults) | §6 | [`byzantine`] |
+//! | Idle colony members (Afek–Gordon–Sulamy) | related work | [`IdlerAnt`] |
 //!
 //! Colonies (one agent per ant) are built with the helpers in
 //! [`colony`]; the formal problem statement and consensus predicates live
@@ -59,6 +60,7 @@
 
 mod adaptive;
 mod agent;
+mod idle;
 mod optimal;
 mod quality;
 mod simple;
@@ -74,6 +76,7 @@ pub(crate) mod testutil;
 pub use adaptive::{AdaptiveAnt, AdaptivePolicy};
 pub use agent::{Agent, AgentRole, BoxedAgent, CyclePhase};
 pub use byzantine::{BadNestRecruiter, OscillatorAnt, SleeperAnt};
+pub use idle::IdlerAnt;
 pub use optimal::OptimalAnt;
 pub use quality::QualityAnt;
 pub use simple::{LinearPolicy, RecruitPolicy, SimpleAnt, UrnAnt, UrnOptions};

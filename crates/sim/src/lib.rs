@@ -12,7 +12,10 @@
 //! * [`run_trials`] — the parallel multi-trial runner behind every
 //!   "with high probability" measurement;
 //! * [`ScenarioSpec`] — declarative construction of (possibly perturbed)
-//!   simulations.
+//!   simulations;
+//! * [`registry`] — the named scenario catalog (quality profiles × fault
+//!   schedules × colony mixes) that experiments, benches, and examples
+//!   pull their workloads from.
 //!
 //! # Examples
 //!
@@ -45,9 +48,12 @@ mod metrics;
 mod runner;
 mod scenario;
 
+pub mod registry;
+
 pub use convergence::{ConvergenceRule, Detector, Solved};
 pub use error::SimError;
 pub use executor::{Perturbations, RoleCensus, RunOutcome, Simulation};
 pub use metrics::{RoundSnapshot, SeriesRecorder};
-pub use runner::{run_trials, solved_rounds, success_rate, TrialOutcome};
+pub use registry::Scenario;
+pub use runner::{run_trials, run_trials_with_workers, solved_rounds, success_rate, TrialOutcome};
 pub use scenario::ScenarioSpec;

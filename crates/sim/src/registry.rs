@@ -1,0 +1,1157 @@
+//! The scenario registry: named, composable workloads as data.
+//!
+//! Every "with high probability" claim in the paper is a statement over a
+//! *family* of instances — colony size × nest-quality profile × fault
+//! schedule — and every experiment, bench, and example needs concrete
+//! members of those families. This module turns them into data instead of
+//! code: a [`Scenario`] is assembled from three composable axes,
+//!
+//! * [`QualityProfile`] — all-good, good-prefix, single-good, or an
+//!   adversarial non-binary tie;
+//! * [`FaultSchedule`] — none, crash, delay, or mixed perturbations;
+//! * [`ColonyMix`] — a uniform colony of one [`Algorithm`], an
+//!   idle-fraction colony (Afek–Gordon–Sulamy's idle ants), a colony with
+//!   planted Byzantine recruiters, or a heterogeneous two-algorithm mix;
+//!
+//! plus a convergence rule and a round budget. The named catalog
+//! ([`all_scenarios`], [`lookup`], [`with_tag`]) spans colony sizes 16 to
+//! 4096 across all three axes, and the repository's
+//! `tests/registry_conformance.rs` harness runs *every* entry — so adding
+//! a scenario automatically adds its tests.
+//!
+//! # Examples
+//!
+//! ```
+//! use hh_sim::registry::{self, Tag};
+//!
+//! // Run a catalog scenario by name.
+//! let scenario = registry::lookup("baseline-16").expect("registered");
+//! let outcome = scenario.run(scenario.base_seed())?;
+//! assert!(outcome.solved.is_some());
+//!
+//! // Filter the catalog by tag.
+//! assert!(!registry::with_tag(Tag::Crash).is_empty());
+//!
+//! // Or compose a custom scenario from the same axes.
+//! use hh_sim::registry::{Algorithm, ColonyMix, FaultSchedule, QualityProfile, Scenario};
+//! let custom = Scenario::custom(
+//!     "my-workload",
+//!     64,
+//!     QualityProfile::GoodPrefix { k: 4, good: 2 },
+//!     FaultSchedule::None,
+//!     ColonyMix::Uniform(Algorithm::Simple),
+//! );
+//! assert!(custom.run(1)?.solved.is_some());
+//! # Ok::<(), hh_sim::SimError>(())
+//! ```
+
+use hh_core::{colony, BoxedAgent};
+use hh_model::faults::{CrashPlan, CrashStyle, DelayPlan};
+use hh_model::seeding::{derive_seed, StreamKind};
+use hh_model::{ColonyConfig, NoiseModel, Quality, QualitySpec};
+
+use crate::convergence::ConvergenceRule;
+use crate::error::SimError;
+use crate::executor::{Perturbations, RunOutcome, Simulation};
+use crate::runner::{run_trials_with_workers, TrialOutcome};
+use crate::scenario::ScenarioSpec;
+
+/// Which algorithm a (sub-)colony runs.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Algorithm {
+    /// The optimal `O(log n)` algorithm (Section 4); deterministic agents.
+    Optimal,
+    /// The paper-faithful simple `O(k log n)` algorithm (Section 5).
+    Simple,
+    /// The simple algorithm hardened with arrival re-assessment: carried
+    /// ants re-check the quality of the nest they were taken to, which
+    /// blunts bad-nest kidnappers (needs the "assessing go" extension,
+    /// enabled automatically).
+    HardenedSimple,
+    /// The adaptive-recruitment-rate variant (Section 6).
+    Adaptive,
+    /// The non-binary quality-weighted variant (Section 6) with
+    /// selectivity exponent `gamma`; requires the "assessing go" model
+    /// extension, which [`Scenario`] enables automatically.
+    Quality {
+        /// Selectivity exponent `γ` of the `(count/n)·qᵞ` rule.
+        gamma: f64,
+    },
+}
+
+impl Algorithm {
+    /// A short static name for reporting.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            Algorithm::Optimal => "optimal",
+            // Hardened agents are SimpleAnts with different options and
+            // share their label.
+            Algorithm::Simple | Algorithm::HardenedSimple => "simple",
+            Algorithm::Adaptive => "adaptive",
+            Algorithm::Quality { .. } => "quality",
+        }
+    }
+
+    /// Builds a uniform colony of `n` agents running this algorithm.
+    #[must_use]
+    pub fn build(&self, n: usize, seed: u64) -> Vec<BoxedAgent> {
+        match self {
+            Algorithm::Optimal => colony::optimal(n),
+            Algorithm::Simple => colony::simple(n, seed),
+            Algorithm::HardenedSimple => colony::simple_with_options(
+                n,
+                seed,
+                hh_core::UrnOptions {
+                    reassess_on_arrival: true,
+                    ..hh_core::UrnOptions::default()
+                },
+            ),
+            Algorithm::Adaptive => colony::adaptive(n, seed),
+            Algorithm::Quality { gamma } => colony::quality(n, seed, *gamma),
+        }
+    }
+
+    /// Returns `true` if the algorithm needs quality revealed on `go`.
+    #[must_use]
+    fn needs_quality_on_go(&self) -> bool {
+        matches!(self, Algorithm::Quality { .. } | Algorithm::HardenedSimple)
+    }
+}
+
+/// The nest-quality axis: which `k`-nest habitat the colony faces.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum QualityProfile {
+    /// All `k` nests good: pure symmetry breaking, the hardest race.
+    AllGood {
+        /// Number of candidate nests.
+        k: usize,
+    },
+    /// The first `good` of `k` nests good, the rest bad.
+    GoodPrefix {
+        /// Number of candidate nests.
+        k: usize,
+        /// Number of good nests.
+        good: usize,
+    },
+    /// Exactly one good nest among `k` — the needle-in-a-haystack
+    /// lower-bound setting of Section 3.
+    SingleGood {
+        /// Number of candidate nests.
+        k: usize,
+        /// 1-based index of the unique good nest.
+        good: usize,
+    },
+    /// An adversarial non-binary tie: two rival nests of quality 0.9 and
+    /// `k − 2` mediocre decoys at 0.45. Non-binary agents must both break
+    /// the tie and reject the decoys (Section 6's quality extension).
+    AdversarialTie {
+        /// Number of candidate nests (≥ 2).
+        k: usize,
+    },
+    /// Explicit per-nest qualities (non-binary).
+    Explicit(Vec<Quality>),
+}
+
+impl QualityProfile {
+    /// The number of candidate nests.
+    #[must_use]
+    pub fn k(&self) -> usize {
+        match self {
+            QualityProfile::AllGood { k }
+            | QualityProfile::GoodPrefix { k, .. }
+            | QualityProfile::SingleGood { k, .. }
+            | QualityProfile::AdversarialTie { k } => *k,
+            QualityProfile::Explicit(qualities) => qualities.len(),
+        }
+    }
+
+    /// `true` for profiles whose qualities are not binary 0/1, which need
+    /// the "assessing go" model extension and quality-aware agents to be
+    /// meaningful.
+    #[must_use]
+    pub fn is_non_binary(&self) -> bool {
+        matches!(
+            self,
+            QualityProfile::AdversarialTie { .. } | QualityProfile::Explicit(_)
+        )
+    }
+
+    /// Materializes the profile into the model's [`QualitySpec`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if an `AdversarialTie` has `k < 2` (catalog-definition bug).
+    #[must_use]
+    pub fn spec(&self) -> QualitySpec {
+        match self {
+            QualityProfile::AllGood { k } => QualitySpec::all_good(*k),
+            QualityProfile::GoodPrefix { k, good } => QualitySpec::good_prefix(*k, *good),
+            QualityProfile::SingleGood { k, good } => QualitySpec::single_good(*k, *good),
+            QualityProfile::AdversarialTie { k } => {
+                assert!(*k >= 2, "an adversarial tie needs at least two nests");
+                let rival = Quality::new(0.9).expect("valid quality");
+                let decoy = Quality::new(0.45).expect("valid quality");
+                let mut qualities = vec![decoy; *k];
+                qualities[0] = rival;
+                qualities[1] = rival;
+                QualitySpec::Explicit(qualities)
+            }
+            QualityProfile::Explicit(qualities) => QualitySpec::Explicit(qualities.clone()),
+        }
+    }
+}
+
+/// The fault/asynchrony axis: which Section 6 perturbations apply.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum FaultSchedule {
+    /// The unperturbed baseline model.
+    None,
+    /// A `fraction` of the colony crash-stops at `round`.
+    Crash {
+        /// Fraction of the colony that crashes, in `[0, 1]`.
+        fraction: f64,
+        /// The (inclusive) crash round.
+        round: u64,
+        /// Where crashed ants come to rest.
+        style: CrashStyle,
+    },
+    /// Independent per-(ant, round) delays with this probability.
+    Delay {
+        /// Per-step delay probability, in `[0, 1]`.
+        probability: f64,
+    },
+    /// Crashes and delays at once.
+    Mixed {
+        /// Fraction of the colony that crashes, in `[0, 1]`.
+        crash_fraction: f64,
+        /// The (inclusive) crash round.
+        crash_round: u64,
+        /// Per-step delay probability, in `[0, 1]`.
+        delay_probability: f64,
+    },
+}
+
+impl FaultSchedule {
+    /// `true` if the schedule perturbs nothing.
+    #[must_use]
+    pub fn is_none(&self) -> bool {
+        matches!(self, FaultSchedule::None)
+    }
+
+    /// Materializes the schedule into executor [`Perturbations`] for a
+    /// colony of `n`, with victim selection and delay draws derived from
+    /// `seed`. Returns `None` for the unperturbed baseline.
+    #[must_use]
+    pub fn perturbations(&self, n: usize, seed: u64) -> Option<Perturbations> {
+        match *self {
+            FaultSchedule::None => None,
+            FaultSchedule::Crash {
+                fraction,
+                round,
+                style,
+            } => Some(Perturbations {
+                crash: CrashPlan::fraction(n, fraction, round, style, seed),
+                delay: DelayPlan::never(),
+            }),
+            FaultSchedule::Delay { probability } => Some(Perturbations {
+                crash: CrashPlan::none(n),
+                delay: DelayPlan::new(probability, seed),
+            }),
+            FaultSchedule::Mixed {
+                crash_fraction,
+                crash_round,
+                delay_probability,
+            } => Some(Perturbations {
+                crash: CrashPlan::fraction(
+                    n,
+                    crash_fraction,
+                    crash_round,
+                    CrashStyle::InPlace,
+                    seed,
+                ),
+                delay: DelayPlan::new(delay_probability, seed),
+            }),
+        }
+    }
+}
+
+/// The colony-composition axis: who the `n` ants actually are.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ColonyMix {
+    /// Every ant runs the same algorithm.
+    Uniform(Algorithm),
+    /// An `idle` fraction of the colony are [`IdlerAnt`]s that do no work
+    /// and rely on being carried; the rest run `algorithm`.
+    ///
+    /// [`IdlerAnt`]: hh_core::IdlerAnt
+    IdleFraction {
+        /// The working majority's algorithm.
+        algorithm: Algorithm,
+        /// Fraction of the colony that idles, in `[0, 1]`.
+        idle: f64,
+    },
+    /// `adversaries` Byzantine bad-nest recruiters planted among an
+    /// honest colony running `algorithm`.
+    Byzantine {
+        /// The honest majority's algorithm.
+        algorithm: Algorithm,
+        /// Number of planted adversaries.
+        adversaries: usize,
+    },
+    /// A heterogeneous colony: a `fraction_b` share runs `b`, the rest
+    /// runs `a`. Both sub-colonies are honest.
+    Heterogeneous {
+        /// The majority algorithm.
+        a: Algorithm,
+        /// The minority algorithm.
+        b: Algorithm,
+        /// Fraction of the colony running `b`, in `[0, 1]`.
+        fraction_b: f64,
+    },
+}
+
+impl ColonyMix {
+    /// The algorithm run by the honest working majority.
+    #[must_use]
+    pub fn primary_algorithm(&self) -> &Algorithm {
+        match self {
+            ColonyMix::Uniform(algorithm)
+            | ColonyMix::IdleFraction { algorithm, .. }
+            | ColonyMix::Byzantine { algorithm, .. } => algorithm,
+            ColonyMix::Heterogeneous { a, .. } => a,
+        }
+    }
+
+    /// The number of non-primary agents this mix plants at the tail of
+    /// the colony: idlers, adversaries, or the minority sub-colony
+    /// (0 for a uniform mix). Fractions are rounded, clamped so a
+    /// nonzero remainder of primary agents always survives.
+    #[must_use]
+    pub fn planted_count(&self, n: usize) -> usize {
+        match self {
+            ColonyMix::Uniform(_) => 0,
+            ColonyMix::IdleFraction { idle, .. } => share(n, *idle),
+            ColonyMix::Byzantine { adversaries, .. } => (*adversaries).min(n),
+            ColonyMix::Heterogeneous { fraction_b, .. } => share(n, *fraction_b),
+        }
+    }
+
+    /// Builds the colony of `n` boxed agents for base seed `seed`.
+    #[must_use]
+    pub fn build(&self, n: usize, seed: u64) -> Vec<BoxedAgent> {
+        match self {
+            ColonyMix::Uniform(algorithm) => algorithm.build(n, seed),
+            ColonyMix::IdleFraction { algorithm, .. } => {
+                let mut agents = algorithm.build(n, seed);
+                colony::plant_idlers(&mut agents, self.planted_count(n));
+                agents
+            }
+            ColonyMix::Byzantine {
+                algorithm,
+                adversaries,
+            } => {
+                let mut agents = algorithm.build(n, seed);
+                colony::plant_adversaries(&mut agents, *adversaries, |_| {
+                    Box::new(hh_core::BadNestRecruiter::new())
+                });
+                agents
+            }
+            ColonyMix::Heterogeneous { a, b, .. } => {
+                let mut agents = a.build(n, seed);
+                // The minority sub-colony draws from its own derived seed
+                // stream so the two algorithms never share coins.
+                let b_seed = derive_seed(seed, StreamKind::Auxiliary, 0xB);
+                let count = self.planted_count(n);
+                let start = n - count;
+                for (slot, agent) in b.build(n, b_seed).into_iter().enumerate().skip(start) {
+                    agents[slot] = agent;
+                }
+                agents
+            }
+        }
+    }
+
+    /// Returns `true` if any sub-colony needs quality revealed on `go`.
+    fn needs_quality_on_go(&self) -> bool {
+        match self {
+            ColonyMix::Uniform(algorithm)
+            | ColonyMix::IdleFraction { algorithm, .. }
+            | ColonyMix::Byzantine { algorithm, .. } => algorithm.needs_quality_on_go(),
+            ColonyMix::Heterogeneous { a, b, .. } => {
+                a.needs_quality_on_go() || b.needs_quality_on_go()
+            }
+        }
+    }
+}
+
+/// Rounds a fractional share of the colony to a head-count, clamped so a
+/// nonzero fraction below one never consumes the whole colony.
+fn share(n: usize, fraction: f64) -> usize {
+    let fraction = fraction.clamp(0.0, 1.0);
+    let count = ((n as f64) * fraction).round() as usize;
+    if fraction < 1.0 {
+        count.min(n.saturating_sub(1))
+    } else {
+        n
+    }
+}
+
+/// Catalog tags, derived from a scenario's axes: one size band, one
+/// quality tag, one fault tag, and one mix tag per scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum Tag {
+    /// Colony size below 64.
+    Tiny,
+    /// Colony size in `64..256`.
+    Small,
+    /// Colony size in `256..1024`.
+    Medium,
+    /// Colony size 1024 or above.
+    Large,
+    /// All nests good.
+    AllGood,
+    /// A good prefix among bad nests.
+    GoodPrefix,
+    /// Exactly one good nest.
+    SingleGood,
+    /// The adversarial non-binary tie.
+    Tie,
+    /// Explicit non-binary qualities.
+    NonBinary,
+    /// No perturbations.
+    Clean,
+    /// Crash-stop faults.
+    Crash,
+    /// Per-round delays (partial asynchrony).
+    Delay,
+    /// Crashes and delays combined.
+    MixedFaults,
+    /// A uniform single-algorithm colony.
+    Uniform,
+    /// An idle-fraction colony.
+    Idle,
+    /// Planted Byzantine recruiters.
+    Byzantine,
+    /// A heterogeneous two-algorithm colony.
+    Hetero,
+}
+
+impl std::fmt::Display for Tag {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            Tag::Tiny => "tiny",
+            Tag::Small => "small",
+            Tag::Medium => "medium",
+            Tag::Large => "large",
+            Tag::AllGood => "all-good",
+            Tag::GoodPrefix => "good-prefix",
+            Tag::SingleGood => "single-good",
+            Tag::Tie => "tie",
+            Tag::NonBinary => "non-binary",
+            Tag::Clean => "clean",
+            Tag::Crash => "crash",
+            Tag::Delay => "delay",
+            Tag::MixedFaults => "mixed-faults",
+            Tag::Uniform => "uniform",
+            Tag::Idle => "idle",
+            Tag::Byzantine => "byzantine",
+            Tag::Hetero => "hetero",
+        };
+        f.write_str(name)
+    }
+}
+
+/// One named workload: axes + convergence rule + round budget.
+///
+/// Catalog entries come from [`all_scenarios`]/[`lookup`]; bespoke
+/// workloads are assembled with [`Scenario::custom`] from the same axes,
+/// so sweeps in experiments and examples stay data-driven.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    name: String,
+    summary: String,
+    n: usize,
+    profile: QualityProfile,
+    faults: FaultSchedule,
+    mix: ColonyMix,
+    noise: NoiseModel,
+    rule: ConvergenceRule,
+    max_rounds: u64,
+    base_seed: u64,
+    tags: Vec<Tag>,
+    expect_convergence: bool,
+}
+
+impl Scenario {
+    /// Assembles a scenario from the three axes.
+    ///
+    /// The convergence rule defaults to the natural one for the axes (see
+    /// [`Scenario::default_rule`]), the round budget to 40 000, the base
+    /// seed to a hash of `name`, and the tags to the derived tags; all are
+    /// overridable with the builder setters.
+    #[must_use]
+    pub fn custom(
+        name: impl Into<String>,
+        n: usize,
+        profile: QualityProfile,
+        faults: FaultSchedule,
+        mix: ColonyMix,
+    ) -> Self {
+        let name = name.into();
+        let rule = Self::default_rule(&profile, &faults, &mix);
+        let base_seed = name_seed(&name);
+        let mut scenario = Self {
+            name,
+            summary: String::new(),
+            n,
+            profile,
+            faults,
+            mix,
+            noise: NoiseModel::exact(),
+            rule,
+            max_rounds: 40_000,
+            base_seed,
+            tags: Vec::new(),
+            expect_convergence: true,
+        };
+        scenario.tags = scenario.derived_tags();
+        scenario
+    }
+
+    /// The natural success rule for a combination of axes: quorum rules
+    /// where unanimity is unattainable (idlers, Byzantine kidnappers),
+    /// any-nest commitment for non-binary habitats, a stability window
+    /// under faults, and plain commitment consensus otherwise.
+    #[must_use]
+    pub fn default_rule(
+        profile: &QualityProfile,
+        faults: &FaultSchedule,
+        mix: &ColonyMix,
+    ) -> ConvergenceRule {
+        match mix {
+            ColonyMix::Byzantine { .. } => ConvergenceRule::quorum(0.9, 8),
+            ColonyMix::IdleFraction { .. } => ConvergenceRule::quorum(0.7, 8),
+            _ if profile.is_non_binary() => ConvergenceRule::commitment_any(),
+            _ if !faults.is_none() => ConvergenceRule::stable_commitment(8),
+            _ => ConvergenceRule::commitment(),
+        }
+    }
+
+    /// Sets the one-line human summary.
+    #[must_use]
+    pub fn summary(mut self, summary: impl Into<String>) -> Self {
+        self.summary = summary.into();
+        self
+    }
+
+    /// Overrides the convergence rule.
+    #[must_use]
+    pub fn rule(mut self, rule: ConvergenceRule) -> Self {
+        self.rule = rule;
+        self
+    }
+
+    /// Overrides the convergence round budget.
+    #[must_use]
+    pub fn max_rounds(mut self, max_rounds: u64) -> Self {
+        self.max_rounds = max_rounds;
+        self
+    }
+
+    /// Overrides the base seed (trial seeds derive from it).
+    #[must_use]
+    pub fn base_seed_value(mut self, base_seed: u64) -> Self {
+        self.base_seed = base_seed;
+        self
+    }
+
+    /// Sets the observation-noise model (exact by default).
+    #[must_use]
+    pub fn noise(mut self, noise: NoiseModel) -> Self {
+        self.noise = noise;
+        self
+    }
+
+    /// Declares the catalog tags explicitly. The conformance suite checks
+    /// declared tags against [`Scenario::derived_tags`], so a typo here is
+    /// a test failure, not silent misfiling.
+    #[must_use]
+    pub fn tags_declared(mut self, tags: &[Tag]) -> Self {
+        self.tags = tags.to_vec();
+        self
+    }
+
+    /// Marks the scenario as one that must *not* converge within its
+    /// budget (e.g. an all-crash colony).
+    #[must_use]
+    pub fn expect_no_convergence(mut self) -> Self {
+        self.expect_convergence = false;
+        self
+    }
+
+    /// The scenario's registry name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The one-line human summary.
+    #[must_use]
+    pub fn summary_text(&self) -> &str {
+        &self.summary
+    }
+
+    /// Colony size `n`.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of candidate nests `k`.
+    #[must_use]
+    pub fn k(&self) -> usize {
+        self.profile.k()
+    }
+
+    /// The quality axis.
+    #[must_use]
+    pub fn profile(&self) -> &QualityProfile {
+        &self.profile
+    }
+
+    /// The fault axis.
+    #[must_use]
+    pub fn faults(&self) -> &FaultSchedule {
+        &self.faults
+    }
+
+    /// The colony-mix axis.
+    #[must_use]
+    pub fn mix(&self) -> &ColonyMix {
+        &self.mix
+    }
+
+    /// The success rule.
+    #[must_use]
+    pub fn convergence_rule(&self) -> ConvergenceRule {
+        self.rule
+    }
+
+    /// The convergence round budget.
+    #[must_use]
+    pub fn round_budget(&self) -> u64 {
+        self.max_rounds
+    }
+
+    /// The base seed from which trial seeds derive.
+    #[must_use]
+    pub fn base_seed(&self) -> u64 {
+        self.base_seed
+    }
+
+    /// The declared tags.
+    #[must_use]
+    pub fn tags(&self) -> &[Tag] {
+        &self.tags
+    }
+
+    /// Whether the scenario is expected to converge within its budget
+    /// (under its base seed).
+    #[must_use]
+    pub fn expects_convergence(&self) -> bool {
+        self.expect_convergence
+    }
+
+    /// Recomputes the tags from the axes: size band, quality profile,
+    /// fault schedule, colony mix — always exactly four.
+    #[must_use]
+    pub fn derived_tags(&self) -> Vec<Tag> {
+        let size = match self.n {
+            n if n < 64 => Tag::Tiny,
+            n if n < 256 => Tag::Small,
+            n if n < 1024 => Tag::Medium,
+            _ => Tag::Large,
+        };
+        let quality = match self.profile {
+            QualityProfile::AllGood { .. } => Tag::AllGood,
+            QualityProfile::GoodPrefix { .. } => Tag::GoodPrefix,
+            QualityProfile::SingleGood { .. } => Tag::SingleGood,
+            QualityProfile::AdversarialTie { .. } => Tag::Tie,
+            QualityProfile::Explicit(_) => Tag::NonBinary,
+        };
+        let fault = match self.faults {
+            FaultSchedule::None => Tag::Clean,
+            FaultSchedule::Crash { .. } => Tag::Crash,
+            FaultSchedule::Delay { .. } => Tag::Delay,
+            FaultSchedule::Mixed { .. } => Tag::MixedFaults,
+        };
+        let mix = match self.mix {
+            ColonyMix::Uniform(_) => Tag::Uniform,
+            ColonyMix::IdleFraction { .. } => Tag::Idle,
+            ColonyMix::Byzantine { .. } => Tag::Byzantine,
+            ColonyMix::Heterogeneous { .. } => Tag::Hetero,
+        };
+        vec![size, quality, fault, mix]
+    }
+
+    /// The seed for trial `trial` of this scenario.
+    #[must_use]
+    pub fn trial_seed(&self, trial: usize) -> u64 {
+        derive_seed(self.base_seed, StreamKind::Auxiliary, trial as u64)
+    }
+
+    /// Materializes the declarative spec for one trial seed.
+    #[must_use]
+    pub fn spec_for(&self, seed: u64) -> ScenarioSpec {
+        let mut config = ColonyConfig::new(self.n, self.profile.spec())
+            .seed(seed)
+            .noise(self.noise);
+        if self.profile.is_non_binary() || self.mix.needs_quality_on_go() {
+            config = config.reveal_quality_on_go();
+        }
+        if matches!(self.profile, QualityProfile::Explicit(_)) {
+            // Explicit habitats may legitimately contain no binary-good
+            // nest; the registry does not second-guess them.
+            config = config.allow_no_good();
+        }
+        let mut spec = ScenarioSpec::from_config(config);
+        if let Some(perturbations) = self.faults.perturbations(self.n, seed) {
+            spec = spec.perturbations(perturbations);
+        }
+        spec
+    }
+
+    /// Builds the colony for one trial seed.
+    #[must_use]
+    pub fn colony_for(&self, seed: u64) -> Vec<BoxedAgent> {
+        self.mix.build(self.n, seed)
+    }
+
+    /// Builds a ready-to-run simulation for one trial seed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration validation failures.
+    pub fn build(&self, seed: u64) -> Result<Simulation, SimError> {
+        self.spec_for(seed).build_simulation(self.colony_for(seed))
+    }
+
+    /// Builds and runs one trial to the scenario's rule and budget.
+    ///
+    /// # Errors
+    ///
+    /// Propagates build and execution failures.
+    pub fn run(&self, seed: u64) -> Result<RunOutcome, SimError> {
+        self.build(seed)?
+            .run_to_convergence(self.rule, self.max_rounds)
+    }
+
+    /// Runs `trials` independent trials (seeds derived per trial) on the
+    /// default worker pool.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first build or execution failure.
+    pub fn run_trials(&self, trials: usize) -> Result<Vec<TrialOutcome>, SimError> {
+        crate::runner::run_trials(trials, self.max_rounds, self.rule, |trial| {
+            self.build(self.trial_seed(trial))
+        })
+    }
+
+    /// Runs `trials` independent trials on an explicit worker count —
+    /// outcomes are bit-identical for every worker count.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first build or execution failure.
+    pub fn run_trials_with_workers(
+        &self,
+        trials: usize,
+        workers: usize,
+    ) -> Result<Vec<TrialOutcome>, SimError> {
+        run_trials_with_workers(trials, self.max_rounds, self.rule, workers, |trial| {
+            self.build(self.trial_seed(trial))
+        })
+    }
+}
+
+/// Hashes a scenario name into a stable base seed (FNV-1a folded through
+/// the model's seed derivation).
+fn name_seed(name: &str) -> u64 {
+    let h = name.bytes().fold(0xCBF2_9CE4_8422_2325u64, |h, b| {
+        (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01B3)
+    });
+    derive_seed(h, StreamKind::Auxiliary, 0)
+}
+
+/// The full named catalog, spanning colony sizes 16–4096, all four
+/// quality profiles, all four fault schedules, and all four colony mixes.
+#[must_use]
+pub fn all_scenarios() -> Vec<Scenario> {
+    use Algorithm::{Adaptive, Optimal, Simple};
+    vec![
+        Scenario::custom(
+            "baseline-16",
+            16,
+            QualityProfile::GoodPrefix { k: 2, good: 1 },
+            FaultSchedule::None,
+            ColonyMix::Uniform(Simple),
+        )
+        .summary("the smallest healthy colony: 16 simple ants, one good nest of two")
+        .max_rounds(6_000)
+        .tags_declared(&[Tag::Tiny, Tag::GoodPrefix, Tag::Clean, Tag::Uniform]),
+        Scenario::custom(
+            "baseline-128",
+            128,
+            QualityProfile::GoodPrefix { k: 6, good: 2 },
+            FaultSchedule::None,
+            ColonyMix::Uniform(Simple),
+        )
+        .summary("the quickstart habitat: 128 simple ants, 6 nests, 2 good")
+        .max_rounds(20_000)
+        .tags_declared(&[Tag::Small, Tag::GoodPrefix, Tag::Clean, Tag::Uniform]),
+        Scenario::custom(
+            "all-good-race-256",
+            256,
+            QualityProfile::AllGood { k: 4 },
+            FaultSchedule::None,
+            ColonyMix::Uniform(Simple),
+        )
+        .summary("pure symmetry breaking: every nest good, the colony must just agree")
+        .max_rounds(30_000)
+        .tags_declared(&[Tag::Medium, Tag::AllGood, Tag::Clean, Tag::Uniform]),
+        Scenario::custom(
+            "single-good-needle-128",
+            128,
+            QualityProfile::SingleGood { k: 8, good: 5 },
+            FaultSchedule::None,
+            ColonyMix::Uniform(Simple),
+        )
+        .summary("the Section 3 lower-bound habitat: one good nest hidden among 8")
+        .max_rounds(40_000)
+        .tags_declared(&[Tag::Small, Tag::SingleGood, Tag::Clean, Tag::Uniform]),
+        Scenario::custom(
+            "optimal-1024",
+            1024,
+            QualityProfile::GoodPrefix { k: 4, good: 2 },
+            FaultSchedule::None,
+            ColonyMix::Uniform(Optimal),
+        )
+        .summary("the O(log n) algorithm at scale, run to its all-final termination point")
+        .rule(ConvergenceRule::all_final())
+        .max_rounds(20_000)
+        .tags_declared(&[Tag::Large, Tag::GoodPrefix, Tag::Clean, Tag::Uniform]),
+        Scenario::custom(
+            "mega-colony-4096",
+            4096,
+            QualityProfile::GoodPrefix { k: 4, good: 2 },
+            FaultSchedule::None,
+            ColonyMix::Uniform(Optimal),
+        )
+        .summary("the largest catalog colony: 4096 ants under the optimal algorithm")
+        .rule(ConvergenceRule::all_final())
+        .max_rounds(20_000)
+        .tags_declared(&[Tag::Large, Tag::GoodPrefix, Tag::Clean, Tag::Uniform]),
+        Scenario::custom(
+            "adaptive-many-nests-512",
+            512,
+            QualityProfile::AllGood { k: 16 },
+            FaultSchedule::None,
+            ColonyMix::Uniform(Adaptive),
+        )
+        .summary("the adaptive-rate variant where it shines: many competing nests")
+        .max_rounds(60_000)
+        .tags_declared(&[Tag::Medium, Tag::AllGood, Tag::Clean, Tag::Uniform]),
+        Scenario::custom(
+            "quality-tie-128",
+            128,
+            QualityProfile::AdversarialTie { k: 4 },
+            FaultSchedule::None,
+            ColonyMix::Uniform(Algorithm::Quality { gamma: 2.0 }),
+        )
+        .summary("non-binary qualities: two 0.9 rivals and two 0.45 decoys")
+        .max_rounds(40_000)
+        .tags_declared(&[Tag::Small, Tag::Tie, Tag::Clean, Tag::Uniform]),
+        Scenario::custom(
+            "crash-quarter-128",
+            128,
+            QualityProfile::GoodPrefix { k: 4, good: 2 },
+            FaultSchedule::Crash {
+                fraction: 0.25,
+                round: 10,
+                style: CrashStyle::InPlace,
+            },
+            ColonyMix::Uniform(Simple),
+        )
+        .summary("a quarter of the colony crash-stops in place at round 10")
+        .max_rounds(30_000)
+        .tags_declared(&[Tag::Small, Tag::GoodPrefix, Tag::Crash, Tag::Uniform]),
+        Scenario::custom(
+            "crash-at-home-64",
+            64,
+            QualityProfile::GoodPrefix { k: 4, good: 2 },
+            FaultSchedule::Crash {
+                fraction: 0.15,
+                round: 8,
+                style: CrashStyle::AtHome,
+            },
+            ColonyMix::Uniform(Simple),
+        )
+        .summary("crashed ants walk home and idle there (the transportable crash style)")
+        .max_rounds(30_000)
+        .tags_declared(&[Tag::Small, Tag::GoodPrefix, Tag::Crash, Tag::Uniform]),
+        Scenario::custom(
+            "delay-light-128",
+            128,
+            QualityProfile::GoodPrefix { k: 4, good: 2 },
+            FaultSchedule::Delay { probability: 0.10 },
+            ColonyMix::Uniform(Simple),
+        )
+        .summary("partial asynchrony: every (ant, round) step delayed with p = 0.1")
+        .max_rounds(40_000)
+        .tags_declared(&[Tag::Small, Tag::GoodPrefix, Tag::Delay, Tag::Uniform]),
+        Scenario::custom(
+            "mixed-faults-128",
+            128,
+            QualityProfile::GoodPrefix { k: 4, good: 2 },
+            FaultSchedule::Mixed {
+                crash_fraction: 0.10,
+                crash_round: 10,
+                delay_probability: 0.05,
+            },
+            ColonyMix::Uniform(Simple),
+        )
+        .summary("crashes and delays at once, both in survivable doses")
+        .max_rounds(40_000)
+        .tags_declared(&[Tag::Small, Tag::GoodPrefix, Tag::MixedFaults, Tag::Uniform]),
+        Scenario::custom(
+            "idle-quarter-128",
+            128,
+            QualityProfile::GoodPrefix { k: 4, good: 2 },
+            FaultSchedule::None,
+            ColonyMix::IdleFraction {
+                algorithm: Simple,
+                idle: 0.25,
+            },
+        )
+        .summary("a quarter of the colony idles and is carried (Afek–Gordon–Sulamy)")
+        .max_rounds(40_000)
+        .tags_declared(&[Tag::Small, Tag::GoodPrefix, Tag::Clean, Tag::Idle]),
+        Scenario::custom(
+            "byzantine-handful-96",
+            96,
+            QualityProfile::GoodPrefix { k: 4, good: 2 },
+            FaultSchedule::None,
+            ColonyMix::Byzantine {
+                algorithm: Simple,
+                adversaries: 4,
+            },
+        )
+        .summary("four bad-nest recruiters against an honest simple colony")
+        .max_rounds(30_000)
+        .tags_declared(&[Tag::Small, Tag::GoodPrefix, Tag::Clean, Tag::Byzantine]),
+        Scenario::custom(
+            "hetero-simple-adaptive-256",
+            256,
+            QualityProfile::AllGood { k: 8 },
+            FaultSchedule::None,
+            ColonyMix::Heterogeneous {
+                a: Simple,
+                b: Adaptive,
+                fraction_b: 0.5,
+            },
+        )
+        .summary("half simple, half adaptive: mixed recruitment rates must still agree")
+        .max_rounds(60_000)
+        .tags_declared(&[Tag::Medium, Tag::AllGood, Tag::Clean, Tag::Hetero]),
+        Scenario::custom(
+            "all-crash-collapse-32",
+            32,
+            QualityProfile::GoodPrefix { k: 2, good: 1 },
+            FaultSchedule::Crash {
+                fraction: 1.0,
+                round: 1,
+                style: CrashStyle::InPlace,
+            },
+            ColonyMix::Uniform(Simple),
+        )
+        .summary("the degenerate bound: everyone crashes at round 1, nothing can converge")
+        .max_rounds(300)
+        .expect_no_convergence()
+        .tags_declared(&[Tag::Tiny, Tag::GoodPrefix, Tag::Crash, Tag::Uniform]),
+    ]
+}
+
+/// Looks a catalog scenario up by name.
+#[must_use]
+pub fn lookup(name: &str) -> Option<Scenario> {
+    all_scenarios().into_iter().find(|s| s.name() == name)
+}
+
+/// All catalog scenarios carrying `tag`.
+#[must_use]
+pub fn with_tag(tag: Tag) -> Vec<Scenario> {
+    all_scenarios()
+        .into_iter()
+        .filter(|s| s.tags().contains(&tag))
+        .collect()
+}
+
+/// The catalog's scenario names, in registry order.
+#[must_use]
+pub fn names() -> Vec<String> {
+    all_scenarios()
+        .into_iter()
+        .map(|s| s.name().to_string())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_is_large_and_uniquely_named() {
+        let scenarios = all_scenarios();
+        assert!(scenarios.len() >= 12, "catalog has {}", scenarios.len());
+        let mut names: Vec<_> = scenarios.iter().map(Scenario::name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), scenarios.len(), "duplicate scenario names");
+    }
+
+    #[test]
+    fn catalog_spans_all_three_axes() {
+        let scenarios = all_scenarios();
+        let has = |tag: Tag| scenarios.iter().any(|s| s.tags().contains(&tag));
+        // Quality axis.
+        assert!(has(Tag::AllGood) && has(Tag::GoodPrefix) && has(Tag::SingleGood) && has(Tag::Tie));
+        // Fault axis.
+        assert!(has(Tag::Clean) && has(Tag::Crash) && has(Tag::Delay) && has(Tag::MixedFaults));
+        // Mix axis.
+        assert!(has(Tag::Uniform) && has(Tag::Idle) && has(Tag::Byzantine) && has(Tag::Hetero));
+        // Size bands from 16 to 4096.
+        assert!(has(Tag::Tiny) && has(Tag::Large));
+        let ns: Vec<_> = scenarios.iter().map(Scenario::n).collect();
+        assert!(ns.contains(&16) && ns.contains(&4096));
+    }
+
+    #[test]
+    fn lookup_and_tag_filtering() {
+        let s = lookup("baseline-16").expect("registered");
+        assert_eq!(s.n(), 16);
+        assert_eq!(s.k(), 2);
+        assert!(lookup("no-such-scenario").is_none());
+        let crashes = with_tag(Tag::Crash);
+        assert!(crashes.iter().all(|s| s.tags().contains(&Tag::Crash)));
+        assert!(!crashes.is_empty());
+        assert_eq!(names().len(), all_scenarios().len());
+    }
+
+    #[test]
+    fn default_rules_follow_axes() {
+        let clean = Scenario::custom(
+            "t-clean",
+            32,
+            QualityProfile::AllGood { k: 2 },
+            FaultSchedule::None,
+            ColonyMix::Uniform(Algorithm::Simple),
+        );
+        assert_eq!(clean.convergence_rule(), ConvergenceRule::commitment());
+        let faulty = Scenario::custom(
+            "t-faulty",
+            32,
+            QualityProfile::AllGood { k: 2 },
+            FaultSchedule::Delay { probability: 0.1 },
+            ColonyMix::Uniform(Algorithm::Simple),
+        );
+        assert_eq!(
+            faulty.convergence_rule(),
+            ConvergenceRule::stable_commitment(8)
+        );
+        let byz = Scenario::custom(
+            "t-byz",
+            32,
+            QualityProfile::AllGood { k: 2 },
+            FaultSchedule::None,
+            ColonyMix::Byzantine {
+                algorithm: Algorithm::Simple,
+                adversaries: 2,
+            },
+        );
+        assert_eq!(byz.convergence_rule(), ConvergenceRule::quorum(0.9, 8));
+    }
+
+    #[test]
+    fn spec_and_colony_are_deterministic_per_seed() {
+        let s = lookup("crash-quarter-128").expect("registered");
+        assert_eq!(s.spec_for(5).config(), s.spec_for(5).config());
+        let a = s.colony_for(5);
+        let b = s.colony_for(5);
+        assert_eq!(a.len(), b.len());
+        assert!(a
+            .iter()
+            .zip(&b)
+            .all(|(x, y)| x.label() == y.label() && x.is_honest() == y.is_honest()));
+    }
+
+    #[test]
+    fn mixes_build_the_advertised_composition() {
+        let idle = ColonyMix::IdleFraction {
+            algorithm: Algorithm::Simple,
+            idle: 0.25,
+        }
+        .build(16, 3);
+        assert_eq!(idle.iter().filter(|a| a.label() == "idler").count(), 4);
+        let byz = ColonyMix::Byzantine {
+            algorithm: Algorithm::Simple,
+            adversaries: 3,
+        }
+        .build(16, 3);
+        assert_eq!(byz.iter().filter(|a| !a.is_honest()).count(), 3);
+        let hetero = ColonyMix::Heterogeneous {
+            a: Algorithm::Simple,
+            b: Algorithm::Adaptive,
+            fraction_b: 0.5,
+        }
+        .build(16, 3);
+        assert_eq!(hetero.iter().filter(|a| a.label() == "simple").count(), 8);
+        assert_eq!(hetero.iter().filter(|a| a.label() == "adaptive").count(), 8);
+    }
+
+    #[test]
+    fn share_never_consumes_the_whole_colony_below_one() {
+        assert_eq!(share(4, 0.0), 0);
+        assert_eq!(share(4, 0.5), 2);
+        assert_eq!(share(4, 0.99), 3, "clamped below n");
+        assert_eq!(share(4, 1.0), 4);
+    }
+
+    #[test]
+    fn adversarial_tie_materializes_two_rivals() {
+        let spec = QualityProfile::AdversarialTie { k: 4 }.spec();
+        let qualities = spec.materialize().unwrap();
+        assert_eq!(qualities.iter().filter(|q| q.is_good()).count(), 2);
+        assert!(qualities[0].is_good() && qualities[1].is_good());
+        assert!(!qualities[2].is_good() && !qualities[3].is_good());
+    }
+
+    #[test]
+    fn baseline_runs_and_solves() {
+        let s = lookup("baseline-16").expect("registered");
+        let outcome = s.run(s.base_seed()).unwrap();
+        assert!(outcome.solved.is_some());
+    }
+
+    #[test]
+    fn name_seeds_differ_across_names() {
+        assert_ne!(name_seed("baseline-16"), name_seed("baseline-128"));
+        assert_eq!(name_seed("x"), name_seed("x"));
+    }
+}

@@ -65,13 +65,39 @@ pub fn run_trials<F>(
 where
     F: Fn(usize) -> Result<Simulation, SimError> + Sync,
 {
+    let workers = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    run_trials_with_workers(trials, max_rounds, rule, workers, build)
+}
+
+/// [`run_trials`] with an explicit worker-thread count (clamped to
+/// `1..=trials`).
+///
+/// The determinism contract is that the outcome vector depends only on
+/// the factory, never on scheduling: `run_trials_with_workers(t, m, r,
+/// 1, f)` and `run_trials_with_workers(t, m, r, w, f)` are bit-identical
+/// for every `w`. The registry conformance suite and the runner property
+/// tests enforce this.
+///
+/// # Errors
+///
+/// Returns the first build or execution error encountered (remaining
+/// trials are abandoned).
+pub fn run_trials_with_workers<F>(
+    trials: usize,
+    max_rounds: u64,
+    rule: ConvergenceRule,
+    workers: usize,
+    build: F,
+) -> Result<Vec<TrialOutcome>, SimError>
+where
+    F: Fn(usize) -> Result<Simulation, SimError> + Sync,
+{
     if trials == 0 {
         return Ok(Vec::new());
     }
-    let workers = std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1)
-        .min(trials);
+    let workers = workers.clamp(1, trials);
     let cursor = AtomicUsize::new(0);
     let results: Mutex<Vec<TrialOutcome>> = Mutex::new(Vec::with_capacity(trials));
     let failure: Mutex<Option<SimError>> = Mutex::new(None);
@@ -175,6 +201,33 @@ mod tests {
         let a = run_trials(6, 5_000, ConvergenceRule::commitment(), build_simple).unwrap();
         let b = run_trials(6, 5_000, ConvergenceRule::commitment(), build_simple).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn worker_count_does_not_change_outcomes() {
+        let serial =
+            run_trials_with_workers(6, 5_000, ConvergenceRule::commitment(), 1, build_simple)
+                .unwrap();
+        for workers in [2usize, 3, 8, 64] {
+            let parallel = run_trials_with_workers(
+                6,
+                5_000,
+                ConvergenceRule::commitment(),
+                workers,
+                build_simple,
+            )
+            .unwrap();
+            assert_eq!(serial, parallel, "{workers} workers diverged from serial");
+        }
+    }
+
+    #[test]
+    fn worker_count_is_clamped() {
+        // 0 workers must still run everything (clamped to 1).
+        let outcomes =
+            run_trials_with_workers(3, 5_000, ConvergenceRule::commitment(), 0, build_simple)
+                .unwrap();
+        assert_eq!(outcomes.len(), 3);
     }
 
     #[test]

@@ -2,7 +2,9 @@
 //!
 //! Sweeps the number of candidate nests `k` at fixed colony size and
 //! compares the simple `count/n` rule against the adaptive
-//! `k̃(r)`-boosted rule. The simple algorithm's `O(k log n)` cost shows up
+//! `k̃(r)`-boosted rule, with each cell assembled from registry axes
+//! (all-good habitat — pure competition, the hardest case for
+//! convergence speed). The simple algorithm's `O(k log n)` cost shows up
 //! as near-linear growth in `k`; the adaptive schedule flattens it.
 //!
 //! ```text
@@ -11,22 +13,23 @@
 
 use house_hunting::analysis::{fmt_f64, Summary, Table};
 use house_hunting::prelude::*;
-use house_hunting::sim::{run_trials, solved_rounds, success_rate};
+use house_hunting::sim::{solved_rounds, success_rate};
 
 fn measure(
     n: usize,
     k: usize,
     trials: usize,
-    build: impl Fn(u64) -> Vec<BoxedAgent> + Sync,
+    algorithm: Algorithm,
 ) -> Result<(f64, f64), SimError> {
-    let outcomes = run_trials(trials, 80_000, ConvergenceRule::commitment(), |trial| {
-        let seed = 51_000 + trial as u64;
-        // All nests good: pure competition, the hardest case for
-        // convergence speed.
-        ScenarioSpec::new(n, QualitySpec::all_good(k))
-            .seed(seed)
-            .build_simulation(build(seed))
-    })?;
+    let scenario = Scenario::custom(
+        format!("adaptive-sweep-{}-k{k}", algorithm.label()),
+        n,
+        QualityProfile::AllGood { k },
+        FaultSchedule::None,
+        ColonyMix::Uniform(algorithm),
+    )
+    .max_rounds(80_000);
+    let outcomes = scenario.run_trials(trials)?;
     let rounds: Summary = solved_rounds(&outcomes).into_iter().collect();
     Ok((rounds.mean(), success_rate(&outcomes)))
 }
@@ -38,8 +41,8 @@ fn main() -> Result<(), SimError> {
 
     let mut table = Table::new(["k", "simple (rounds)", "adaptive (rounds)", "speedup"]);
     for k in [2usize, 4, 8, 16] {
-        let (simple, s_rate) = measure(n, k, trials, |seed| colony::simple(n, seed))?;
-        let (adaptive, a_rate) = measure(n, k, trials, |seed| colony::adaptive(n, seed))?;
+        let (simple, s_rate) = measure(n, k, trials, Algorithm::Simple)?;
+        let (adaptive, a_rate) = measure(n, k, trials, Algorithm::Adaptive)?;
         assert!(
             s_rate > 0.0 && a_rate > 0.0,
             "k={k}: a variant never converged"

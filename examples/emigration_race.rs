@@ -1,10 +1,10 @@
 //! Emigration race: the paper's two algorithms (plus the Section 6
 //! adaptive variant) on identical habitats.
 //!
-//! For each of several colony sizes, runs the optimal `O(log n)`
-//! algorithm, the simple `O(k log n)` algorithm, and the adaptive-rate
-//! variant over the same instances and reports mean rounds to consensus —
-//! the headline comparison of the paper (optimal wins; the gap grows with
+//! For each of several colony sizes, assembles a registry scenario per
+//! algorithm from the same axes (good-prefix habitat, no faults, uniform
+//! colony), runs the trials, and reports mean rounds to consensus — the
+//! headline comparison of the paper (optimal wins; the gap grows with
 //! `k`; see experiments F3–F7 for the full sweeps).
 //!
 //! ```text
@@ -13,26 +13,31 @@
 
 use house_hunting::analysis::{fmt_f64, Summary, Table};
 use house_hunting::prelude::*;
-use house_hunting::sim::{run_trials, solved_rounds, success_rate};
+use house_hunting::sim::{solved_rounds, success_rate};
 
-fn mean_rounds(
-    label: &str,
-    n: usize,
-    k: usize,
-    trials: usize,
-    build_colony: impl Fn(u64) -> Vec<BoxedAgent> + Sync,
-) -> Result<(f64, f64), SimError> {
-    let rule = ConvergenceRule::commitment();
-    let outcomes = run_trials(trials, 60_000, rule, |trial| {
-        let seed = 7_000 + trial as u64;
-        ScenarioSpec::new(n, QualitySpec::good_prefix(k, k / 2))
-            .seed(seed)
-            .build_simulation(build_colony(seed))
-    })?;
+fn race_scenario(n: usize, k: usize, algorithm: Algorithm) -> Scenario {
+    let rule = match algorithm {
+        Algorithm::Optimal => ConvergenceRule::all_final(),
+        _ => ConvergenceRule::commitment(),
+    };
+    Scenario::custom(
+        format!("race-{}-{n}", algorithm.label()),
+        n,
+        QualityProfile::GoodPrefix { k, good: k / 2 },
+        FaultSchedule::None,
+        ColonyMix::Uniform(algorithm),
+    )
+    .rule(rule)
+    .max_rounds(60_000)
+}
+
+fn mean_rounds(scenario: &Scenario, trials: usize) -> Result<(f64, f64), SimError> {
+    let outcomes = scenario.run_trials(trials)?;
     let rate = success_rate(&outcomes);
     assert!(
         rate > 0.0,
-        "{label}: no successful trial at n={n}, k={k} — raise the round budget"
+        "{}: no successful trial — raise the round budget",
+        scenario.name()
     );
     let rounds: Summary = solved_rounds(&outcomes).into_iter().collect();
     Ok((rounds.mean(), rate))
@@ -54,10 +59,9 @@ fn main() -> Result<(), SimError> {
         "simple/optimal",
     ]);
     for n in [128usize, 256, 512, 1024] {
-        let (optimal, _) = mean_rounds("optimal", n, k, trials, |_| colony::optimal(n))?;
-        let (simple, _) = mean_rounds("simple", n, k, trials, |seed| colony::simple(n, seed))?;
-        let (adaptive, _) =
-            mean_rounds("adaptive", n, k, trials, |seed| colony::adaptive(n, seed))?;
+        let (optimal, _) = mean_rounds(&race_scenario(n, k, Algorithm::Optimal), trials)?;
+        let (simple, _) = mean_rounds(&race_scenario(n, k, Algorithm::Simple), trials)?;
+        let (adaptive, _) = mean_rounds(&race_scenario(n, k, Algorithm::Adaptive), trials)?;
         table.row([
             n.to_string(),
             fmt_f64(optimal, 1),

@@ -2,20 +2,21 @@
 //!
 //! Subjects the two algorithms to the perturbations the paper discusses —
 //! noisy population counts, crash faults, partial asynchrony (delays),
-//! and Byzantine recruiters — and prints a success-rate grid. The paper's
-//! qualitative prediction: the optimal algorithm, which "relies heavily
-//! on the synchrony in the execution and the precise counting of the
-//! number of ants", collapses, while the simple algorithm keeps working.
+//! and Byzantine recruiters — with every cell assembled from registry
+//! axes, and prints a success-rate grid. The paper's qualitative
+//! prediction: the optimal algorithm, which "relies heavily on the
+//! synchrony in the execution and the precise counting of the number of
+//! ants", collapses, while the simple algorithm keeps working.
 //!
 //! ```text
 //! cargo run --release --example perturbed_colony
 //! ```
 
 use house_hunting::analysis::{fmt_f64, Table};
-use house_hunting::model::faults::{CrashPlan, CrashStyle, DelayPlan};
+use house_hunting::model::faults::CrashStyle;
 use house_hunting::model::noise::CountNoise;
 use house_hunting::prelude::*;
-use house_hunting::sim::{run_trials, success_rate};
+use house_hunting::sim::success_rate;
 
 #[derive(Clone, Copy)]
 enum Setup {
@@ -36,46 +37,50 @@ impl Setup {
             Setup::Byzantine(count) => format!("{count} byzantine"),
         }
     }
-}
 
-fn run(setup: Setup, algorithm: &str, n: usize, trials: usize) -> Result<f64, SimError> {
-    let k = 4;
-    let rule = ConvergenceRule::stable_commitment(8);
-    let outcomes = run_trials(trials, 30_000, rule, |trial| {
-        let seed = 31_000 + trial as u64;
-        let mut spec = ScenarioSpec::new(n, QualitySpec::good_prefix(k, 2)).seed(seed);
-        match setup {
-            Setup::Baseline | Setup::Byzantine(_) => {}
-            Setup::CountNoise(sigma) => {
-                spec = spec.noise(NoiseModel {
-                    count: CountNoise::multiplicative(sigma).expect("valid sigma"),
-                    quality: Default::default(),
-                });
-            }
-            Setup::Crashes(frac) => {
-                spec = spec.perturbations(Perturbations {
-                    crash: CrashPlan::fraction(n, frac, 10, CrashStyle::InPlace, seed),
-                    delay: DelayPlan::never(),
-                });
-            }
-            Setup::Delays(p) => {
-                spec = spec.perturbations(Perturbations {
-                    crash: CrashPlan::none(n),
-                    delay: DelayPlan::new(p, seed),
-                });
-            }
-        }
-        let mut agents = match algorithm {
-            "optimal" => colony::optimal(n),
-            _ => colony::simple(n, seed),
+    /// Maps the setup onto the registry's fault and mix axes.
+    fn scenario(self, algorithm: Algorithm, n: usize) -> Scenario {
+        let faults = match self {
+            Setup::Crashes(fraction) => FaultSchedule::Crash {
+                fraction,
+                round: 10,
+                style: CrashStyle::InPlace,
+            },
+            Setup::Delays(probability) => FaultSchedule::Delay { probability },
+            _ => FaultSchedule::None,
         };
-        if let Setup::Byzantine(count) = setup {
-            colony::plant_adversaries(&mut agents, count, |_| {
-                Box::new(house_hunting::core::BadNestRecruiter::new())
+        let mix = match self {
+            Setup::Byzantine(adversaries) => ColonyMix::Byzantine {
+                algorithm,
+                adversaries,
+            },
+            _ => ColonyMix::Uniform(algorithm),
+        };
+        let mut scenario = Scenario::custom(
+            format!(
+                "perturbed-{}-{}",
+                self.label(),
+                mix.primary_algorithm().label()
+            ),
+            n,
+            QualityProfile::GoodPrefix { k: 4, good: 2 },
+            faults,
+            mix,
+        )
+        .rule(ConvergenceRule::stable_commitment(8))
+        .max_rounds(30_000);
+        if let Setup::CountNoise(sigma) = self {
+            scenario = scenario.noise(NoiseModel {
+                count: CountNoise::multiplicative(sigma).expect("valid sigma"),
+                quality: Default::default(),
             });
         }
-        spec.build_simulation(agents)
-    })?;
+        scenario
+    }
+}
+
+fn run(setup: Setup, algorithm: Algorithm, n: usize, trials: usize) -> Result<f64, SimError> {
+    let outcomes = setup.scenario(algorithm, n).run_trials(trials)?;
     Ok(success_rate(&outcomes))
 }
 
@@ -97,8 +102,8 @@ fn main() -> Result<(), SimError> {
 
     let mut table = Table::new(["perturbation", "optimal", "simple"]);
     for setup in setups {
-        let optimal = run(setup, "optimal", n, trials)?;
-        let simple = run(setup, "simple", n, trials)?;
+        let optimal = run(setup, Algorithm::Optimal, n, trials)?;
+        let simple = run(setup, Algorithm::Simple, n, trials)?;
         table.row([
             setup.label(),
             format!("{}%", fmt_f64(optimal * 100.0, 0)),

@@ -1,9 +1,10 @@
 //! Quality trade-off: Section 6's non-binary nest qualities.
 //!
-//! Two candidate nests of quality 0.9 and 0.6. The quality-weighted agent
-//! recruits with probability `(count/n)·qᵞ`; sweeping the selectivity
-//! exponent `γ` traces the classic speed/accuracy trade-off observed in
-//! real Temnothorax colonies (Pratt & Sumpter 2006): higher `γ` picks the
+//! Two candidate nests of quality 0.9 and 0.6, expressed as an explicit
+//! registry quality profile. The quality-weighted agent recruits with
+//! probability `(count/n)·qᵞ`; sweeping the selectivity exponent `γ`
+//! traces the classic speed/accuracy trade-off observed in real
+//! Temnothorax colonies (Pratt & Sumpter 2006): higher `γ` picks the
 //! better nest more reliably but takes longer to decide.
 //!
 //! ```text
@@ -13,7 +14,7 @@
 use house_hunting::analysis::{fmt_f64, Summary, Table};
 use house_hunting::model::Quality;
 use house_hunting::prelude::*;
-use house_hunting::sim::{run_trials, success_rate};
+use house_hunting::sim::success_rate;
 
 fn main() -> Result<(), SimError> {
     let n = 128;
@@ -21,7 +22,7 @@ fn main() -> Result<(), SimError> {
     let qualities = [0.9, 0.6];
     println!("speed/accuracy trade-off: n = {n}, nest qualities {qualities:?}, {trials} trials\n");
 
-    let spec_qualities = QualitySpec::Explicit(
+    let profile = QualityProfile::Explicit(
         qualities
             .iter()
             .map(|&q| Quality::new(q).expect("valid quality"))
@@ -30,13 +31,15 @@ fn main() -> Result<(), SimError> {
 
     let mut table = Table::new(["gamma", "P[best nest wins]", "mean rounds", "success"]);
     for gamma in [0.0, 1.0, 2.0, 4.0] {
-        let outcomes = run_trials(trials, 40_000, ConvergenceRule::commitment_any(), |trial| {
-            let seed = 77_000 + trial as u64;
-            ScenarioSpec::new(n, spec_qualities.clone())
-                .seed(seed)
-                .reveal_quality_on_go()
-                .build_simulation(colony::quality(n, seed, gamma))
-        })?;
+        let scenario = Scenario::custom(
+            format!("quality-tradeoff-gamma{gamma}"),
+            n,
+            profile.clone(),
+            FaultSchedule::None,
+            ColonyMix::Uniform(Algorithm::Quality { gamma }),
+        )
+        .max_rounds(40_000);
+        let outcomes = scenario.run_trials(trials)?;
         let best_wins = outcomes
             .iter()
             .filter(|o| {

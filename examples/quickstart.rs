@@ -1,39 +1,84 @@
 //! Quickstart: one colony, one emigration, narrated.
 //!
-//! Runs the paper's simple algorithm (Algorithm 3) on a single
-//! house-hunting instance and prints the population dynamics as the
-//! colony converges on a good nest.
+//! Pulls the `baseline-128` scenario from the registry, runs the paper's
+//! simple algorithm (Algorithm 3) on it, and prints the population
+//! dynamics as the colony converges on a good nest.
 //!
 //! ```text
 //! cargo run --example quickstart
+//! cargo run --example quickstart -- <scenario-name>   # any catalog entry
 //! ```
 
 use house_hunting::analysis::sparkline;
 use house_hunting::prelude::*;
 use house_hunting::sim::SeriesRecorder;
 
+fn print_catalog() {
+    for s in registry::all_scenarios() {
+        println!("  {:<28} {}", s.name(), s.summary_text());
+    }
+}
+
 fn main() -> Result<(), SimError> {
-    // A colony of 128 ants; 6 candidate nests, 2 of them good.
-    let n = 128;
-    let k = 6;
-    let seed = 2015; // the year the paper appeared
-    let spec = ScenarioSpec::new(n, QualitySpec::good_prefix(k, 2)).seed(seed);
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "baseline-128".to_string());
+    if name == "list" {
+        println!("registered scenarios:");
+        print_catalog();
+        return Ok(());
+    }
+    let scenario = registry::lookup(&name).unwrap_or_else(|| {
+        eprintln!("unknown scenario {name:?}; run with `list` to see the catalog:");
+        print_catalog();
+        std::process::exit(2);
+    });
 
-    let mut sim = spec.build_simulation(colony::simple(n, seed))?;
+    let n = scenario.n();
+    let k = scenario.k();
+    let seed = scenario.base_seed();
+    println!(
+        "scenario {:?}: {}",
+        scenario.name(),
+        scenario.summary_text()
+    );
+
+    let mut sim = scenario.build(seed)?;
     let mut recorder = SeriesRecorder::new();
-    let outcome = sim.run_observed(ConvergenceRule::commitment(), 20_000, |sim, _| {
-        recorder.record(sim);
-    })?;
+    let outcome = sim.run_observed(
+        scenario.convergence_rule(),
+        scenario.round_budget(),
+        |sim, _| {
+            recorder.record(sim);
+        },
+    )?;
 
-    let solved = outcome
-        .solved
-        .expect("a healthy colony always finds a home");
-    println!("colony of {n} ants, {k} candidate nests (n1, n2 good)");
+    let Some(solved) = outcome.solved else {
+        // Some catalog entries (e.g. all-crash-collapse-32) exist to
+        // demonstrate non-convergence.
+        println!(
+            "no consensus within the {}-round budget ({} actions replaced by fault no-ops)",
+            scenario.round_budget(),
+            outcome.replaced_actions
+        );
+        assert!(
+            !scenario.expects_convergence(),
+            "scenario declared convergent but did not converge"
+        );
+        return Ok(());
+    };
+    println!("colony of {n} ants, {k} candidate nests");
     println!(
         "consensus: all ants committed to {} after {} rounds\n",
         solved.nest, solved.round
     );
 
+    let good: Vec<bool> = sim
+        .env()
+        .nests()
+        .iter()
+        .map(|nest| nest.quality().is_good())
+        .collect();
     println!("committed-population traces (one row per candidate nest):");
     for nest in 1..=k {
         let series: Vec<f64> = recorder
@@ -42,7 +87,7 @@ fn main() -> Result<(), SimError> {
             .map(|s| s.committed[nest - 1] as f64)
             .collect();
         let final_count = *series.last().unwrap() as usize;
-        let quality = if nest <= 2 { "good" } else { "bad " };
+        let quality = if good[nest - 1] { "good" } else { "bad " };
         println!(
             "  n{nest} ({quality})  {}  final {final_count:>4}",
             sparkline(&series)
@@ -56,6 +101,10 @@ fn main() -> Result<(), SimError> {
         .map(|&c| c as f64)
         .collect();
     println!("  {}", sparkline(&competing));
-    println!("  (starts at ≤ {} good nests, ends at exactly 1)", 2.min(k));
+    let good_count = good.iter().filter(|g| **g).count();
+    println!(
+        "  (starts at ≤ {} good nests, ends at exactly 1)",
+        good_count.max(1)
+    );
     Ok(())
 }

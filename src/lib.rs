@@ -59,6 +59,9 @@ pub mod prelude {
         Action, AntId, ColonyConfig, Environment, ModelError, NestId, NoiseModel, Outcome, Quality,
         QualitySpec,
     };
+    pub use hh_sim::registry::{
+        self, Algorithm, ColonyMix, FaultSchedule, QualityProfile, Scenario, Tag,
+    };
     pub use hh_sim::{
         ConvergenceRule, Perturbations, ScenarioSpec, SimError, Simulation, Solved, TrialOutcome,
     };

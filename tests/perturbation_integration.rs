@@ -147,6 +147,88 @@ fn byzantine_minority_does_not_stop_honest_quorum() {
 }
 
 #[test]
+fn zero_probability_schedules_are_noops() {
+    // A "perturbed" simulation whose crash fraction and delay probability
+    // are both zero must be bit-identical to the unperturbed baseline —
+    // same convergence, same rounds, and zero replaced actions.
+    let seed = 4_321;
+    let perturbations = Perturbations {
+        crash: CrashPlan::fraction(N, 0.0, 5, CrashStyle::InPlace, seed),
+        delay: DelayPlan::new(0.0, seed),
+    };
+    assert!(perturbations.is_none(), "zero-probability plans are empty");
+
+    let run = |perturbed: bool| {
+        let mut spec = ScenarioSpec::new(N, spec()).seed(seed);
+        if perturbed {
+            spec = spec.perturbations(perturbations.clone());
+        }
+        let mut sim = spec.build_simulation(colony::simple(N, seed)).unwrap();
+        sim.run_to_convergence(ConvergenceRule::commitment(), 20_000)
+            .unwrap()
+    };
+    let baseline = run(false);
+    let zeroed = run(true);
+    assert_eq!(baseline, zeroed);
+    assert_eq!(zeroed.replaced_actions, 0);
+    assert!(zeroed.solved.is_some());
+}
+
+#[test]
+fn all_crash_schedule_never_converges_but_counts_noops() {
+    // Everyone crashes at round 1: the colony is frozen from the first
+    // step, nothing can converge, and every action of every round is a
+    // replaced no-op.
+    let rounds = 50;
+    let outcomes = run_trials(2, rounds, ConvergenceRule::commitment(), |trial| {
+        let seed = 800 + trial as u64;
+        ScenarioSpec::new(N, spec())
+            .seed(seed)
+            .perturbations(Perturbations {
+                crash: CrashPlan::fraction(N, 1.0, 1, CrashStyle::InPlace, seed),
+                delay: DelayPlan::never(),
+            })
+            .build_simulation(colony::simple(N, seed))
+    })
+    .unwrap();
+    for outcome in &outcomes {
+        assert!(outcome.solved.is_none(), "a fully crashed colony solved");
+        assert_eq!(outcome.rounds_run, rounds);
+        assert_eq!(
+            outcome.replaced_actions,
+            N as u64 * rounds,
+            "every (ant, round) action must be a counted no-op"
+        );
+        assert_eq!(outcome.illegal_actions, 0);
+    }
+}
+
+#[test]
+fn late_all_crash_counts_noops_from_the_crash_round() {
+    // Crashing everyone at round 10 replaces actions only from round 10
+    // on: rounds 1..=9 run the real algorithm.
+    let seed = 901;
+    let crash_round = 10;
+    let rounds = 40;
+    let mut sim = ScenarioSpec::new(N, spec())
+        .seed(seed)
+        .perturbations(Perturbations {
+            crash: CrashPlan::fraction(N, 1.0, crash_round, CrashStyle::InPlace, seed),
+            delay: DelayPlan::never(),
+        })
+        .build_simulation(colony::simple(N, seed))
+        .unwrap();
+    let outcome = sim
+        .run_to_convergence(ConvergenceRule::commitment(), rounds)
+        .unwrap();
+    assert!(outcome.solved.is_none(), "no consensus in 9 live rounds");
+    assert_eq!(
+        outcome.replaced_actions,
+        N as u64 * (rounds - crash_round + 1)
+    );
+}
+
+#[test]
 fn combined_perturbations_small_doses() {
     // Everything at once, mildly: noise + a couple of crashes + rare
     // delays + one adversary.

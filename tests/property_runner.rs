@@ -1,0 +1,70 @@
+//! Property-based tests on the parallel trial runner: the determinism
+//! contract stated in `runner.rs` — outcomes depend only on the factory,
+//! never on scheduling — exercised over random colony sizes, habitats,
+//! seeds, and worker counts.
+
+use house_hunting::prelude::*;
+use house_hunting::sim::{run_trials, run_trials_with_workers};
+use proptest::prelude::*;
+
+fn build(
+    n: usize,
+    k: usize,
+    good: usize,
+    seed_base: u64,
+    trial: usize,
+) -> Result<Simulation, SimError> {
+    let seed = seed_base.wrapping_add(trial as u64);
+    ScenarioSpec::new(n, QualitySpec::good_prefix(k, good))
+        .seed(seed)
+        .build_simulation(colony::simple(n, seed))
+}
+
+proptest! {
+    // Each case runs up to 6 × (1 + 3) bounded simulations; keep the
+    // case count CI-sized.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// `run_trials` returns identical `TrialOutcome` vectors when the
+    /// worker count is forced to 1 vs. many, for arbitrary workloads.
+    #[test]
+    fn worker_count_never_changes_outcomes(
+        n in 8usize..48,
+        k in 2usize..5,
+        trials in 1usize..6,
+        seed_base in any::<u64>(),
+        workers in 2usize..16,
+    ) {
+        let good = 1 + k / 2;
+        let rule = ConvergenceRule::commitment();
+        let serial = run_trials_with_workers(trials, 2_000, rule, 1, |t| {
+            build(n, k, good, seed_base, t)
+        }).unwrap();
+        let parallel = run_trials_with_workers(trials, 2_000, rule, workers, |t| {
+            build(n, k, good, seed_base, t)
+        }).unwrap();
+        let auto = run_trials(trials, 2_000, rule, |t| {
+            build(n, k, good, seed_base, t)
+        }).unwrap();
+
+        prop_assert_eq!(serial.len(), trials);
+        prop_assert_eq!(&serial, &parallel, "1 vs {} workers diverged", workers);
+        prop_assert_eq!(&serial, &auto, "auto worker pool diverged from serial");
+        for (i, outcome) in serial.iter().enumerate() {
+            prop_assert_eq!(outcome.trial, i, "trial order must be stable");
+        }
+    }
+
+    /// Registry scenarios inherit the same contract through their
+    /// `run_trials_with_workers` wrapper.
+    #[test]
+    fn registry_trials_are_scheduling_independent(
+        trials in 1usize..4,
+        workers in 2usize..12,
+    ) {
+        let scenario = registry::lookup("baseline-16").expect("registered");
+        let serial = scenario.run_trials_with_workers(trials, 1).unwrap();
+        let parallel = scenario.run_trials_with_workers(trials, workers).unwrap();
+        prop_assert_eq!(serial, parallel);
+    }
+}

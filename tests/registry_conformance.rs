@@ -1,0 +1,210 @@
+//! Registry conformance: every catalog scenario is held to the same
+//! contract, so adding a scenario automatically adds its tests.
+//!
+//! For **every** entry of `hh_sim::registry::all_scenarios()` this
+//! harness asserts that the scenario
+//!
+//! 1. *builds* — spec and colony materialize into a runnable simulation
+//!    of the advertised size and composition;
+//! 2. *runs to its declared budget* — executes under its own convergence
+//!    rule without harness errors, converging iff it declares so;
+//! 3. *reproduces bit-identically* — the same seed yields identical
+//!    trial outcomes across worker-thread counts and repeated runs;
+//! 4. *matches its declared tags* — the hand-declared catalog tags agree
+//!    with the tags derived from the axes.
+
+use std::collections::HashSet;
+
+use house_hunting::prelude::*;
+use house_hunting::sim::registry::{self, ColonyMix};
+
+/// Trials per scenario for the reproducibility checks (kept small: the
+/// full catalog spans colonies up to 4096 ants).
+const REPRO_TRIALS: usize = 3;
+
+#[test]
+fn catalog_is_nonempty_and_uniquely_named() {
+    let scenarios = registry::all_scenarios();
+    assert!(
+        scenarios.len() >= 12,
+        "the catalog shrank to {} scenarios",
+        scenarios.len()
+    );
+    let names: HashSet<_> = scenarios.iter().map(|s| s.name().to_string()).collect();
+    assert_eq!(names.len(), scenarios.len(), "duplicate scenario names");
+    for scenario in &scenarios {
+        assert!(!scenario.name().is_empty());
+        assert!(
+            !scenario.summary_text().is_empty(),
+            "{}: catalog entries must carry a summary",
+            scenario.name()
+        );
+        assert_eq!(
+            registry::lookup(scenario.name())
+                .as_ref()
+                .map(Scenario::name),
+            Some(scenario.name()),
+            "lookup must find every catalog entry"
+        );
+    }
+}
+
+#[test]
+fn every_scenario_builds_the_advertised_colony() {
+    for scenario in registry::all_scenarios() {
+        let seed = scenario.base_seed();
+        let spec = scenario.spec_for(seed);
+        assert_eq!(spec.config().n(), scenario.n(), "{}", scenario.name());
+        let env = spec
+            .build_environment()
+            .unwrap_or_else(|e| panic!("{}: environment failed: {e}", scenario.name()));
+        assert_eq!(env.n(), scenario.n(), "{}", scenario.name());
+        assert_eq!(env.k(), scenario.k(), "{}", scenario.name());
+
+        let colony = scenario.colony_for(seed);
+        assert_eq!(colony.len(), scenario.n(), "{}", scenario.name());
+        match scenario.mix() {
+            ColonyMix::Uniform(algorithm) => {
+                assert!(
+                    colony.iter().all(|a| a.label() == algorithm.label()),
+                    "{}: uniform colony mixes labels",
+                    scenario.name()
+                );
+            }
+            ColonyMix::IdleFraction { .. } => {
+                let idlers = colony.iter().filter(|a| a.label() == "idler").count();
+                let expected = scenario.mix().planted_count(scenario.n());
+                assert_eq!(idlers, expected, "{}: idler head-count", scenario.name());
+                assert!(colony.iter().all(|a| a.is_honest()));
+            }
+            ColonyMix::Byzantine { .. } => {
+                let planted = colony.iter().filter(|a| !a.is_honest()).count();
+                assert_eq!(
+                    planted,
+                    scenario.mix().planted_count(scenario.n()),
+                    "{}: adversary count",
+                    scenario.name()
+                );
+            }
+            ColonyMix::Heterogeneous { a, b, .. } => {
+                let labels: HashSet<_> = colony.iter().map(|agent| agent.label()).collect();
+                assert!(
+                    labels.contains(a.label()) && labels.contains(b.label()),
+                    "{}: heterogeneous colony lost a sub-colony",
+                    scenario.name()
+                );
+            }
+            other => panic!("{}: unknown mix {other:?}", scenario.name()),
+        }
+
+        // The simulation itself must assemble.
+        scenario
+            .build(seed)
+            .unwrap_or_else(|e| panic!("{}: build failed: {e}", scenario.name()));
+    }
+}
+
+#[test]
+fn every_scenario_runs_to_its_declared_budget() {
+    for scenario in registry::all_scenarios() {
+        let outcome = scenario
+            .run(scenario.base_seed())
+            .unwrap_or_else(|e| panic!("{}: run failed: {e}", scenario.name()));
+        assert!(
+            outcome.rounds_run <= scenario.round_budget(),
+            "{}: ran past its budget",
+            scenario.name()
+        );
+        if scenario.expects_convergence() {
+            assert!(
+                outcome.solved.is_some(),
+                "{}: expected convergence within {} rounds, ran {}",
+                scenario.name(),
+                scenario.round_budget(),
+                outcome.rounds_run
+            );
+        } else {
+            assert!(
+                outcome.solved.is_none(),
+                "{}: declared non-converging but solved",
+                scenario.name()
+            );
+            assert_eq!(
+                outcome.rounds_run,
+                scenario.round_budget(),
+                "{}: a non-converging scenario must exhaust its budget",
+                scenario.name()
+            );
+        }
+        // Honest colonies never trip the illegal-action sandbox.
+        let has_adversaries = matches!(scenario.mix(), ColonyMix::Byzantine { .. });
+        if !has_adversaries {
+            assert_eq!(
+                outcome.illegal_actions,
+                0,
+                "{}: honest agents acted illegally",
+                scenario.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn every_scenario_reproduces_bit_identically_across_worker_counts() {
+    for scenario in registry::all_scenarios() {
+        let serial = scenario
+            .run_trials_with_workers(REPRO_TRIALS, 1)
+            .unwrap_or_else(|e| panic!("{}: serial trials failed: {e}", scenario.name()));
+        assert_eq!(serial.len(), REPRO_TRIALS);
+        for workers in [2usize, 8] {
+            let parallel = scenario
+                .run_trials_with_workers(REPRO_TRIALS, workers)
+                .unwrap_or_else(|e| panic!("{}: parallel trials failed: {e}", scenario.name()));
+            assert_eq!(
+                serial,
+                parallel,
+                "{}: outcomes diverged between 1 and {workers} workers",
+                scenario.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn every_scenario_matches_its_declared_tags() {
+    for scenario in registry::all_scenarios() {
+        assert_eq!(
+            scenario.tags(),
+            scenario.derived_tags(),
+            "{}: declared tags disagree with the axes",
+            scenario.name()
+        );
+    }
+}
+
+#[test]
+fn tag_filters_partition_the_catalog_along_each_axis() {
+    let total = registry::all_scenarios().len();
+    for axis in [
+        // Quality axis.
+        vec![
+            Tag::AllGood,
+            Tag::GoodPrefix,
+            Tag::SingleGood,
+            Tag::Tie,
+            Tag::NonBinary,
+        ],
+        // Fault axis.
+        vec![Tag::Clean, Tag::Crash, Tag::Delay, Tag::MixedFaults],
+        // Mix axis.
+        vec![Tag::Uniform, Tag::Idle, Tag::Byzantine, Tag::Hetero],
+        // Size axis.
+        vec![Tag::Tiny, Tag::Small, Tag::Medium, Tag::Large],
+    ] {
+        let covered: usize = axis.iter().map(|&tag| registry::with_tag(tag).len()).sum();
+        assert_eq!(
+            covered, total,
+            "axis {axis:?} does not partition the catalog"
+        );
+    }
+}
