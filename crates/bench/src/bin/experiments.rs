@@ -12,7 +12,7 @@
 use std::time::Instant;
 
 use hh_analysis::Table;
-use hh_bench::{all_experiments, ExperimentReport, Mode};
+use hh_bench::{all_experiments, experiments_index_markdown, ExperimentReport, Mode};
 
 fn main() {
     let mut mode = Mode::Full;
@@ -21,9 +21,14 @@ fn main() {
         match arg.as_str() {
             "--quick" => mode = Mode::Quick,
             "--full" => mode = Mode::Full,
+            "--index" => {
+                // The EXPERIMENTS.md registry index, for regeneration.
+                print!("{}", experiments_index_markdown());
+                return;
+            }
             "--help" | "-h" => {
                 println!(
-                    "usage: experiments [--quick] [IDS...]   (e.g. experiments --quick F3 F5)"
+                    "usage: experiments [--quick] [--index] [IDS...]   (e.g. experiments --quick F3 F5)"
                 );
                 return;
             }

@@ -106,7 +106,7 @@ pub fn run(mode: Mode) -> ExperimentReport {
         "1.00x".to_string(),
     ]);
 
-    type ColonyFactory = Box<dyn Fn(u64) -> Vec<hh_core::BoxedAgent> + Sync>;
+    type ColonyFactory = Box<dyn Fn(u64) -> hh_core::Colony + Sync>;
     let variants: Vec<(&str, ColonyFactory)> = vec![
         (
             "chosen (decaying k̃ + floor)",
@@ -116,12 +116,13 @@ pub fn run(mode: Mode) -> ExperimentReport {
             "concave saturation",
             Box::new(move |seed| {
                 colony::from_factory(n, seed, |_, ant_seed| {
-                    UrnAnt::with_policy(
+                    // Bespoke policy: runs through the Custom escape hatch.
+                    hh_core::AnyAgent::custom(UrnAnt::with_policy(
                         n,
                         ant_seed,
                         ConcavePolicy { theta: 0.5 },
                         UrnOptions::paper(),
-                    )
+                    ))
                 })
             }),
         ),
@@ -129,12 +130,12 @@ pub fn run(mode: Mode) -> ExperimentReport {
             "hard cap, growing k̃",
             Box::new(move |seed| {
                 colony::from_factory(n, seed, |_, ant_seed| {
-                    UrnAnt::with_policy(
+                    hh_core::AnyAgent::custom(UrnAnt::with_policy(
                         n,
                         ant_seed,
                         HardCapGrowingPolicy { theta: 0.5 },
                         UrnOptions::paper(),
-                    )
+                    ))
                 })
             }),
         ),

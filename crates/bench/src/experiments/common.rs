@@ -1,7 +1,7 @@
 //! Shared measurement helpers for the experiment modules.
 
 use hh_analysis::{Quantiles, Summary};
-use hh_core::BoxedAgent;
+use hh_core::Colony;
 use hh_model::QualitySpec;
 use hh_sim::registry::Scenario;
 use hh_sim::{run_trials, solved_rounds, success_rate, ConvergenceRule, ScenarioSpec, Simulation};
@@ -66,7 +66,7 @@ pub fn measure_cell(
     experiment: u64,
     cell: u64,
     scenario: impl Fn(u64) -> ScenarioSpec + Sync,
-    colony: impl Fn(u64) -> Vec<BoxedAgent> + Sync,
+    colony: impl Fn(u64) -> Colony + Sync,
 ) -> CellResult {
     let outcomes = run_trials(trials, max_rounds, rule, |trial| {
         let seed = cell_seed(experiment, cell, trial);
@@ -114,7 +114,7 @@ pub fn measure_scenario(trials: usize, scenario: &Scenario) -> CellResult {
 ///
 /// Panics on invalid configurations (experiment-definition bugs).
 #[must_use]
-pub fn build_sim(n: usize, spec: QualitySpec, seed: u64, agents: Vec<BoxedAgent>) -> Simulation {
+pub fn build_sim(n: usize, spec: QualitySpec, seed: u64, agents: Colony) -> Simulation {
     ScenarioSpec::new(n, spec)
         .seed(seed)
         .build_simulation(agents)

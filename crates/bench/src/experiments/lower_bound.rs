@@ -25,7 +25,12 @@ pub fn theorem_3_2_floor(n: usize) -> f64 {
 /// Runs experiment F1.
 #[must_use]
 pub fn run(mode: Mode) -> ExperimentReport {
-    let trials = mode.trials(6, 24);
+    // Quick mode still needs a tight estimator: the log-fit R² gate
+    // below is applied to per-cell means, whose per-doubling signal is
+    // under a round — small-trial means are noisy enough to flip it on
+    // an unlucky seed stream. Spreading runs are cheap (the whole F1
+    // quick sweep is ~0.1 s), so quick matches full here.
+    let trials = 24;
     let ns = match mode {
         Mode::Quick => doubling(6, 11),
         Mode::Full => doubling(6, 14),

@@ -99,6 +99,19 @@ pub struct Experiment {
     pub run: fn(Mode) -> ExperimentReport,
 }
 
+/// Renders the experiment-registry index exactly as embedded in
+/// `EXPERIMENTS.md` between the `BEGIN/END GENERATED` markers — the
+/// doc-drift test regenerates this and fails when the checked-in file is
+/// stale, so the table can only be edited here.
+#[must_use]
+pub fn experiments_index_markdown() -> String {
+    let mut out = String::from("| id | title |\n|----|-------|\n");
+    for experiment in all_experiments() {
+        out.push_str(&format!("| {} | {} |\n", experiment.id, experiment.title));
+    }
+    out
+}
+
 /// The full registry, in `EXPERIMENTS.md` order.
 #[must_use]
 pub fn all_experiments() -> Vec<Experiment> {

@@ -263,7 +263,7 @@ pub fn run_f12(mode: Mode) -> ExperimentReport {
             move |seed| {
                 let mut agents = colony::simple(N, seed);
                 colony::plant_adversaries(&mut agents, byz, |slot| {
-                    Box::new(SleeperAnt::new(N, seed + slot as u64, 40))
+                    SleeperAnt::new(N, seed + slot as u64, 40)
                 });
                 agents
             },

@@ -37,12 +37,16 @@ pub fn measure_throughput(n: usize, rounds: u64, cell: u64) -> Throughput {
         .expect("valid experiment configuration");
     // Warm-up: past the search round.
     for _ in 0..4 {
-        sim.step().expect("legal run");
+        sim.step_in_place().expect("legal run");
     }
     let start = Instant::now();
-    for _ in 0..rounds {
-        sim.step().expect("legal run");
-    }
+    // The engine's hot path: the convergence loop (detector included).
+    // Simple agents never report the final state, so the all-final rule
+    // cannot fire and the loop executes exactly `rounds` rounds.
+    let out = sim
+        .run_to_convergence(hh_sim::ConvergenceRule::all_final(), rounds)
+        .expect("legal run");
+    assert_eq!(out.rounds_run, rounds, "rule must not fire");
     let elapsed = start.elapsed().as_secs_f64().max(1e-9);
     Throughput {
         rounds_per_sec: rounds as f64 / elapsed,

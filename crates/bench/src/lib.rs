@@ -26,4 +26,6 @@
 
 pub mod experiments;
 
-pub use experiments::{all_experiments, Experiment, ExperimentReport, Finding, Mode};
+pub use experiments::{
+    all_experiments, experiments_index_markdown, Experiment, ExperimentReport, Finding, Mode,
+};

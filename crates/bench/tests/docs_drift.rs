@@ -1,0 +1,59 @@
+//! Doc-drift guard for `EXPERIMENTS.md`: the experiment-registry index
+//! embedded in the checked-in file must equal the one regenerated from
+//! `hh_bench::all_experiments()`, and every registered experiment id
+//! must be documented. A new or renamed experiment therefore fails CI
+//! until the document is regenerated
+//! (`cargo run --release -p hh-bench --bin experiments -- --index`).
+
+use hh_bench::{all_experiments, experiments_index_markdown};
+
+const BEGIN: &str = "<!-- BEGIN GENERATED: experiment registry index -->";
+const END: &str = "<!-- END GENERATED: experiment registry index -->";
+
+fn experiments_md() -> String {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../EXPERIMENTS.md");
+    std::fs::read_to_string(path).expect("EXPERIMENTS.md exists at the repository root")
+}
+
+#[test]
+fn generated_index_matches_the_registry() {
+    let doc = experiments_md();
+    let begin = doc
+        .find(BEGIN)
+        .expect("EXPERIMENTS.md contains the BEGIN GENERATED marker");
+    let end = doc
+        .find(END)
+        .expect("EXPERIMENTS.md contains the END GENERATED marker");
+    assert!(begin < end, "markers out of order");
+    let embedded = doc[begin + BEGIN.len()..end].trim();
+    let expected = experiments_index_markdown();
+    assert_eq!(
+        embedded,
+        expected.trim(),
+        "EXPERIMENTS.md registry index is stale; regenerate with \
+         `cargo run --release -p hh-bench --bin experiments -- --index`"
+    );
+}
+
+#[test]
+fn every_experiment_id_is_documented_in_prose() {
+    let doc = experiments_md();
+    for experiment in all_experiments() {
+        assert!(
+            doc.contains(&format!("| {} |", experiment.id)),
+            "experiment {} ({}) is missing from EXPERIMENTS.md",
+            experiment.id,
+            experiment.title
+        );
+    }
+}
+
+#[test]
+fn registry_ids_are_unique_and_titled() {
+    let registry = all_experiments();
+    let mut ids: Vec<_> = registry.iter().map(|e| e.id).collect();
+    ids.sort_unstable();
+    ids.dedup();
+    assert_eq!(ids.len(), registry.len(), "duplicate experiment ids");
+    assert!(registry.iter().all(|e| !e.title.is_empty()));
+}

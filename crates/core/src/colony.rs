@@ -1,41 +1,416 @@
-//! Colony construction helpers.
+//! Colony construction and the cached-census [`Colony`] container.
 //!
-//! A *colony* is the vector of boxed agents the executor drives — one per
-//! ant, indexed by [`AntId`](hh_model::AntId). These helpers build the
-//! standard homogeneous colonies (one per algorithm) with per-ant seeds
-//! derived deterministically from a single base seed, plus a combinator
-//! for planting adversaries.
+//! A *colony* is the ordered collection of agents the executor drives —
+//! one per ant, indexed by [`AntId`](hh_model::AntId). [`Colony`] stores
+//! the agents as one contiguous `Vec<AnyAgent>` (static dispatch, cache
+//! friendly) and caches each agent's harness-observable state — honesty,
+//! [`AgentRole`], committed nest, finality — as an [`AgentSnapshot`],
+//! maintaining the aggregate [`RoleCensus`] incrementally. The executor
+//! in `hh-sim` refreshes exactly the agents it stepped each round
+//! ([`Colony::refresh`]), so census queries are O(1) instead of an O(n)
+//! rescan with a dispatch per agent.
+//!
+//! The free functions build the standard homogeneous colonies (one per
+//! algorithm) with per-ant seeds derived deterministically from a single
+//! base seed, plus combinators for planting idlers and adversaries.
 //!
 //! # Examples
 //!
 //! ```
-//! use hh_core::colony;
+//! use hh_core::{colony, Agent};
 //!
 //! let ants = colony::simple(100, 42);
 //! assert_eq!(ants.len(), 100);
 //! assert!(ants.iter().all(|a| a.label() == "simple"));
+//! assert_eq!(ants.census().searching, 100);
 //! ```
 
 use hh_model::seeding::{derive_seed, StreamKind};
+use hh_model::NestId;
 
 use crate::adaptive::{AdaptiveAnt, AdaptivePolicy};
-use crate::agent::{Agent, BoxedAgent};
+use crate::agent::{Agent, AgentRole, BoxedAgent};
+use crate::any::AnyAgent;
 use crate::optimal::OptimalAnt;
 use crate::quality::QualityAnt;
 use crate::simple::{SimpleAnt, UrnOptions};
 use crate::spreader::{SpreadStrategy, SpreaderAnt};
 
+/// Counts of honest agents per [`AgentRole`].
+///
+/// Maintained incrementally by [`Colony`]; the free-standing
+/// [`RoleCensus::of`] tallies any agent slice from scratch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RoleCensus {
+    /// Agents still searching.
+    pub searching: usize,
+    /// Active (competing/recruiting) agents.
+    pub active: usize,
+    /// Passive (waiting) agents.
+    pub passive: usize,
+    /// Final/settled agents.
+    pub final_count: usize,
+    /// Everything else (adversaries report `Other`).
+    pub other: usize,
+}
+
+impl RoleCensus {
+    /// Tallies the honest agents of a colony from scratch.
+    #[must_use]
+    pub fn of<A: Agent>(agents: &[A]) -> Self {
+        let mut census = RoleCensus::default();
+        for agent in agents.iter().filter(|a| a.is_honest()) {
+            census.bucket(agent.role(), 1);
+        }
+        census
+    }
+
+    /// Total honest agents tallied.
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.searching + self.active + self.passive + self.final_count + self.other
+    }
+
+    fn bucket(&mut self, role: AgentRole, delta: isize) {
+        let slot = match role {
+            AgentRole::Searching => &mut self.searching,
+            AgentRole::Active => &mut self.active,
+            AgentRole::Passive => &mut self.passive,
+            AgentRole::Final => &mut self.final_count,
+            _ => &mut self.other,
+        };
+        *slot = slot.checked_add_signed(delta).expect("census underflow");
+    }
+
+    fn add(&mut self, snapshot: &AgentSnapshot) {
+        if snapshot.honest {
+            self.bucket(snapshot.role, 1);
+        }
+    }
+
+    fn remove(&mut self, snapshot: &AgentSnapshot) {
+        if snapshot.honest {
+            self.bucket(snapshot.role, -1);
+        }
+    }
+}
+
+/// One agent's harness-observable state, cached by [`Colony`] so census
+/// and convergence queries never re-dispatch into the agent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AgentSnapshot {
+    /// [`Agent::is_honest`] at the last refresh (constant for every
+    /// built-in agent; `Custom` agents may vary it, and the census/tally
+    /// maintenance re-buckets on a flip).
+    pub honest: bool,
+    /// [`Agent::role`] at the last refresh.
+    pub role: AgentRole,
+    /// [`Agent::committed_nest`] at the last refresh.
+    pub committed: Option<NestId>,
+    /// [`Agent::is_final`] at the last refresh.
+    pub is_final: bool,
+}
+
+/// Builds an [`AgentSnapshot`] from any agent expression via
+/// (auto-dereffing) method calls — the **single** definition of the
+/// snapshot field list, shared by [`AgentSnapshot::of`] and the
+/// `AnyAgent` fused accessors.
+macro_rules! snapshot_of {
+    ($agent:expr) => {
+        $crate::colony::AgentSnapshot {
+            honest: $agent.is_honest(),
+            role: $agent.role(),
+            committed: $agent.committed_nest(),
+            is_final: $agent.is_final(),
+        }
+    };
+}
+pub(crate) use snapshot_of;
+
+impl AgentSnapshot {
+    /// Reads an agent's current observable state.
+    #[must_use]
+    pub fn of<A: Agent + ?Sized>(agent: &A) -> Self {
+        snapshot_of!(agent)
+    }
+}
+
+/// A colony of agents with incrementally maintained census caches.
+///
+/// Read access goes through `Deref<Target = [AnyAgent]>` (`len`, `iter`,
+/// indexing); mutation goes through the cache-aware methods
+/// ([`replace`](Colony::replace), [`push`](Colony::push)) or, for code
+/// that drives agents by hand, [`iter_mut`](Colony::iter_mut) /
+/// [`agents_mut`](Colony::agents_mut) — which mark the caches stale so
+/// the next census query rescans.
+///
+/// The executor protocol is [`choose`](Colony::choose) /
+/// [`observe`](Colony::observe) followed by [`refresh`](Colony::refresh)
+/// for every agent whose `choose` ran; that keeps the caches exact
+/// without a rescan.
+pub struct Colony {
+    agents: Vec<AnyAgent>,
+    snapshots: Vec<AgentSnapshot>,
+    census: RoleCensus,
+    stale: bool,
+}
+
+impl Colony {
+    /// An empty colony.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            agents: Vec::new(),
+            snapshots: Vec::new(),
+            census: RoleCensus::default(),
+            stale: false,
+        }
+    }
+
+    /// An empty colony with room for `n` agents.
+    #[must_use]
+    pub fn with_capacity(n: usize) -> Self {
+        Self {
+            agents: Vec::with_capacity(n),
+            snapshots: Vec::with_capacity(n),
+            census: RoleCensus::default(),
+            stale: false,
+        }
+    }
+
+    /// Appends an agent, updating the caches.
+    pub fn push(&mut self, agent: impl Into<AnyAgent>) {
+        let agent = agent.into();
+        let snapshot = AgentSnapshot::of(&agent);
+        self.census.add(&snapshot);
+        self.snapshots.push(snapshot);
+        self.agents.push(agent);
+    }
+
+    /// Replaces the agent at `index`, updating the caches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn replace(&mut self, index: usize, agent: impl Into<AnyAgent>) {
+        let agent = agent.into();
+        let snapshot = AgentSnapshot::of(&agent);
+        self.census.remove(&self.snapshots[index]);
+        self.census.add(&snapshot);
+        self.snapshots[index] = snapshot;
+        self.agents[index] = agent;
+    }
+
+    /// The agents as a plain slice (also available through `Deref`).
+    #[must_use]
+    pub fn as_slice(&self) -> &[AnyAgent] {
+        &self.agents
+    }
+
+    /// Mutable access to the agents for code that drives them by hand
+    /// (tests, bespoke loops). Marks the caches stale; they are rebuilt
+    /// on the next [`sync`](Colony::sync) or census query.
+    pub fn agents_mut(&mut self) -> &mut [AnyAgent] {
+        self.stale = true;
+        &mut self.agents
+    }
+
+    /// Mutably iterates the agents; same staleness contract as
+    /// [`agents_mut`](Colony::agents_mut).
+    pub fn iter_mut(&mut self) -> std::slice::IterMut<'_, AnyAgent> {
+        self.stale = true;
+        self.agents.iter_mut()
+    }
+
+    /// Rebuilds the caches if external mutation marked them stale.
+    pub fn sync(&mut self) {
+        if !self.stale {
+            return;
+        }
+        self.snapshots.clear();
+        self.snapshots
+            .extend(self.agents.iter().map(AgentSnapshot::of));
+        self.census = RoleCensus::default();
+        for snapshot in &self.snapshots {
+            self.census.add(snapshot);
+        }
+        self.stale = false;
+    }
+
+    /// The honest-role census. O(1) when the caches are current; falls
+    /// back to a scan if external mutation left them stale.
+    #[must_use]
+    pub fn census(&self) -> RoleCensus {
+        if self.stale {
+            RoleCensus::of(&self.agents)
+        } else {
+            self.census
+        }
+    }
+
+    /// The cached per-agent snapshots. Call [`sync`](Colony::sync) first
+    /// if the colony was mutated through [`agents_mut`](Colony::agents_mut).
+    #[must_use]
+    pub fn snapshots(&self) -> &[AgentSnapshot] {
+        debug_assert!(!self.stale, "snapshots read while stale; call sync()");
+        &self.snapshots
+    }
+
+    /// Executor hot path: forwards [`Agent::choose`] for ant `index`.
+    /// The caller must [`refresh`](Colony::refresh) the agent before the
+    /// round's census queries (choosing can change agent state).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    #[inline]
+    pub fn choose(&mut self, index: usize, round: u64) -> hh_model::Action {
+        self.agents[index].choose(round)
+    }
+
+    /// Executor hot path: forwards [`Agent::observe`] for ant `index`.
+    /// Same refresh contract as [`choose`](Colony::choose).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    #[inline]
+    pub fn observe(&mut self, index: usize, round: u64, outcome: &hh_model::Outcome) {
+        self.agents[index].observe(round, outcome);
+    }
+
+    /// Recomputes agent `index`'s snapshot, folds the change into the
+    /// census, and returns `(old, new)` so callers can maintain derived
+    /// tallies of their own.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    #[inline]
+    pub fn refresh(&mut self, index: usize) -> (AgentSnapshot, AgentSnapshot) {
+        let new = self.agents[index].snapshot();
+        let old = self.absorb(index, new);
+        (old, new)
+    }
+
+    /// The executor's fused per-ant round transition: observe (when the
+    /// agent's action ran), choose the next round's action, and refresh
+    /// the snapshot — one agent dispatch, one cache visit. Returns the
+    /// chosen action plus the `(old, new)` snapshots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    #[inline]
+    pub fn observe_choose(
+        &mut self,
+        index: usize,
+        round: u64,
+        outcome: Option<&hh_model::Outcome>,
+    ) -> (hh_model::Action, (AgentSnapshot, AgentSnapshot)) {
+        let (action, new) = self.agents[index].observe_choose(round, outcome);
+        let old = self.absorb(index, new);
+        (action, (old, new))
+    }
+
+    /// Stores agent `index`'s freshly computed snapshot, updating the
+    /// census on role changes; returns the previous snapshot.
+    #[inline]
+    fn absorb(&mut self, index: usize, new: AgentSnapshot) -> AgentSnapshot {
+        let old = self.snapshots[index];
+        if new != old {
+            // Honesty can vary for Custom agents, and the census only
+            // counts honest agents — so a flip on either axis re-buckets.
+            if new.role != old.role || new.honest != old.honest {
+                self.census.remove(&old);
+                self.census.add(&new);
+            }
+            self.snapshots[index] = new;
+        }
+        old
+    }
+}
+
+impl Default for Colony {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::ops::Deref for Colony {
+    type Target = [AnyAgent];
+
+    fn deref(&self) -> &[AnyAgent] {
+        &self.agents
+    }
+}
+
+impl std::fmt::Debug for Colony {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Colony")
+            .field("len", &self.agents.len())
+            .field("census", &self.census())
+            .finish_non_exhaustive()
+    }
+}
+
+impl From<Vec<AnyAgent>> for Colony {
+    fn from(agents: Vec<AnyAgent>) -> Self {
+        let snapshots: Vec<AgentSnapshot> = agents.iter().map(AgentSnapshot::of).collect();
+        let mut census = RoleCensus::default();
+        for snapshot in &snapshots {
+            census.add(snapshot);
+        }
+        Self {
+            agents,
+            snapshots,
+            census,
+            stale: false,
+        }
+    }
+}
+
+impl From<Vec<BoxedAgent>> for Colony {
+    fn from(agents: Vec<BoxedAgent>) -> Self {
+        agents.into_iter().map(AnyAgent::Custom).collect()
+    }
+}
+
+impl FromIterator<AnyAgent> for Colony {
+    fn from_iter<I: IntoIterator<Item = AnyAgent>>(iter: I) -> Self {
+        Colony::from(iter.into_iter().collect::<Vec<_>>())
+    }
+}
+
+impl IntoIterator for Colony {
+    type Item = AnyAgent;
+    type IntoIter = std::vec::IntoIter<AnyAgent>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.agents.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a Colony {
+    type Item = &'a AnyAgent;
+    type IntoIter = std::slice::Iter<'a, AnyAgent>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.agents.iter()
+    }
+}
+
 /// Builds a colony of `n` agents from a factory receiving each ant's
 /// index and derived private seed.
-pub fn from_factory<A, F>(n: usize, base_seed: u64, mut factory: F) -> Vec<BoxedAgent>
+pub fn from_factory<A, F>(n: usize, base_seed: u64, mut factory: F) -> Colony
 where
-    A: Agent + Send + 'static,
+    A: Into<AnyAgent>,
     F: FnMut(usize, u64) -> A,
 {
     (0..n)
         .map(|i| {
             let seed = derive_seed(base_seed, StreamKind::Agent, i as u64);
-            Box::new(factory(i, seed)) as BoxedAgent
+            factory(i, seed).into()
         })
         .collect()
 }
@@ -43,19 +418,19 @@ where
 /// A colony running the optimal algorithm (Section 4). The agents are
 /// deterministic, so no seed is needed.
 #[must_use]
-pub fn optimal(n: usize) -> Vec<BoxedAgent> {
+pub fn optimal(n: usize) -> Colony {
     from_factory(n, 0, |_, _| OptimalAnt::new())
 }
 
 /// A colony running the paper-faithful simple algorithm (Section 5).
 #[must_use]
-pub fn simple(n: usize, base_seed: u64) -> Vec<BoxedAgent> {
+pub fn simple(n: usize, base_seed: u64) -> Colony {
     from_factory(n, base_seed, |_, seed| SimpleAnt::new(n, seed))
 }
 
 /// A simple-algorithm colony with explicit behavioural options.
 #[must_use]
-pub fn simple_with_options(n: usize, base_seed: u64, options: UrnOptions) -> Vec<BoxedAgent> {
+pub fn simple_with_options(n: usize, base_seed: u64, options: UrnOptions) -> Colony {
     from_factory(n, base_seed, |_, seed| {
         SimpleAnt::with_options(n, seed, options)
     })
@@ -63,13 +438,13 @@ pub fn simple_with_options(n: usize, base_seed: u64, options: UrnOptions) -> Vec
 
 /// A colony running the adaptive-rate variant (Section 6).
 #[must_use]
-pub fn adaptive(n: usize, base_seed: u64) -> Vec<BoxedAgent> {
+pub fn adaptive(n: usize, base_seed: u64) -> Colony {
     adaptive_with_policy(n, base_seed, AdaptivePolicy::standard())
 }
 
 /// An adaptive colony with an explicit schedule.
 #[must_use]
-pub fn adaptive_with_policy(n: usize, base_seed: u64, policy: AdaptivePolicy) -> Vec<BoxedAgent> {
+pub fn adaptive_with_policy(n: usize, base_seed: u64, policy: AdaptivePolicy) -> Colony {
     from_factory(n, base_seed, |_, seed| {
         AdaptiveAnt::with_schedule(n, seed, policy, UrnOptions::paper())
     })
@@ -78,13 +453,13 @@ pub fn adaptive_with_policy(n: usize, base_seed: u64, policy: AdaptivePolicy) ->
 /// A colony running the quality-weighted variant (Section 6) with
 /// exponent `gamma`.
 #[must_use]
-pub fn quality(n: usize, base_seed: u64, gamma: f64) -> Vec<BoxedAgent> {
+pub fn quality(n: usize, base_seed: u64, gamma: f64) -> Colony {
     from_factory(n, base_seed, |_, seed| QualityAnt::new(n, seed, gamma))
 }
 
 /// A colony of lower-bound spreaders sharing one strategy (Section 3).
 #[must_use]
-pub fn spreaders(n: usize, base_seed: u64, strategy: SpreadStrategy) -> Vec<BoxedAgent> {
+pub fn spreaders(n: usize, base_seed: u64, strategy: SpreadStrategy) -> Colony {
     from_factory(n, base_seed, |_, seed| SpreaderAnt::new(strategy, seed))
 }
 
@@ -92,22 +467,23 @@ pub fn spreaders(n: usize, base_seed: u64, strategy: SpreadStrategy) -> Vec<Boxe
 /// ([`IdlerAnt`](crate::IdlerAnt)): live colony members that do no
 /// house-hunting work and rely on being carried. The colony size is
 /// unchanged; `count` is clamped to the colony size.
-pub fn plant_idlers(colony: &mut [BoxedAgent], count: usize) {
-    plant_adversaries(colony, count, |_| Box::new(crate::IdlerAnt::new()));
+pub fn plant_idlers(colony: &mut Colony, count: usize) {
+    plant_adversaries(colony, count, |_| crate::IdlerAnt::new());
 }
 
 /// Replaces the last `count` agents of `colony` with adversaries built by
 /// `factory` (receiving the slot index). The colony size is unchanged;
 /// `count` is clamped to the colony size.
-pub fn plant_adversaries<F>(colony: &mut [BoxedAgent], count: usize, mut factory: F)
+pub fn plant_adversaries<A, F>(colony: &mut Colony, count: usize, mut factory: F)
 where
-    F: FnMut(usize) -> BoxedAgent,
+    A: Into<AnyAgent>,
+    F: FnMut(usize) -> A,
 {
     let n = colony.len();
     let count = count.min(n);
     for slot in 0..count {
         let idx = n - count + slot;
-        colony[idx] = factory(slot);
+        colony.replace(idx, factory(slot));
     }
 }
 
@@ -129,6 +505,13 @@ mod tests {
     }
 
     #[test]
+    fn builders_use_static_variants_not_custom() {
+        for colony in [optimal(3), simple(3, 0), adaptive(3, 0), quality(3, 0, 1.0)] {
+            assert!(colony.iter().all(|a| !a.is_custom()));
+        }
+    }
+
+    #[test]
     fn per_ant_seeds_differ() {
         // Two simple ants from the same colony must not flip identical
         // coins: drive both through the same observations and compare
@@ -136,19 +519,6 @@ mod tests {
         use crate::agent::Agent;
         use hh_model::{NestId, Outcome, Quality};
 
-        let mut colony = simple(2, 7);
-        for ant in colony.iter_mut() {
-            ant.observe(
-                1,
-                &Outcome::Search {
-                    nest: NestId::candidate(1),
-                    quality: Quality::GOOD,
-                    count: 5, // p = 0.5 with n = 2? No: n=2 set at build.
-                },
-            );
-        }
-        // With n = 2 and count = 5, p clamps to 1 for both — not useful.
-        // Rebuild with a larger n for a fair coin.
         let mut colony = from_factory(2, 7, |_, seed| SimpleAnt::new(10, seed));
         for ant in colony.iter_mut() {
             ant.observe(
@@ -162,9 +532,11 @@ mod tests {
         }
         let mut agreements = 0;
         let trials = 200;
+        let agents = colony.agents_mut();
         for t in 0..trials {
-            let a = colony[0].choose(2 + 2 * t);
-            let b = colony[1].choose(2 + 2 * t);
+            let (head, tail) = agents.split_at_mut(1);
+            let a = head[0].choose(2 + 2 * t);
+            let b = tail[0].choose(2 + 2 * t);
             agreements += u32::from(a == b);
         }
         assert!(
@@ -176,10 +548,12 @@ mod tests {
     #[test]
     fn plant_adversaries_replaces_tail() {
         let mut colony = simple(10, 1);
-        plant_adversaries(&mut colony, 3, |_| Box::new(BadNestRecruiter::new()));
+        plant_adversaries(&mut colony, 3, |_| BadNestRecruiter::new());
         assert_eq!(colony.len(), 10);
         assert_eq!(colony.iter().filter(|a| !a.is_honest()).count(), 3);
         assert!(colony[..7].iter().all(|a| a.is_honest()));
+        // The census tracked the replacement: 3 dishonest agents left it.
+        assert_eq!(colony.census().total(), 7);
     }
 
     #[test]
@@ -195,8 +569,66 @@ mod tests {
     #[test]
     fn plant_adversaries_clamps_count() {
         let mut colony = simple(2, 1);
-        plant_adversaries(&mut colony, 99, |_| Box::new(BadNestRecruiter::new()));
+        plant_adversaries(&mut colony, 99, |_| BadNestRecruiter::new());
         assert_eq!(colony.len(), 2);
         assert!(colony.iter().all(|a| !a.is_honest()));
+    }
+
+    #[test]
+    fn census_follows_refresh() {
+        use hh_model::{Outcome, Quality};
+
+        let mut colony = simple(4, 3);
+        assert_eq!(colony.census().searching, 4);
+        colony.observe(
+            0,
+            1,
+            &Outcome::Search {
+                nest: NestId::candidate(1),
+                quality: Quality::GOOD,
+                count: 1,
+            },
+        );
+        let (old, new) = colony.refresh(0);
+        assert_eq!(old.role, AgentRole::Searching);
+        assert_eq!(new.role, AgentRole::Active);
+        assert_eq!(new.committed, Some(NestId::candidate(1)));
+        let census = colony.census();
+        assert_eq!(census.searching, 3);
+        assert_eq!(census.active, 1);
+        assert_eq!(census.total(), 4);
+    }
+
+    #[test]
+    fn external_mutation_marks_stale_and_sync_recovers() {
+        use hh_model::{Outcome, Quality};
+
+        let mut colony = simple(3, 5);
+        // Drive an agent by hand: the caches go stale but census queries
+        // still answer correctly via the fallback scan.
+        colony.agents_mut()[0].observe(
+            1,
+            &Outcome::Search {
+                nest: NestId::candidate(1),
+                quality: Quality::BAD,
+                count: 1,
+            },
+        );
+        assert_eq!(colony.census().passive, 1);
+        colony.sync();
+        assert_eq!(colony.census().passive, 1);
+        assert_eq!(colony.snapshots()[0].role, AgentRole::Passive);
+    }
+
+    #[test]
+    fn boxed_colonies_become_custom_agents() {
+        let boxed: Vec<BoxedAgent> = vec![
+            Box::new(BadNestRecruiter::new()),
+            Box::new(crate::IdlerAnt::new()),
+        ];
+        let colony = Colony::from(boxed);
+        assert_eq!(colony.len(), 2);
+        assert!(colony.iter().all(AnyAgent::is_custom));
+        assert_eq!(colony.census().total(), 1, "only the idler is honest");
     }
 }

@@ -16,10 +16,12 @@
 //! | Idle colony members (Afek–Gordon–Sulamy) | related work | [`IdlerAnt`] |
 //!
 //! Colonies (one agent per ant) are built with the helpers in
-//! [`colony`]; the formal problem statement and consensus predicates live
-//! in [`problem`]. The synchronous executor that drives agents against an
-//! environment — including crash/delay perturbations — is in the `hh-sim`
-//! crate.
+//! [`colony`]; they return a [`Colony`] — a contiguous, statically
+//! dispatched [`AnyAgent`] vector with incrementally cached role/honesty
+//! tallies ([`RoleCensus`]). The formal problem statement and consensus
+//! predicates live in [`problem`]. The synchronous executor that drives
+//! agents against an environment — including crash/delay perturbations —
+//! is in the `hh-sim` crate.
 //!
 //! ## Quick example
 //!
@@ -41,7 +43,7 @@
 //!     for (ant, outcome) in ants.iter_mut().zip(&report.outcomes) {
 //!         ant.observe(round, outcome);
 //!     }
-//!     if let Some(nest) = problem::honest_consensus(&ants) {
+//!     if let Some(nest) = problem::honest_consensus(ants.as_slice()) {
 //!         if env.quality_of(nest).is_some_and(|q| q.is_good()) {
 //!             consensus = Some((round, nest));
 //!             break;
@@ -60,6 +62,7 @@
 
 mod adaptive;
 mod agent;
+mod any;
 mod idle;
 mod optimal;
 mod quality;
@@ -75,7 +78,9 @@ pub(crate) mod testutil;
 
 pub use adaptive::{AdaptiveAnt, AdaptivePolicy};
 pub use agent::{Agent, AgentRole, BoxedAgent, CyclePhase};
+pub use any::AnyAgent;
 pub use byzantine::{BadNestRecruiter, OscillatorAnt, SleeperAnt};
+pub use colony::{AgentSnapshot, Colony, RoleCensus};
 pub use idle::IdlerAnt;
 pub use optimal::OptimalAnt;
 pub use quality::QualityAnt;

@@ -121,13 +121,17 @@ enum State {
 /// ```
 #[derive(Debug, Clone)]
 pub struct UrnAnt<P> {
-    n: usize,
+    // Field widths are deliberately compact: colonies stream every agent
+    // through choose/observe every round, so agent size is engine memory
+    // bandwidth. `NestId::HOME` stands in for "no commitment" (ants never
+    // commit to the home nest).
     rng: SmallRng,
+    n: u32,
+    count: u32,
+    nest: NestId,
     policy: P,
     options: UrnOptions,
     state: State,
-    nest: Option<NestId>,
-    count: usize,
     /// Verify the new nest's quality at the next assessment round.
     pending_assessment: bool,
 }
@@ -138,13 +142,13 @@ impl<P: RecruitPolicy> UrnAnt<P> {
     #[must_use]
     pub fn with_policy(n: usize, seed: u64, policy: P, options: UrnOptions) -> Self {
         Self {
-            n,
             rng: SmallRng::seed_from_u64(seed),
+            n: n.try_into().expect("colony size fits u32"),
+            count: 0,
+            nest: NestId::HOME,
             policy,
             options,
             state: State::Searching,
-            nest: None,
-            count: 0,
             pending_assessment: false,
         }
     }
@@ -152,7 +156,7 @@ impl<P: RecruitPolicy> UrnAnt<P> {
     /// Returns the last population this ant counted at its nest.
     #[must_use]
     pub fn last_count(&self) -> usize {
-        self.count
+        self.count as usize
     }
 
     /// Returns the behavioural options.
@@ -161,8 +165,19 @@ impl<P: RecruitPolicy> UrnAnt<P> {
         self.options
     }
 
-    fn nest_or_search(&self) -> Option<NestId> {
-        self.nest
+    fn committed(&self) -> Option<NestId> {
+        if self.nest.is_home() {
+            None
+        } else {
+            Some(self.nest)
+        }
+    }
+
+    /// Stores a count observation, saturating into the compact field
+    /// (noisy observations can exceed `n`, but never meaningfully exceed
+    /// `u32`).
+    fn remember_count(&mut self, count: usize) {
+        self.count = count.min(u32::MAX as usize) as u32;
     }
 }
 
@@ -188,7 +203,7 @@ impl<P: RecruitPolicy> Agent for UrnAnt<P> {
         if round <= 1 {
             return Action::Search;
         }
-        let Some(nest) = self.nest_or_search() else {
+        let Some(nest) = self.committed() else {
             // Only reachable if the round-1 observation was lost to a
             // perturbation: search again, the one always-legal call.
             return Action::Search;
@@ -202,7 +217,7 @@ impl<P: RecruitPolicy> Agent for UrnAnt<P> {
                     let active = self.state == State::Active && {
                         let p = self
                             .policy
-                            .recruit_probability(self.count, self.n, round)
+                            .recruit_probability(self.count as usize, self.n as usize, round)
                             .clamp(0.0, 1.0);
                         p > 0.0 && self.rng.random_bool(p)
                     };
@@ -222,8 +237,8 @@ impl<P: RecruitPolicy> Agent for UrnAnt<P> {
                 quality,
                 count,
             } => {
-                self.nest = Some(*nest);
-                self.count = *count;
+                self.nest = *nest;
+                self.remember_count(*count);
                 self.state = if quality.is_good() {
                     State::Active
                 } else {
@@ -231,16 +246,16 @@ impl<P: RecruitPolicy> Agent for UrnAnt<P> {
                 };
             }
             Outcome::Recruit { nest, .. } => {
-                if Some(*nest) != self.nest {
+                if *nest != self.nest {
                     // Recruited to a different nest: commit and (re)activate
                     // (Algorithm 3 lines 7 and 11–13).
-                    self.nest = Some(*nest);
+                    self.nest = *nest;
                     self.state = State::Active;
                     self.pending_assessment = self.options.reassess_on_arrival;
                 }
             }
             Outcome::Go { count, quality } => {
-                self.count = *count;
+                self.remember_count(*count);
                 if self.pending_assessment {
                     self.pending_assessment = false;
                     if let Some(q) = quality {
@@ -253,7 +268,7 @@ impl<P: RecruitPolicy> Agent for UrnAnt<P> {
                 }
                 if self.options.settle_at_full_count
                     && self.state == State::Active
-                    && *count >= self.n
+                    && *count >= self.n as usize
                 {
                     self.state = State::Settled;
                 }
@@ -263,7 +278,7 @@ impl<P: RecruitPolicy> Agent for UrnAnt<P> {
     }
 
     fn committed_nest(&self) -> Option<NestId> {
-        self.nest
+        self.committed()
     }
 
     fn is_final(&self) -> bool {

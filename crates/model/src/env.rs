@@ -37,9 +37,9 @@ use crate::error::ModelError;
 use crate::ids::{AntId, NestId};
 use crate::nest::{Nest, Quality};
 use crate::noise::NoiseModel;
-use crate::recruitment::{pair_ants, Pairing, RecruitCall};
+use crate::recruitment::{pair_ants_into, Pairing, RecruitCall};
 use crate::seeding::{derive_seed, StreamKind};
-use crate::util::BitSet;
+use crate::util::BitMatrix;
 
 /// The ground-truth state of one house-hunting execution.
 ///
@@ -63,17 +63,21 @@ use crate::util::BitSet;
 pub struct Environment {
     nests: Vec<Nest>,
     locations: Vec<NestId>,
-    known: Vec<BitSet>,
+    known: BitMatrix,
     counts: Vec<usize>,
     round: u64,
     rng: SmallRng,
     noise_rng: SmallRng,
     noise: NoiseModel,
     reveal_quality_on_go: bool,
+    /// Reused across rounds by [`Environment::step_into`] so steady-state
+    /// stepping allocates nothing.
+    scratch_pairing: Pairing,
+    scratch_perm: Vec<u32>,
 }
 
 /// Everything the environment reports about one executed round.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct StepReport {
     /// Per-ant outcome, indexed by ant id; `outcomes[a]` answers ant `a`'s
     /// call.
@@ -91,15 +95,6 @@ pub struct RecruitmentReport {
     /// Matched `(recruiter, recruited)` pairs; self-pairs appear as
     /// `(a, a)`.
     pub pairs: Vec<(AntId, AntId)>,
-}
-
-impl RecruitmentReport {
-    fn from_pairing(calls: Vec<RecruitCall>, pairing: &Pairing) -> Self {
-        Self {
-            calls,
-            pairs: pairing.pairs().to_vec(),
-        }
-    }
 }
 
 impl Environment {
@@ -125,13 +120,15 @@ impl Environment {
         Ok(Self {
             nests,
             locations: vec![NestId::HOME; n],
-            known: vec![BitSet::new(k + 1); n],
+            known: BitMatrix::new(n, k + 1),
             counts,
             round: 0,
             rng: SmallRng::seed_from_u64(derive_seed(base, StreamKind::Environment, 0)),
             noise_rng: SmallRng::seed_from_u64(derive_seed(base, StreamKind::Noise, 0)),
             noise: config.noise_model(),
             reveal_quality_on_go: config.go_reveals_quality(),
+            scratch_pairing: Pairing::default(),
+            scratch_perm: Vec::new(),
         })
     }
 
@@ -150,6 +147,7 @@ impl Environment {
     /// Returns the number of completed rounds; the next [`step`](Self::step)
     /// executes round `round() + 1`.
     #[must_use]
+    #[inline]
     pub fn round(&self) -> u64 {
         self.round
     }
@@ -190,6 +188,7 @@ impl Environment {
     /// Returns the true end-of-round population `c(i, r)` of a nest
     /// (including the home nest). Out-of-range ids have population 0.
     #[must_use]
+    #[inline]
     pub fn count(&self, nest: NestId) -> usize {
         self.counts.get(nest.raw()).copied().unwrap_or(0)
     }
@@ -213,6 +212,7 @@ impl Environment {
     ///
     /// Panics if `ant` is out of range.
     #[must_use]
+    #[inline]
     pub fn location_of(&self, ant: AntId) -> NestId {
         self.locations[ant.index()]
     }
@@ -230,8 +230,9 @@ impl Environment {
     ///
     /// Panics if `ant` is out of range.
     #[must_use]
+    #[inline]
     pub fn knows(&self, ant: AntId, nest: NestId) -> bool {
-        self.known[ant.index()].contains(nest.raw())
+        self.known.contains(ant.index(), nest.raw())
     }
 
     /// Returns the lowest-numbered nest ant `a` knows, if any. Useful for
@@ -241,8 +242,9 @@ impl Environment {
     ///
     /// Panics if `ant` is out of range.
     #[must_use]
+    #[inline]
     pub fn first_known(&self, ant: AntId) -> Option<NestId> {
-        self.known[ant.index()].first().map(NestId::from_raw)
+        self.known.first(ant.index()).map(NestId::from_raw)
     }
 
     /// Returns an iterator over the nests ant `a` knows, in ascending id
@@ -252,7 +254,7 @@ impl Environment {
     ///
     /// Panics if `ant` is out of range.
     pub fn known_nests(&self, ant: AntId) -> impl Iterator<Item = NestId> + '_ {
-        self.known[ant.index()].iter().map(NestId::from_raw)
+        self.known.iter_row(ant.index()).map(NestId::from_raw)
     }
 
     /// Executes one synchronous round: exactly one action per ant.
@@ -270,111 +272,204 @@ impl Environment {
     ///   visited nor been recruited to (in particular, any non-`search`
     ///   call in round 1).
     pub fn step(&mut self, actions: &[Action]) -> Result<StepReport, ModelError> {
-        self.validate(actions)?;
+        let mut report = StepReport::default();
+        self.step_into(actions, &mut report)?;
+        Ok(report)
+    }
 
+    /// [`step`](Self::step) into a caller-owned report: the report's
+    /// vectors are cleared and refilled, so an executor that passes the
+    /// same report every round allocates nothing at steady state. The
+    /// random streams are identical to [`step`](Self::step)'s.
+    ///
+    /// On error the environment *and* the report are left untouched.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`step`](Self::step).
+    pub fn step_into(
+        &mut self,
+        actions: &[Action],
+        report: &mut StepReport,
+    ) -> Result<(), ModelError> {
+        self.validate(actions)?;
+        self.step_into_prevalidated(actions, report);
+        Ok(())
+    }
+
+    /// [`step_into`](Self::step_into) minus the validation pass, for
+    /// callers that have already checked every action — the `hh-sim`
+    /// executor validates per ant to sandbox illegal actions, so a second
+    /// full validation here would be pure duplicated work in the hot
+    /// loop.
+    ///
+    /// Every action **must** satisfy [`check_action`](Self::check_action)
+    /// and `actions.len()` must equal `n`; debug builds assert this,
+    /// release builds may panic on out-of-range indices or silently
+    /// mis-resolve the round otherwise.
+    pub fn step_into_prevalidated(&mut self, actions: &[Action], report: &mut StepReport) {
+        debug_assert!(self.validate(actions).is_ok(), "caller must pre-validate");
+        self.resolve_round(actions, report);
+        self.materialize_outcomes(actions, report);
+        self.copy_pairs_into(report);
+    }
+
+    /// Phases 1–3 of a round: relocation + population tally + recruit
+    /// call collection, the pairing, recruitment learning, and the round
+    /// counter. Leaves `report.outcomes`/`pairs` untouched.
+    fn resolve_round(&mut self, actions: &[Action], report: &mut StepReport) {
         let k = self.k();
-        // Phase 1: relocation. Searches draw their nest; recruits return
-        // home; gos move to the named nest.
+        // Phase 1: one pass over the actions resolves relocation, tallies
+        // the end-of-round populations c(·, r), and collects the round's
+        // recruit() calls — each needs exactly the per-ant data this loop
+        // already holds, so separate passes would be pure rereads.
+        self.counts.fill(0);
+        report.recruitment.calls.clear();
         for (idx, action) in actions.iter().enumerate() {
             match *action {
                 Action::Search => {
                     let nest = NestId::candidate(self.rng.random_range(1..=k));
                     self.locations[idx] = nest;
-                    self.known[idx].insert(nest.raw());
+                    self.known.insert(idx, nest.raw());
+                    self.counts[nest.raw()] += 1;
                 }
                 Action::Go(nest) => {
                     self.locations[idx] = nest;
+                    self.counts[nest.raw()] += 1;
                 }
-                Action::Recruit { .. } => {
-                    self.locations[idx] = NestId::HOME;
-                }
-            }
-        }
-
-        // Phase 2: the recruitment pairing over all recruit() callers.
-        let calls: Vec<RecruitCall> = actions
-            .iter()
-            .enumerate()
-            .filter_map(|(idx, action)| match *action {
                 Action::Recruit { active, nest } => {
-                    Some(RecruitCall::new(AntId::new(idx), active, nest))
+                    self.locations[idx] = NestId::HOME;
+                    self.counts[0] += 1;
+                    report
+                        .recruitment
+                        .calls
+                        .push(RecruitCall::new(AntId::new(idx), active, nest));
                 }
-                _ => None,
-            })
-            .collect();
-        let pairing = pair_ants(&calls, &mut self.rng);
-        // Recruited ants learn the nest they were recruited to.
-        for (call_idx, call) in calls.iter().enumerate() {
-            if pairing.was_recruited_by_other(call_idx) {
-                let learned = pairing.assigned_nest(call_idx);
-                self.known[call.ant.index()].insert(learned.raw());
             }
         }
 
-        // Phase 3: end-of-round populations c(·, r).
-        self.counts.fill(0);
-        for loc in &self.locations {
-            self.counts[loc.raw()] += 1;
+        let calls = &report.recruitment.calls;
+        pair_ants_into(
+            calls,
+            &mut self.rng,
+            &mut self.scratch_pairing,
+            &mut self.scratch_perm,
+        );
+        let pairing = &self.scratch_pairing;
+        // Recruited ants learn the nest they were recruited to; only
+        // matched pairs can have learned anything, so walk those instead
+        // of every participant.
+        for &(recruiter, recruited) in pairing.matched_indices() {
+            if recruiter != recruited {
+                let learned = calls[recruiter as usize].nest;
+                self.known
+                    .insert(calls[recruited as usize].ant.index(), learned.raw());
+            }
         }
-        self.round += 1;
 
-        // Phase 4: outcomes, through the observation-noise channels.
+        self.round += 1;
+    }
+
+    /// [`step_into_prevalidated`](Self::step_into_prevalidated), but each
+    /// ant's outcome is handed to `deliver` (in ant order) instead of
+    /// being materialized — `report.outcomes` is left **empty**, while
+    /// the recruitment instrumentation is filled as usual. This is the
+    /// zero-copy spine of the executor's convergence loop: outcomes exist
+    /// only for the instant the owning agent consumes them, never as a
+    /// colony-sized buffer that is written and re-read every round.
+    ///
+    /// The observation-noise draws are identical in content and order to
+    /// the materializing variants.
+    pub fn step_deliver(
+        &mut self,
+        actions: &[Action],
+        report: &mut StepReport,
+        mut deliver: impl FnMut(usize, &Outcome),
+    ) {
+        debug_assert!(self.validate(actions).is_ok(), "caller must pre-validate");
+        self.resolve_round(actions, report);
+        report.outcomes.clear();
         let mut call_cursor = 0usize;
-        let outcomes = actions
-            .iter()
-            .enumerate()
-            .map(|(idx, action)| match *action {
-                Action::Search => {
-                    let nest = self.locations[idx];
-                    let true_quality =
-                        self.nests[nest.candidate_index().expect("searched nest")].quality();
-                    Outcome::Search {
-                        nest,
-                        quality: self
-                            .noise
-                            .quality
-                            .observe(true_quality, &mut self.noise_rng),
-                        count: self
-                            .noise
-                            .count
-                            .observe(self.counts[nest.raw()], &mut self.noise_rng),
-                    }
-                }
-                Action::Go(nest) => Outcome::Go {
+        for (idx, action) in actions.iter().enumerate() {
+            let outcome = self.outcome_for(idx, *action, &mut call_cursor);
+            deliver(idx, &outcome);
+        }
+        self.copy_pairs_into(report);
+    }
+
+    /// Copies the round's matched pairs into the report — shared tail of
+    /// every step variant.
+    fn copy_pairs_into(&self, report: &mut StepReport) {
+        report.recruitment.pairs.clear();
+        report
+            .recruitment
+            .pairs
+            .extend_from_slice(self.scratch_pairing.pairs());
+    }
+
+    /// Phase 4 for the materializing step variants.
+    fn materialize_outcomes(&mut self, actions: &[Action], report: &mut StepReport) {
+        report.outcomes.clear();
+        report.outcomes.reserve(actions.len());
+        let mut call_cursor = 0usize;
+        for (idx, action) in actions.iter().enumerate() {
+            let outcome = self.outcome_for(idx, *action, &mut call_cursor);
+            report.outcomes.push(outcome);
+        }
+    }
+
+    /// Computes one ant's outcome for the just-resolved round, advancing
+    /// `call_cursor` past recruit participants. Must be invoked in
+    /// ascending ant order so the noise draws match the materialized
+    /// variant exactly.
+    #[inline]
+    fn outcome_for(&mut self, idx: usize, action: Action, call_cursor: &mut usize) -> Outcome {
+        match action {
+            Action::Search => {
+                let nest = self.locations[idx];
+                let true_quality =
+                    self.nests[nest.candidate_index().expect("searched nest")].quality();
+                Outcome::Search {
+                    nest,
+                    quality: self
+                        .noise
+                        .quality
+                        .observe(true_quality, &mut self.noise_rng),
                     count: self
                         .noise
                         .count
                         .observe(self.counts[nest.raw()], &mut self.noise_rng),
-                    quality: if self.reveal_quality_on_go {
-                        let true_quality =
-                            self.nests[nest.candidate_index().expect("candidate nest")].quality();
-                        Some(
-                            self.noise
-                                .quality
-                                .observe(true_quality, &mut self.noise_rng),
-                        )
-                    } else {
-                        None
-                    },
-                },
-                Action::Recruit { .. } => {
-                    let assigned = pairing.assigned_nest(call_cursor);
-                    call_cursor += 1;
-                    Outcome::Recruit {
-                        nest: assigned,
-                        home_count: self
-                            .noise
-                            .count
-                            .observe(self.counts[0], &mut self.noise_rng),
-                    }
                 }
-            })
-            .collect();
-
-        Ok(StepReport {
-            outcomes,
-            recruitment: RecruitmentReport::from_pairing(calls, &pairing),
-        })
+            }
+            Action::Go(nest) => Outcome::Go {
+                count: self
+                    .noise
+                    .count
+                    .observe(self.counts[nest.raw()], &mut self.noise_rng),
+                quality: if self.reveal_quality_on_go {
+                    let true_quality =
+                        self.nests[nest.candidate_index().expect("candidate nest")].quality();
+                    Some(
+                        self.noise
+                            .quality
+                            .observe(true_quality, &mut self.noise_rng),
+                    )
+                } else {
+                    None
+                },
+            },
+            Action::Recruit { .. } => {
+                let assigned = self.scratch_pairing.assigned_nest(*call_cursor);
+                *call_cursor += 1;
+                Outcome::Recruit {
+                    nest: assigned,
+                    home_count: self
+                        .noise
+                        .count
+                        .observe(self.counts[0], &mut self.noise_rng),
+                }
+            }
+        }
     }
 
     /// Checks whether `ant` may legally perform `action` in the next round
@@ -391,6 +486,7 @@ impl Environment {
     /// # Panics
     ///
     /// Panics if `ant` is out of range.
+    #[inline]
     pub fn check_action(&self, ant: AntId, action: &Action) -> Result<(), ModelError> {
         if let Some(nest) = action.nest() {
             if nest.is_home() {
@@ -399,7 +495,7 @@ impl Environment {
             if nest.raw() > self.k() {
                 return Err(ModelError::UnknownNest { ant, nest });
             }
-            if !self.known[ant.index()].contains(nest.raw()) {
+            if !self.known.contains(ant.index(), nest.raw()) {
                 return Err(ModelError::NestNotKnown { ant, nest });
             }
         }
@@ -615,7 +711,7 @@ mod tests {
     #[test]
     fn counts_always_sum_to_n() {
         let mut env = env(20, 3, 13);
-        env.step(&vec![Action::Search; 20]).unwrap();
+        env.step(&[Action::Search; 20]).unwrap();
         for round in 0..10 {
             let actions: Vec<Action> = (0..20)
                 .map(|a| {

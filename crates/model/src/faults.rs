@@ -104,6 +104,7 @@ impl CrashPlan {
     ///
     /// Panics if `ant` is out of range for the plan.
     #[must_use]
+    #[inline]
     pub fn is_crashed(&self, ant: AntId, round: u64) -> bool {
         matches!(self.crash_round[ant.index()], Some(at) if round >= at)
     }
@@ -181,6 +182,7 @@ impl DelayPlan {
 
     /// Returns `true` if `ant` is delayed in `round`.
     #[must_use]
+    #[inline]
     pub fn is_delayed(&self, ant: AntId, round: u64) -> bool {
         if self.prob <= 0.0 {
             return false;

@@ -24,20 +24,29 @@
 use std::fmt;
 
 /// The identity of a single ant, in `0..n`.
+///
+/// Stored as a `u32` so id-dense structures (recruitment calls, pairing
+/// tables) stay compact in the executor's hot path; colonies are bounded
+/// at `u32::MAX` ants, far beyond any simulated scale.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
-pub struct AntId(usize);
+pub struct AntId(u32);
 
 impl AntId {
     /// Creates an ant id from its index in the colony.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` exceeds `u32::MAX` (colonies are bounded).
     #[must_use]
     pub const fn new(index: usize) -> Self {
-        Self(index)
+        assert!(index <= u32::MAX as usize, "ant index out of range");
+        Self(index as u32)
     }
 
     /// Returns the ant's index in the colony, in `0..n`.
     #[must_use]
     pub const fn index(self) -> usize {
-        self.0
+        self.0 as usize
     }
 }
 
@@ -49,16 +58,17 @@ impl fmt::Display for AntId {
 
 impl From<AntId> for usize {
     fn from(id: AntId) -> usize {
-        id.0
+        id.index()
     }
 }
 
 /// The identity of a nest: the home nest `n₀` or a candidate `n₁ … n_k`.
 ///
-/// Internally nest `i` is stored as the raw index `i`, matching the paper's
-/// `ℓ(a, r) ∈ {0, 1, …, k}` convention where `0` is the home nest.
+/// Internally nest `i` is stored as the raw index `i` (as a compact
+/// `u32`), matching the paper's `ℓ(a, r) ∈ {0, 1, …, k}` convention where
+/// `0` is the home nest.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
-pub struct NestId(usize);
+pub struct NestId(u32);
 
 impl NestId {
     /// The home nest, `n₀`.
@@ -69,27 +79,33 @@ impl NestId {
     ///
     /// # Panics
     ///
-    /// Panics if `i == 0`; the home nest is [`NestId::HOME`], not a
-    /// candidate.
+    /// Panics if `i == 0` (the home nest is [`NestId::HOME`], not a
+    /// candidate) or if `i` exceeds `u32::MAX`.
     #[must_use]
     pub const fn candidate(i: usize) -> Self {
         assert!(
             i != 0,
             "candidate nest indices start at 1; 0 is the home nest"
         );
-        Self(i)
+        assert!(i <= u32::MAX as usize, "nest index out of range");
+        Self(i as u32)
     }
 
     /// Creates a nest id from a raw index in `{0, …, k}`, where `0` is home.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `raw` exceeds `u32::MAX` (nest counts are bounded).
     #[must_use]
     pub const fn from_raw(raw: usize) -> Self {
-        Self(raw)
+        assert!(raw <= u32::MAX as usize, "nest index out of range");
+        Self(raw as u32)
     }
 
     /// Returns the raw index in `{0, …, k}` (`0` = home).
     #[must_use]
     pub const fn raw(self) -> usize {
-        self.0
+        self.0 as usize
     }
 
     /// Returns `true` if this is the home nest `n₀`.
@@ -104,7 +120,7 @@ impl NestId {
     pub const fn candidate_index(self) -> Option<usize> {
         match self.0 {
             0 => None,
-            i => Some(i - 1),
+            i => Some(i as usize - 1),
         }
     }
 }
@@ -121,7 +137,7 @@ impl fmt::Display for NestId {
 
 impl From<NestId> for usize {
     fn from(id: NestId) -> usize {
-        id.0
+        id.raw()
     }
 }
 

@@ -46,7 +46,7 @@
 //! ```
 
 use rand::seq::SliceRandom;
-use rand::{Rng, RngExt};
+use rand::Rng;
 
 use crate::ids::{AntId, NestId};
 
@@ -75,17 +75,25 @@ impl RecruitCall {
 /// Indices throughout refer to positions in the `calls` slice passed to
 /// [`pair_ants`], not to ant ids; use [`Pairing::pairs`] for an id-level
 /// view.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct Pairing {
-    /// `recruited_by[x] = Some(a*)` iff `(a*, x) ∈ M`.
-    recruited_by: Vec<Option<usize>>,
+    /// `recruited_by[x] = a*` iff `(a*, x) ∈ M`; [`NOT_RECRUITED`]
+    /// otherwise. Stored compactly — the pairing is rebuilt every round,
+    /// so its arrays are pure memory traffic.
+    recruited_by: Vec<u32>,
     /// `succeeded[a] = true` iff `(a, ·) ∈ M`.
     succeeded: Vec<bool>,
     /// The nest id each participant's call returns.
     assigned: Vec<NestId>,
     /// Matched pairs `(recruiter, recruited)` in match order, as ant ids.
     pairs: Vec<(AntId, AntId)>,
+    /// The same pairs as call indices, for consumers that need to index
+    /// back into the call slice without an ant-id lookup.
+    matched: Vec<(u32, u32)>,
 }
+
+/// Sentinel for "no recruiter" in the compact `recruited_by` array.
+const NOT_RECRUITED: u32 = u32::MAX;
 
 impl Pairing {
     /// Returns the number of participants.
@@ -116,7 +124,10 @@ impl Pairing {
     /// A self-pair reports the participant's own index.
     #[must_use]
     pub fn recruited_by(&self, idx: usize) -> Option<usize> {
-        self.recruited_by[idx]
+        match self.recruited_by[idx] {
+            NOT_RECRUITED => None,
+            recruiter => Some(recruiter as usize),
+        }
     }
 
     /// Returns `true` iff participant `idx` recruited successfully, i.e.
@@ -132,7 +143,8 @@ impl Pairing {
     /// recruiter's, not the participant's own).
     #[must_use]
     pub fn was_recruited_by_other(&self, idx: usize) -> bool {
-        matches!(self.recruited_by[idx], Some(r) if r != idx)
+        let recruiter = self.recruited_by[idx];
+        recruiter != NOT_RECRUITED && recruiter as usize != idx
     }
 
     /// Returns the matched pairs `(recruiter, recruited)` as ant ids, in
@@ -140,6 +152,14 @@ impl Pairing {
     #[must_use]
     pub fn pairs(&self) -> &[(AntId, AntId)] {
         &self.pairs
+    }
+
+    /// Returns the matched pairs `(recruiter, recruited)` as **call
+    /// indices**, in match order — the zero-lookup companion of
+    /// [`pairs`](Self::pairs) for consumers that hold the call slice.
+    #[must_use]
+    pub fn matched_indices(&self) -> &[(u32, u32)] {
+        &self.matched
     }
 
     /// Returns the number of pairs in the matching `M`.
@@ -155,50 +175,87 @@ impl Pairing {
 /// returns. The function is deterministic given `rng`'s state.
 #[must_use]
 pub fn pair_ants<R: Rng + ?Sized>(calls: &[RecruitCall], rng: &mut R) -> Pairing {
-    let m = calls.len();
-    let mut recruited_by: Vec<Option<usize>> = vec![None; m];
-    let mut succeeded = vec![false; m];
-    let mut pairs = Vec::new();
+    let mut pairing = Pairing::default();
+    let mut perm = Vec::new();
+    pair_ants_into(calls, rng, &mut pairing, &mut perm);
+    pairing
+}
 
-    // Line 2: process ants in a uniform random permutation P.
-    let mut perm: Vec<usize> = (0..m).collect();
+/// [`pair_ants`] into caller-owned buffers: `pairing` and the permutation
+/// scratch `perm` are cleared and refilled, so a caller that runs the
+/// pairing every round (the executor) allocates nothing after warm-up.
+///
+/// Draws exactly the same random values in the same order as
+/// [`pair_ants`], so the two are interchangeable mid-stream.
+pub fn pair_ants_into<R: Rng + ?Sized>(
+    calls: &[RecruitCall],
+    rng: &mut R,
+    pairing: &mut Pairing,
+    perm: &mut Vec<u32>,
+) {
+    let m = calls.len();
+    assert!(m < NOT_RECRUITED as usize, "too many recruit participants");
+    pairing.recruited_by.clear();
+    pairing.recruited_by.resize(m, NOT_RECRUITED);
+    pairing.succeeded.clear();
+    pairing.succeeded.resize(m, false);
+    pairing.pairs.clear();
+    pairing.matched.clear();
+
+    // Line 2: process ants in a uniform random permutation P. Passive
+    // ants never attempt to recruit (line 3) and their positions in P
+    // consume no randomness, so the processing order of the *active*
+    // subset — a uniform permutation of that subset — determines the
+    // matching exactly as a full-colony permutation would. Shuffling only
+    // the actives is therefore the identical stochastic process, at a
+    // fraction of the cost when most participants wait passively.
+    perm.clear();
+    perm.extend(
+        calls
+            .iter()
+            .enumerate()
+            .filter(|(_, call)| call.active)
+            .map(|(idx, _)| idx as u32),
+    );
     perm.shuffle(rng);
 
-    for &idx in &perm {
-        // Line 3: only active ants that have not been recruited attempt to
-        // recruit.
-        if !calls[idx].active || recruited_by[idx].is_some() {
+    let bound = u128::from(m as u64);
+    for &idx in perm.iter() {
+        let idx = idx as usize;
+        // Line 3: an active ant that has already been recruited by an
+        // earlier ant in P does not attempt to recruit.
+        if pairing.recruited_by[idx] != NOT_RECRUITED {
             continue;
         }
         // Line 4: choose a uniformly random participant — possibly idx
-        // itself.
-        let target = rng.random_range(0..m);
+        // itself. Multiply-shift sampling: divisionless, with residual
+        // bias < 2^-32 (as in the shuffle).
+        let target = ((u128::from(rng.next_u64()) * bound) >> 64) as usize;
         // Line 5: the target must have neither recruited nor been
         // recruited.
-        if succeeded[target] || recruited_by[target].is_some() {
+        if pairing.succeeded[target] || pairing.recruited_by[target] != NOT_RECRUITED {
             continue;
         }
         // Line 6: M := M ∪ (idx, target).
-        succeeded[idx] = true;
-        recruited_by[target] = Some(idx);
-        pairs.push((calls[idx].ant, calls[target].ant));
+        pairing.succeeded[idx] = true;
+        pairing.recruited_by[target] = idx as u32;
+        pairing.pairs.push((calls[idx].ant, calls[target].ant));
+        pairing.matched.push((idx as u32, target as u32));
     }
 
     // Lines 7–12: each recruited ant receives its recruiter's nest input;
     // everyone else receives its own input.
-    let assigned = (0..m)
-        .map(|idx| match recruited_by[idx] {
-            Some(recruiter) => calls[recruiter].nest,
-            None => calls[idx].nest,
-        })
-        .collect();
-
-    Pairing {
-        recruited_by,
-        succeeded,
-        assigned,
-        pairs,
-    }
+    pairing.assigned.clear();
+    pairing.assigned.extend(
+        pairing
+            .recruited_by
+            .iter()
+            .enumerate()
+            .map(|(idx, &recruiter)| match recruiter {
+                NOT_RECRUITED => calls[idx].nest,
+                recruiter => calls[recruiter as usize].nest,
+            }),
+    );
 }
 
 #[cfg(test)]
@@ -335,6 +392,24 @@ mod tests {
             (a - b).abs() / a.max(b) < 0.15,
             "asymmetric success rates: {a} vs {b}"
         );
+    }
+
+    #[test]
+    fn into_variant_matches_and_reuses_buffers() {
+        let calls: Vec<RecruitCall> = (0..40).map(|i| call(i, i % 2 == 0, 1 + i % 4)).collect();
+        let mut pairing = Pairing::default();
+        let mut perm = Vec::new();
+        for seed in 0..8 {
+            let fresh = pair_ants(&calls, &mut rng(seed));
+            pair_ants_into(&calls, &mut rng(seed), &mut pairing, &mut perm);
+            assert_eq!(fresh, pairing, "seed {seed}: reuse diverged");
+        }
+        // A shrinking participant set must not leak stale state.
+        let fewer: Vec<RecruitCall> = (0..5).map(|i| call(i, true, 1)).collect();
+        let fresh = pair_ants(&fewer, &mut rng(99));
+        pair_ants_into(&fewer, &mut rng(99), &mut pairing, &mut perm);
+        assert_eq!(fresh, pairing);
+        assert_eq!(pairing.len(), 5);
     }
 
     #[test]

@@ -203,6 +203,143 @@ impl Iterator for Iter<'_> {
     }
 }
 
+/// A dense matrix of fixed-capacity bit sets: `rows` sets over values in
+/// `0..capacity`, backed by **one** contiguous `Vec<u64>`.
+///
+/// The environment keeps one knowledge set per ant; storing them as
+/// per-ant [`BitSet`]s means one heap allocation and one pointer chase
+/// per ant — poison for the executor's per-round legality checks and
+/// recruitment learning loop. `BitMatrix` packs all rows back to back
+/// (for `capacity ≤ 64`, one word per ant), so a colony's entire
+/// knowledge state is a single cache-friendly allocation.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct BitMatrix {
+    words: Vec<u64>,
+    words_per_row: usize,
+    capacity: usize,
+}
+
+impl BitMatrix {
+    /// Creates `rows` empty sets, each able to hold values in
+    /// `0..capacity`.
+    #[must_use]
+    pub fn new(rows: usize, capacity: usize) -> Self {
+        let words_per_row = capacity.div_ceil(64).max(1);
+        Self {
+            words: vec![0; rows * words_per_row],
+            words_per_row,
+            capacity,
+        }
+    }
+
+    /// The number of rows (sets).
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.words.len() / self.words_per_row
+    }
+
+    /// The maximum value (exclusive) each row can hold.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Returns `true` if row `row` contains `value`. Out-of-range values
+    /// are never contained.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of range.
+    #[inline]
+    #[must_use]
+    pub fn contains(&self, row: usize, value: usize) -> bool {
+        if value >= self.capacity {
+            return false;
+        }
+        self.words[row * self.words_per_row + value / 64] & (1u64 << (value % 64)) != 0
+    }
+
+    /// Inserts `value` into row `row`, returning `true` if it was fresh.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of range or `value >= capacity`.
+    #[inline]
+    pub fn insert(&mut self, row: usize, value: usize) -> bool {
+        assert!(
+            value < self.capacity,
+            "bit matrix insert out of range: {value} >= {}",
+            self.capacity
+        );
+        let word = &mut self.words[row * self.words_per_row + value / 64];
+        let mask = 1u64 << (value % 64);
+        let fresh = *word & mask == 0;
+        *word |= mask;
+        fresh
+    }
+
+    /// Returns the smallest value in row `row`, if any.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of range.
+    #[must_use]
+    pub fn first(&self, row: usize) -> Option<usize> {
+        let start = row * self.words_per_row;
+        self.words[start..start + self.words_per_row]
+            .iter()
+            .enumerate()
+            .find(|(_, &word)| word != 0)
+            .map(|(w, &word)| w * 64 + word.trailing_zeros() as usize)
+    }
+
+    /// Returns the number of values in row `row`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of range.
+    #[must_use]
+    pub fn row_len(&self, row: usize) -> usize {
+        let start = row * self.words_per_row;
+        self.words[start..start + self.words_per_row]
+            .iter()
+            .map(|word| word.count_ones() as usize)
+            .sum()
+    }
+
+    /// Iterates the values of row `row` in ascending order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of range.
+    pub fn iter_row(&self, row: usize) -> impl Iterator<Item = usize> + '_ {
+        let start = row * self.words_per_row;
+        self.words[start..start + self.words_per_row]
+            .iter()
+            .enumerate()
+            .flat_map(|(w, &word)| {
+                let mut rest = word;
+                std::iter::from_fn(move || {
+                    if rest == 0 {
+                        return None;
+                    }
+                    let bit = rest.trailing_zeros() as usize;
+                    rest &= rest - 1;
+                    Some(w * 64 + bit)
+                })
+            })
+    }
+}
+
+impl std::fmt::Debug for BitMatrix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BitMatrix")
+            .field("rows", &self.rows())
+            .field("capacity", &self.capacity)
+            .finish()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -289,6 +426,47 @@ mod tests {
         assert!(set.is_empty());
         assert!(!set.contains(0));
         assert_eq!(set.iter().count(), 0);
+    }
+
+    #[test]
+    fn bit_matrix_rows_are_independent() {
+        let mut m = BitMatrix::new(4, 70);
+        assert_eq!(m.rows(), 4);
+        assert_eq!(m.capacity(), 70);
+        assert!(m.insert(0, 3));
+        assert!(m.insert(0, 65));
+        assert!(m.insert(2, 3));
+        assert!(!m.insert(0, 3), "double insert reports not-fresh");
+        assert!(m.contains(0, 3) && m.contains(0, 65) && m.contains(2, 3));
+        assert!(!m.contains(1, 3) && !m.contains(3, 65));
+        assert!(!m.contains(0, 500), "out of range is absent");
+        assert_eq!(m.first(0), Some(3));
+        assert_eq!(m.first(1), None);
+        assert_eq!(m.row_len(0), 2);
+        assert_eq!(m.iter_row(0).collect::<Vec<_>>(), vec![3, 65]);
+        assert_eq!(m.iter_row(1).count(), 0);
+    }
+
+    #[test]
+    fn bit_matrix_matches_bitset_behaviour() {
+        let mut matrix = BitMatrix::new(1, 130);
+        let mut set = BitSet::new(130);
+        for value in [0usize, 63, 64, 129, 7, 64] {
+            assert_eq!(matrix.insert(0, value), set.insert(value));
+        }
+        assert_eq!(
+            matrix.iter_row(0).collect::<Vec<_>>(),
+            set.iter().collect::<Vec<_>>()
+        );
+        assert_eq!(matrix.first(0), set.first());
+        assert_eq!(matrix.row_len(0), set.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bit_matrix_insert_out_of_range_panics() {
+        let mut m = BitMatrix::new(2, 4);
+        m.insert(0, 4);
     }
 
     #[test]

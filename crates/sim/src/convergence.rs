@@ -22,6 +22,14 @@
 //! machine is frozen, so the Section 6 fault-tolerance claim — the colony
 //! keeps working despite a few crash faults — is a statement about the
 //! *live* honest colony.
+//!
+//! The detector is fed by the executor's incrementally maintained
+//! live-honest tally (commitment counts per nest, uncommitted/final
+//! counters), so a per-round check reads O(k) cached state instead of
+//! re-dispatching into all n agents. Only the [`Location`]
+//! (`ConvergenceRule::Location`) rule still walks the colony — it asks
+//! about physical positions, which live in the environment, and even
+//! there the honest/live membership test comes from cached flags.
 
 use hh_model::{AntId, NestId};
 
@@ -152,19 +160,22 @@ impl Detector {
     /// Checks the simulation's current state; returns the detection once
     /// the rule's window is satisfied.
     pub fn check(&mut self, sim: &Simulation) -> Option<Solved> {
+        let tally = sim.live_tally();
         let (agreed, window) = match self.rule {
             ConvergenceRule::Commitment {
                 stable_rounds,
                 require_good,
             } => {
-                let nest = live_honest_consensus(sim);
-                let nest = nest.filter(|&nest| !require_good || is_good(sim, nest));
+                let nest = tally
+                    .consensus()
+                    .filter(|&nest| !require_good || is_good(sim, nest));
                 (nest, stable_rounds)
             }
             ConvergenceRule::AllFinal => {
-                let nest = live_honest_consensus(sim)
+                let nest = tally
+                    .consensus()
                     .filter(|&nest| is_good(sim, nest))
-                    .filter(|_| live_honest(sim).all(|(_, agent)| agent.is_final()));
+                    .filter(|_| tally.all_final());
                 (nest, 1)
             }
             ConvergenceRule::Location { stable_rounds } => (
@@ -174,7 +185,10 @@ impl Detector {
             ConvergenceRule::Quorum {
                 fraction,
                 stable_rounds,
-            } => (quorum_nest(sim, fraction), stable_rounds),
+            } => (
+                tally.quorum(fraction, |nest| is_good(sim, nest)),
+                stable_rounds,
+            ),
         };
 
         match agreed {
@@ -202,53 +216,6 @@ impl Detector {
     }
 }
 
-/// Iterates `(index, agent)` over the live honest colony.
-fn live_honest(sim: &Simulation) -> impl Iterator<Item = (usize, &hh_core::BoxedAgent)> + '_ {
-    sim.agents()
-        .iter()
-        .enumerate()
-        .filter(|(idx, agent)| agent.is_honest() && sim.is_live(AntId::new(*idx)))
-}
-
-/// Commitment consensus over live honest ants (crashed ants' frozen
-/// state machines are ignored).
-fn live_honest_consensus(sim: &Simulation) -> Option<NestId> {
-    let mut consensus: Option<NestId> = None;
-    for (_, agent) in live_honest(sim) {
-        let nest = agent.committed_nest()?;
-        match consensus {
-            None => consensus = Some(nest),
-            Some(existing) if existing == nest => {}
-            Some(_) => return None,
-        }
-    }
-    consensus
-}
-
-/// The good nest holding at least `fraction` of the live honest colony's
-/// commitments, if any.
-fn quorum_nest(sim: &Simulation, fraction: f64) -> Option<NestId> {
-    let mut total = 0usize;
-    let mut counts: std::collections::HashMap<NestId, usize> = std::collections::HashMap::new();
-    for (_, agent) in live_honest(sim) {
-        total += 1;
-        if let Some(nest) = agent.committed_nest() {
-            if is_good(sim, nest) {
-                *counts.entry(nest).or_insert(0) += 1;
-            }
-        }
-    }
-    if total == 0 {
-        return None;
-    }
-    let needed = (fraction * total as f64).ceil() as usize;
-    counts
-        .into_iter()
-        .filter(|&(_, count)| count >= needed.max(1))
-        .max_by_key(|&(_, count)| count)
-        .map(|(nest, _)| nest)
-}
-
 fn is_good(sim: &Simulation, nest: NestId) -> bool {
     sim.env()
         .quality_of(nest)
@@ -256,10 +223,14 @@ fn is_good(sim: &Simulation, nest: NestId) -> bool {
 }
 
 /// The candidate nest all live honest ants stand at, if they all stand
-/// at one.
+/// at one. Membership comes from cached honesty/crash flags; locations
+/// from the environment.
 fn honest_colocation(sim: &Simulation) -> Option<NestId> {
     let mut at: Option<NestId> = None;
-    for (idx, _) in live_honest(sim) {
+    for idx in 0..sim.env().n() {
+        if !sim.is_live_honest(idx) {
+            continue;
+        }
         let loc = sim.env().location_of(AntId::new(idx));
         if loc.is_home() {
             return None;
@@ -281,7 +252,7 @@ mod tests {
     use hh_core::UrnOptions;
     use hh_model::{ColonyConfig, Environment, QualitySpec};
 
-    fn sim(n: usize, spec: QualitySpec, seed: u64, agents: Vec<hh_core::BoxedAgent>) -> Simulation {
+    fn sim(n: usize, spec: QualitySpec, seed: u64, agents: hh_core::Colony) -> Simulation {
         let env = Environment::new(&ColonyConfig::new(n, spec).seed(seed)).unwrap();
         Simulation::new(env, agents).unwrap()
     }

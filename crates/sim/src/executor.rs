@@ -1,8 +1,8 @@
 //! The synchronous executor: drives a colony of agents against an
 //! environment, applying fault and asynchrony perturbations.
 //!
-//! [`Simulation`] owns an [`Environment`] plus one [`BoxedAgent`] per ant
-//! and advances them in lockstep rounds:
+//! [`Simulation`] owns an [`Environment`] plus a [`Colony`] (one agent
+//! per ant) and advances them in lockstep rounds:
 //!
 //! 1. every live, undelayed agent chooses its action for the round;
 //! 2. crashed and delayed ants get a location-preserving no-op instead
@@ -12,13 +12,32 @@
 //!    sandboxed: replaced by a no-op and counted, never aborting the run;
 //! 4. the environment resolves the round; every agent whose own action
 //!    ran receives its outcome.
+//!
+//! ## Engine invariants (the data-oriented hot path)
+//!
+//! * **Zero allocation at steady state.** The per-round action buffer,
+//!   the chose/ran bitmasks, and the environment's [`StepReport`] live in
+//!   a persistent [`RoundScratch`]; the environment's own pairing scratch
+//!   is reused the same way ([`Environment::step_into`]). After the first
+//!   round, stepping allocates nothing.
+//! * **Static dispatch.** Agents are [`AnyAgent`](hh_core::AnyAgent)
+//!   variants in one contiguous vector; only the `Custom` escape hatch
+//!   pays a vtable call.
+//! * **Incremental census.** The colony's [`RoleCensus`] and the
+//!   executor's live-honest commitment tally are maintained per stepped
+//!   agent ([`Colony::refresh`]), never by rescanning the colony, so the
+//!   convergence [`Detector`](crate::Detector) reads O(k) state instead
+//!   of touching all n agents every round.
 
-use hh_core::{Agent, BoxedAgent};
+use hh_core::colony::AgentSnapshot;
+use hh_core::{AnyAgent, Colony};
 use hh_model::faults::{noop_action, CrashPlan, CrashStyle, DelayPlan};
-use hh_model::{AntId, Environment, StepReport};
+use hh_model::{Action, AntId, Environment, NestId, StepReport};
 
 use crate::convergence::{ConvergenceRule, Detector, Solved};
 use crate::error::SimError;
+
+pub use hh_core::RoleCensus;
 
 /// The fault/asynchrony plans applied to one execution (Section 6).
 #[derive(Debug, Clone, PartialEq)]
@@ -59,6 +78,143 @@ pub struct RunOutcome {
     pub illegal_actions: u64,
 }
 
+/// Persistent per-round buffers, reused so stepping never allocates at
+/// steady state.
+#[derive(Debug, Default)]
+struct RoundScratch {
+    /// One action per ant for the round being assembled.
+    actions: Vec<Action>,
+    /// The fast path's pre-chosen actions for the *next* round (see
+    /// `step_round`).
+    next_actions: Vec<Action>,
+    /// `chose[a]`: agent `a`'s `choose` ran this round (its state may
+    /// have changed, so its snapshot needs a refresh).
+    chose: Vec<bool>,
+    /// `ran[a]`: agent `a`'s own action executed, so it observes.
+    ran: Vec<bool>,
+    /// The environment's report, refilled in place each round.
+    report: StepReport,
+}
+
+/// Commitment/finality tallies over the *live honest* colony, maintained
+/// incrementally by the executor and read by the convergence
+/// [`Detector`](crate::Detector) — the census-fed replacement for the old
+/// per-round colony rescan.
+///
+/// Crashed ants leave the tally at their crash round (their state
+/// machines are frozen); dishonest agents never enter it.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct LiveTally {
+    /// Live honest agents.
+    total: usize,
+    /// Of those, agents with no committed nest.
+    uncommitted: usize,
+    /// Of those, agents reporting the final/settled state.
+    finals: usize,
+    /// Commitments per raw nest id (grown on demand).
+    commits: Vec<usize>,
+    /// Nests with a nonzero commitment count.
+    distinct: usize,
+}
+
+impl LiveTally {
+    fn add(&mut self, snapshot: &AgentSnapshot) {
+        self.total += 1;
+        self.finals += usize::from(snapshot.is_final);
+        match snapshot.committed {
+            None => self.uncommitted += 1,
+            Some(nest) => self.commit(nest, true),
+        }
+    }
+
+    fn remove(&mut self, snapshot: &AgentSnapshot) {
+        self.total -= 1;
+        self.finals -= usize::from(snapshot.is_final);
+        match snapshot.committed {
+            None => self.uncommitted -= 1,
+            Some(nest) => self.commit(nest, false),
+        }
+    }
+
+    /// Folds one agent's snapshot transition into the tally. Honesty may
+    /// legitimately vary for `Custom` agents, so only states that were
+    /// (are) honest leave (enter) the tally.
+    #[inline]
+    fn apply(&mut self, old: &AgentSnapshot, new: &AgentSnapshot) {
+        if old == new {
+            return;
+        }
+        if old.honest {
+            self.remove(old);
+        }
+        if new.honest {
+            self.add(new);
+        }
+    }
+
+    fn commit(&mut self, nest: NestId, add: bool) {
+        let raw = nest.raw();
+        if raw >= self.commits.len() {
+            self.commits.resize(raw + 1, 0);
+        }
+        if add {
+            self.commits[raw] += 1;
+            if self.commits[raw] == 1 {
+                self.distinct += 1;
+            }
+        } else {
+            self.commits[raw] -= 1;
+            if self.commits[raw] == 0 {
+                self.distinct -= 1;
+            }
+        }
+    }
+
+    /// Live honest agents currently tallied.
+    #[cfg(test)]
+    pub(crate) fn total(&self) -> usize {
+        self.total
+    }
+
+    /// The nest every live honest agent is committed to, if they all
+    /// agree; `None` when the tally is empty, anyone is uncommitted, or
+    /// two agents disagree.
+    pub(crate) fn consensus(&self) -> Option<NestId> {
+        if self.total == 0 || self.uncommitted > 0 || self.distinct != 1 {
+            return None;
+        }
+        self.commits
+            .iter()
+            .position(|&count| count > 0)
+            .map(NestId::from_raw)
+    }
+
+    /// `true` if every live honest agent reports the final state.
+    pub(crate) fn all_final(&self) -> bool {
+        self.finals == self.total
+    }
+
+    /// The nest satisfying `good` that holds at least `fraction` of the
+    /// live honest colony's commitments, if any; the highest count wins,
+    /// lowest nest id breaking ties.
+    pub(crate) fn quorum(&self, fraction: f64, good: impl Fn(NestId) -> bool) -> Option<NestId> {
+        if self.total == 0 {
+            return None;
+        }
+        let needed = ((fraction * self.total as f64).ceil() as usize).max(1);
+        let mut best: Option<(usize, NestId)> = None;
+        for (raw, &count) in self.commits.iter().enumerate() {
+            if count >= needed && best.is_none_or(|(c, _)| count > c) {
+                let nest = NestId::from_raw(raw);
+                if good(nest) {
+                    best = Some((count, nest));
+                }
+            }
+        }
+        best.map(|(_, nest)| nest)
+    }
+}
+
 /// One synchronous execution: environment + colony + perturbations.
 ///
 /// # Examples
@@ -78,10 +234,21 @@ pub struct RunOutcome {
 /// ```
 pub struct Simulation {
     env: Environment,
-    agents: Vec<BoxedAgent>,
+    colony: Colony,
     perturbations: Perturbations,
     replaced_actions: u64,
     illegal_actions: u64,
+    /// `crashed[a]`: the executor has already seen ant `a` crashed (and
+    /// removed it from the live tally).
+    crashed: Vec<bool>,
+    /// `true` when both perturbation plans are empty — enables the fast
+    /// step path with no per-ant fault checks.
+    unperturbed: bool,
+    /// Fast path: `scratch.next_actions` holds the upcoming round's
+    /// pre-chosen actions.
+    prechosen: bool,
+    live: LiveTally,
+    scratch: RoundScratch,
 }
 
 impl std::fmt::Debug for Simulation {
@@ -102,9 +269,9 @@ impl Simulation {
     ///
     /// # Errors
     ///
-    /// Returns [`SimError::AgentCountMismatch`] if `agents.len()` differs
-    /// from the environment's colony size.
-    pub fn new(env: Environment, agents: Vec<BoxedAgent>) -> Result<Self, SimError> {
+    /// Returns [`SimError::AgentCountMismatch`] if the colony's size
+    /// differs from the environment's.
+    pub fn new(env: Environment, agents: impl Into<Colony>) -> Result<Self, SimError> {
         Self::with_perturbations(env, agents, None)
     }
 
@@ -113,26 +280,41 @@ impl Simulation {
     ///
     /// # Errors
     ///
-    /// Returns [`SimError::AgentCountMismatch`] if `agents.len()` differs
-    /// from the environment's colony size.
+    /// Returns [`SimError::AgentCountMismatch`] if the colony's size
+    /// differs from the environment's.
     pub fn with_perturbations(
         env: Environment,
-        agents: Vec<BoxedAgent>,
+        agents: impl Into<Colony>,
         perturbations: Option<Perturbations>,
     ) -> Result<Self, SimError> {
-        if agents.len() != env.n() {
+        let mut colony = agents.into();
+        colony.sync();
+        if colony.len() != env.n() {
             return Err(SimError::AgentCountMismatch {
-                agents: agents.len(),
+                agents: colony.len(),
                 n: env.n(),
             });
         }
         let n = env.n();
+        let mut live = LiveTally::default();
+        for snapshot in colony.snapshots() {
+            if snapshot.honest {
+                live.add(snapshot);
+            }
+        }
+        let perturbations = perturbations.unwrap_or_else(|| Perturbations::none(n));
+        let unperturbed = perturbations.is_none();
         Ok(Self {
             env,
-            agents,
-            perturbations: perturbations.unwrap_or_else(|| Perturbations::none(n)),
+            colony,
+            perturbations,
             replaced_actions: 0,
             illegal_actions: 0,
+            crashed: vec![false; n],
+            unperturbed,
+            prechosen: false,
+            live,
+            scratch: RoundScratch::default(),
         })
     }
 
@@ -144,8 +326,14 @@ impl Simulation {
 
     /// The colony (read-only).
     #[must_use]
-    pub fn agents(&self) -> &[BoxedAgent] {
-        &self.agents
+    pub fn agents(&self) -> &[AnyAgent] {
+        &self.colony
+    }
+
+    /// The colony with its cached census (read-only).
+    #[must_use]
+    pub fn colony(&self) -> &Colony {
+        &self.colony
     }
 
     /// Completed rounds.
@@ -166,22 +354,106 @@ impl Simulation {
         self.illegal_actions
     }
 
-    /// Executes one synchronous round and returns the environment's
-    /// report (outcomes + recruitment pairing) for instrumentation.
+    /// Executes one synchronous round into the persistent scratch.
     ///
-    /// # Errors
-    ///
-    /// Propagates environment errors; these indicate harness bugs, since
-    /// agent actions are validated and sandboxed before execution.
-    pub fn step(&mut self) -> Result<StepReport, SimError> {
+    /// With `materialize` set, the report (including the per-ant outcome
+    /// vector) is readable as `self.scratch.report` afterwards; without
+    /// it, the fast path hands each outcome straight to its agent and
+    /// `report.outcomes` stays empty — the convergence loop needs no
+    /// colony-sized outcome buffer.
+    fn step_round(&mut self, materialize: bool) -> Result<(), SimError> {
         let round = self.env.round() + 1;
         let n = self.env.n();
-        let mut actions = Vec::with_capacity(n);
-        let mut own_action_ran = vec![false; n];
+        let scratch = &mut self.scratch;
+        scratch.actions.clear();
+        scratch.ran.clear();
+        scratch.ran.resize(n, true);
 
-        for (idx, ran) in own_action_ran.iter_mut().enumerate() {
+        if self.unperturbed {
+            // Fast path: no crash/delay plans to consult per ant, and
+            // every agent chooses every round, so the `chose` mask is a
+            // constant `true` and is not materialized.
+            //
+            // The engine is memory-bound at scale — the dominant cost of
+            // a round is streaming the agent array — so the fast path
+            // makes exactly ONE pass over the agents per round: round
+            // r's observe is fused with round r+1's choose (agents are
+            // independent, and between rounds nothing else touches
+            // them), and the pre-chosen actions are stashed in
+            // `next_actions` for the next step. Only the first round
+            // after construction runs a dedicated choose pass.
+            //
+            // Legality is still checked at the top of the round the
+            // action executes in (identical sandboxing semantics and
+            // counters), and the per-ant crash/delay semantics that
+            // forbid pre-choosing — a skipped ant must not advance its
+            // state machine — cannot occur here by definition.
+            if !self.prechosen {
+                for idx in 0..n {
+                    let action = self.colony.choose(idx, round);
+                    scratch.next_actions.push(action);
+                }
+                self.prechosen = true;
+            }
+            std::mem::swap(&mut scratch.actions, &mut scratch.next_actions);
+            scratch.next_actions.clear();
+
+            for (idx, action) in scratch.actions.iter_mut().enumerate() {
+                if self.env.check_action(AntId::new(idx), action).is_err() {
+                    scratch.ran[idx] = false;
+                    self.illegal_actions += 1;
+                    *action = noop_action(&self.env, AntId::new(idx), CrashStyle::InPlace);
+                }
+            }
+
+            // The single agent pass: observe round `round`, choose round
+            // `round + 1`, refresh the (cache-hot) snapshot, and fold
+            // census deltas into the live tally — one dispatch per ant
+            // (`Colony::observe_choose`). In the eliding mode the
+            // environment hands each outcome over by reference as it is
+            // computed; in the materializing mode the outcome vector is
+            // built first (for `step`'s and `run_observed`'s callers) and
+            // consumed from the report.
+            if materialize {
+                self.env
+                    .step_into_prevalidated(&scratch.actions, &mut scratch.report);
+                for idx in 0..n {
+                    let outcome = scratch.ran[idx].then(|| &scratch.report.outcomes[idx]);
+                    let (action, (old, new)) = self.colony.observe_choose(idx, round, outcome);
+                    scratch.next_actions.push(action);
+                    self.live.apply(&old, &new);
+                }
+            } else {
+                let colony = &mut self.colony;
+                let live = &mut self.live;
+                let ran = &scratch.ran;
+                let next_actions = &mut scratch.next_actions;
+                self.env
+                    .step_deliver(&scratch.actions, &mut scratch.report, |idx, outcome| {
+                        let outcome = ran[idx].then_some(outcome);
+                        let (action, (old, new)) = colony.observe_choose(idx, round, outcome);
+                        next_actions.push(action);
+                        live.apply(&old, &new);
+                    });
+            }
+            return Ok(());
+        }
+
+        scratch.ran.fill(false);
+        scratch.chose.clear();
+        scratch.chose.resize(n, false);
+        for idx in 0..n {
             let ant = AntId::new(idx);
             let crashed = self.perturbations.crash.is_crashed(ant, round);
+            if crashed && !self.crashed[idx] {
+                // First round this ant is gone: freeze it out of the
+                // live tally at its last refreshed state.
+                self.crashed[idx] = true;
+                let snapshot = self.colony.snapshots()[idx];
+                if snapshot.honest {
+                    self.live.remove(&snapshot);
+                }
+            }
             let delayed = !crashed && self.perturbations.delay.is_delayed(ant, round);
             if crashed || delayed {
                 let style = if crashed {
@@ -189,27 +461,77 @@ impl Simulation {
                 } else {
                     CrashStyle::InPlace
                 };
-                actions.push(noop_action(&self.env, ant, style));
+                scratch.actions.push(noop_action(&self.env, ant, style));
                 self.replaced_actions += 1;
                 continue;
             }
-            let action = self.agents[idx].choose(round);
+            let action = self.colony.choose(idx, round);
+            scratch.chose[idx] = true;
             if self.env.check_action(ant, &action).is_ok() {
-                *ran = true;
-                actions.push(action);
+                scratch.ran[idx] = true;
+                scratch.actions.push(action);
             } else {
                 self.illegal_actions += 1;
-                actions.push(noop_action(&self.env, ant, CrashStyle::InPlace));
+                scratch
+                    .actions
+                    .push(noop_action(&self.env, ant, CrashStyle::InPlace));
             }
         }
 
-        let report = self.env.step(&actions)?;
-        for (idx, ran) in own_action_ran.iter().enumerate() {
-            if *ran {
-                self.agents[idx].observe(round, &report.outcomes[idx]);
+        // Every pushed action was either checked above or is a
+        // location-preserving no-op, legal by construction.
+        self.env
+            .step_into_prevalidated(&scratch.actions, &mut scratch.report);
+
+        // One fused pass: observe, then refresh the same (cache-hot)
+        // agent. Refresh covers every agent whose `choose` ran — observe
+        // or not, choosing alone can advance a state machine — and folds
+        // the deltas into the live tally.
+        for idx in 0..n {
+            if !scratch.chose[idx] {
+                continue;
             }
+            if scratch.ran[idx] {
+                self.colony
+                    .observe(idx, round, &scratch.report.outcomes[idx]);
+            }
+            let (old, new) = self.colony.refresh(idx);
+            debug_assert!(
+                old == new || !self.crashed[idx],
+                "crashed agents never choose"
+            );
+            self.live.apply(&old, &new);
         }
-        Ok(report)
+        Ok(())
+    }
+
+    /// Executes one synchronous round and returns the environment's
+    /// report (outcomes + recruitment pairing) for instrumentation.
+    ///
+    /// This clones the report out of the engine's reusable buffers; hot
+    /// loops should prefer [`run_to_convergence`](Self::run_to_convergence)
+    /// / [`run_observed`](Self::run_observed), which allocate nothing per
+    /// round, or [`step_in_place`](Self::step_in_place).
+    ///
+    /// # Errors
+    ///
+    /// Propagates environment errors; these indicate harness bugs, since
+    /// agent actions are validated and sandboxed before execution.
+    pub fn step(&mut self) -> Result<StepReport, SimError> {
+        self.step_round(true)?;
+        Ok(self.scratch.report.clone())
+    }
+
+    /// Executes one synchronous round and returns the report by
+    /// reference — the zero-allocation equivalent of
+    /// [`step`](Self::step).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`step`](Self::step).
+    pub fn step_in_place(&mut self) -> Result<&StepReport, SimError> {
+        self.step_round(true)?;
+        Ok(&self.scratch.report)
     }
 
     /// Runs until `rule` detects convergence or `max_rounds` rounds have
@@ -227,7 +549,7 @@ impl Simulation {
         let start = self.env.round();
         let mut solved = None;
         while self.env.round() - start < max_rounds {
-            self.step()?;
+            self.step_round(false)?;
             if let Some(found) = detector.check(self) {
                 solved = Some(found);
                 break;
@@ -260,8 +582,9 @@ impl Simulation {
         let start = self.env.round();
         let mut solved = None;
         while self.env.round() - start < max_rounds {
-            let report = self.step()?;
-            on_round(self, &report);
+            self.step_round(true)?;
+            let this = &*self;
+            on_round(this, &this.scratch.report);
             if let Some(found) = detector.check(self) {
                 solved = Some(found);
                 break;
@@ -287,55 +610,28 @@ impl Simulation {
     }
 
     /// Census of honest-agent roles, used by metrics and detectors.
+    /// O(1): maintained incrementally by the engine.
     #[must_use]
     pub fn role_census(&self) -> RoleCensus {
-        RoleCensus::of(&self.agents)
-    }
-}
-
-/// Counts of honest agents per [`AgentRole`](hh_core::AgentRole).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub struct RoleCensus {
-    /// Agents still searching.
-    pub searching: usize,
-    /// Active (competing/recruiting) agents.
-    pub active: usize,
-    /// Passive (waiting) agents.
-    pub passive: usize,
-    /// Final/settled agents.
-    pub final_count: usize,
-    /// Everything else (adversaries report `Other`).
-    pub other: usize,
-}
-
-impl RoleCensus {
-    /// Tallies the honest agents of a colony.
-    #[must_use]
-    pub fn of(agents: &[BoxedAgent]) -> Self {
-        let mut census = RoleCensus::default();
-        for agent in agents.iter().filter(|a| a.is_honest()) {
-            match agent.role() {
-                hh_core::AgentRole::Searching => census.searching += 1,
-                hh_core::AgentRole::Active => census.active += 1,
-                hh_core::AgentRole::Passive => census.passive += 1,
-                hh_core::AgentRole::Final => census.final_count += 1,
-                _ => census.other += 1,
-            }
-        }
-        census
+        self.colony.census()
     }
 
-    /// Total honest agents tallied.
-    #[must_use]
-    pub fn total(&self) -> usize {
-        self.searching + self.active + self.passive + self.final_count + self.other
+    /// The live-honest tally the convergence detector reads.
+    pub(crate) fn live_tally(&self) -> &LiveTally {
+        &self.live
+    }
+
+    /// `true` if ant `idx` is honest and not yet crashed — the detector's
+    /// membership predicate, answered from cached state.
+    pub(crate) fn is_live_honest(&self, idx: usize) -> bool {
+        !self.crashed[idx] && self.colony.snapshots()[idx].honest
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hh_core::colony;
+    use hh_core::{colony, Agent};
     use hh_model::{ColonyConfig, NestId, QualitySpec};
 
     fn env(n: usize, k: usize, seed: u64) -> Environment {
@@ -356,6 +652,17 @@ mod tests {
         assert_eq!(sim.round(), 1);
         assert_eq!(sim.replaced_actions(), 0);
         assert_eq!(sim.illegal_actions(), 0);
+    }
+
+    #[test]
+    fn step_in_place_matches_step() {
+        let mut a = Simulation::new(env(16, 2, 11), colony::simple(16, 11)).unwrap();
+        let mut b = Simulation::new(env(16, 2, 11), colony::simple(16, 11)).unwrap();
+        for _ in 0..20 {
+            let cloned = a.step().unwrap();
+            let borrowed = b.step_in_place().unwrap();
+            assert_eq!(&cloned, borrowed);
+        }
     }
 
     #[test]
@@ -437,7 +744,7 @@ mod tests {
             }
         }
         let mut agents = colony::simple(4, 6);
-        agents[3] = Box::new(Outlaw);
+        agents.replace(3, AnyAgent::custom(Outlaw));
         let mut sim = Simulation::new(env(4, 2, 6), agents).unwrap();
         for _ in 0..5 {
             sim.step().unwrap();
@@ -463,6 +770,45 @@ mod tests {
         let census = sim.role_census();
         assert_eq!(census.searching, 6);
         assert_eq!(census.total(), 6);
+    }
+
+    #[test]
+    fn live_tally_tracks_commitments() {
+        let mut sim = Simulation::new(env(12, 2, 8), colony::simple(12, 8)).unwrap();
+        assert_eq!(sim.live_tally().total(), 12);
+        assert_eq!(sim.live_tally().consensus(), None);
+        let outcome = sim
+            .run_to_convergence(ConvergenceRule::commitment(), 5_000)
+            .unwrap();
+        let solved = outcome.solved.expect("converges");
+        // At detection, the incremental tally agrees with a fresh scan.
+        assert_eq!(sim.live_tally().consensus(), Some(solved.nest));
+        assert_eq!(
+            hh_core::problem::honest_consensus(sim.agents()),
+            Some(solved.nest)
+        );
+    }
+
+    #[test]
+    fn crashed_agents_leave_the_live_tally() {
+        use hh_model::faults::{CrashPlan, CrashStyle};
+        let n = 16;
+        let perturbations = Perturbations {
+            crash: CrashPlan::fraction(n, 0.25, 3, CrashStyle::InPlace, 1),
+            delay: DelayPlan::never(),
+        };
+        let mut sim = Simulation::with_perturbations(
+            env(n, 2, 12),
+            colony::simple(n, 12),
+            Some(perturbations),
+        )
+        .unwrap();
+        for _ in 0..5 {
+            sim.step().unwrap();
+        }
+        assert_eq!(sim.live_tally().total(), 12, "4 of 16 ants crashed");
+        let live_honest = (0..n).filter(|&idx| sim.is_live_honest(idx)).count();
+        assert_eq!(live_honest, 12);
     }
 
     #[test]

@@ -7,7 +7,6 @@
 //! drop-out rate (experiment F8) needs the active-commitment histogram at
 //! consecutive competition rounds.
 
-use hh_core::problem;
 use hh_core::AgentRole;
 
 use crate::executor::{RoleCensus, Simulation};
@@ -28,16 +27,21 @@ pub struct RoundSnapshot {
 }
 
 impl RoundSnapshot {
-    /// Captures the simulation's current state.
+    /// Captures the simulation's current state from the engine's cached
+    /// per-agent snapshots (no agent dispatch).
     #[must_use]
     pub fn capture(sim: &Simulation) -> Self {
         let k = sim.env().k();
-        let committed = problem::commitment_histogram(sim.agents(), k);
+        let mut committed = vec![0usize; k];
         let mut active_committed = vec![0usize; k];
-        for agent in sim.agents().iter().filter(|a| a.is_honest()) {
-            if agent.role() == AgentRole::Active {
-                if let Some(idx) = agent.committed_nest().and_then(|n| n.candidate_index()) {
-                    if idx < k {
+        for snapshot in sim.colony().snapshots() {
+            if !snapshot.honest {
+                continue;
+            }
+            if let Some(idx) = snapshot.committed.and_then(|n| n.candidate_index()) {
+                if idx < k {
+                    committed[idx] += 1;
+                    if snapshot.role == AgentRole::Active {
                         active_committed[idx] += 1;
                     }
                 }

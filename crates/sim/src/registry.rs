@@ -45,7 +45,7 @@
 //! # Ok::<(), hh_sim::SimError>(())
 //! ```
 
-use hh_core::{colony, BoxedAgent};
+use hh_core::{colony, Colony};
 use hh_model::faults::{CrashPlan, CrashStyle, DelayPlan};
 use hh_model::seeding::{derive_seed, StreamKind};
 use hh_model::{ColonyConfig, NoiseModel, Quality, QualitySpec};
@@ -96,7 +96,7 @@ impl Algorithm {
 
     /// Builds a uniform colony of `n` agents running this algorithm.
     #[must_use]
-    pub fn build(&self, n: usize, seed: u64) -> Vec<BoxedAgent> {
+    pub fn build(&self, n: usize, seed: u64) -> Colony {
         match self {
             Algorithm::Optimal => colony::optimal(n),
             Algorithm::Simple => colony::simple(n, seed),
@@ -341,9 +341,9 @@ impl ColonyMix {
         }
     }
 
-    /// Builds the colony of `n` boxed agents for base seed `seed`.
+    /// Builds the colony of `n` agents for base seed `seed`.
     #[must_use]
-    pub fn build(&self, n: usize, seed: u64) -> Vec<BoxedAgent> {
+    pub fn build(&self, n: usize, seed: u64) -> Colony {
         match self {
             ColonyMix::Uniform(algorithm) => algorithm.build(n, seed),
             ColonyMix::IdleFraction { algorithm, .. } => {
@@ -357,7 +357,7 @@ impl ColonyMix {
             } => {
                 let mut agents = algorithm.build(n, seed);
                 colony::plant_adversaries(&mut agents, *adversaries, |_| {
-                    Box::new(hh_core::BadNestRecruiter::new())
+                    hh_core::BadNestRecruiter::new()
                 });
                 agents
             }
@@ -369,7 +369,7 @@ impl ColonyMix {
                 let count = self.planted_count(n);
                 let start = n - count;
                 for (slot, agent) in b.build(n, b_seed).into_iter().enumerate().skip(start) {
-                    agents[slot] = agent;
+                    agents.replace(slot, agent);
                 }
                 agents
             }
@@ -729,7 +729,7 @@ impl Scenario {
 
     /// Builds the colony for one trial seed.
     #[must_use]
-    pub fn colony_for(&self, seed: u64) -> Vec<BoxedAgent> {
+    pub fn colony_for(&self, seed: u64) -> Colony {
         self.mix.build(self.n, seed)
     }
 
@@ -944,6 +944,46 @@ pub fn all_scenarios() -> Vec<Scenario> {
         .max_rounds(40_000)
         .tags_declared(&[Tag::Small, Tag::GoodPrefix, Tag::Clean, Tag::Idle]),
         Scenario::custom(
+            "idle-third-256",
+            256,
+            QualityProfile::GoodPrefix { k: 4, good: 2 },
+            FaultSchedule::None,
+            ColonyMix::IdleFraction {
+                algorithm: Simple,
+                idle: 0.30,
+            },
+        )
+        .summary("the low end of Afek–Gordon–Sulamy's studied idle range: 30% carried")
+        .max_rounds(60_000)
+        .tags_declared(&[Tag::Medium, Tag::GoodPrefix, Tag::Clean, Tag::Idle]),
+        Scenario::custom(
+            "idle-half-256",
+            256,
+            QualityProfile::GoodPrefix { k: 4, good: 2 },
+            FaultSchedule::None,
+            ColonyMix::IdleFraction {
+                algorithm: Simple,
+                idle: 0.50,
+            },
+        )
+        .summary("half the colony idles; the working half must carry everyone")
+        .max_rounds(80_000)
+        .tags_declared(&[Tag::Medium, Tag::GoodPrefix, Tag::Clean, Tag::Idle]),
+        Scenario::custom(
+            "idle-seventy-256",
+            256,
+            QualityProfile::GoodPrefix { k: 4, good: 2 },
+            FaultSchedule::None,
+            ColonyMix::IdleFraction {
+                algorithm: Simple,
+                idle: 0.70,
+            },
+        )
+        .summary("the high end of the Afek–Gordon–Sulamy range: a 30% working minority")
+        .rule(ConvergenceRule::quorum(0.6, 8))
+        .max_rounds(100_000)
+        .tags_declared(&[Tag::Medium, Tag::GoodPrefix, Tag::Clean, Tag::Idle]),
+        Scenario::custom(
             "byzantine-handful-96",
             96,
             QualityProfile::GoodPrefix { k: 4, good: 2 },
@@ -1015,6 +1055,7 @@ pub fn names() -> Vec<String> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use hh_core::Agent;
 
     #[test]
     fn catalog_is_large_and_uniquely_named() {

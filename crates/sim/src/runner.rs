@@ -7,9 +7,15 @@
 //! simulation from the caller's factory — nothing is shared but the
 //! factory, so runs are embarrassingly parallel and results are
 //! bit-identical regardless of thread count.
+//!
+//! The fan-out is lock-free: workers claim indices from an
+//! [`AtomicUsize`] cursor, collect outcomes locally, and stop early via
+//! an [`AtomicBool`] abort flag on the first error; the coordinator then
+//! scatters each worker's batch into preallocated per-trial result slots.
+//! No mutex is ever taken and no post-hoc sort is needed — trial order
+//! falls out of the slot indices.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
 use crate::convergence::{ConvergenceRule, Solved};
 use crate::error::SimError;
@@ -82,8 +88,8 @@ where
 ///
 /// # Errors
 ///
-/// Returns the first build or execution error encountered (remaining
-/// trials are abandoned).
+/// Returns the lowest-indexed build or execution error encountered
+/// (remaining trials are abandoned via the abort flag).
 pub fn run_trials_with_workers<F>(
     trials: usize,
     max_rounds: u64,
@@ -99,46 +105,68 @@ where
     }
     let workers = workers.clamp(1, trials);
     let cursor = AtomicUsize::new(0);
-    let results: Mutex<Vec<TrialOutcome>> = Mutex::new(Vec::with_capacity(trials));
-    let failure: Mutex<Option<SimError>> = Mutex::new(None);
+    let abort = AtomicBool::new(false);
+    let mut slots: Vec<Option<TrialOutcome>> = Vec::with_capacity(trials);
+    slots.resize_with(trials, || None);
+    let mut first_error: Option<(usize, SimError)> = None;
 
     std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                if failure.lock().expect("failure lock").is_some() {
-                    break;
-                }
-                let trial = cursor.fetch_add(1, Ordering::Relaxed);
-                if trial >= trials {
-                    break;
-                }
-                let run = build(trial).and_then(|mut sim| {
-                    let outcome = sim.run_to_convergence(rule, max_rounds)?;
-                    Ok(TrialOutcome {
-                        trial,
-                        solved: outcome.solved,
-                        rounds_run: outcome.rounds_run,
-                        replaced_actions: outcome.replaced_actions,
-                        illegal_actions: outcome.illegal_actions,
-                    })
-                });
-                match run {
-                    Ok(outcome) => results.lock().expect("results lock").push(outcome),
-                    Err(err) => {
-                        failure.lock().expect("failure lock").get_or_insert(err);
-                        break;
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut batch: Vec<(usize, TrialOutcome)> = Vec::new();
+                    let mut error: Option<(usize, SimError)> = None;
+                    loop {
+                        if abort.load(Ordering::Acquire) {
+                            break;
+                        }
+                        let trial = cursor.fetch_add(1, Ordering::Relaxed);
+                        if trial >= trials {
+                            break;
+                        }
+                        let run = build(trial).and_then(|mut sim| {
+                            let outcome = sim.run_to_convergence(rule, max_rounds)?;
+                            Ok(TrialOutcome {
+                                trial,
+                                solved: outcome.solved,
+                                rounds_run: outcome.rounds_run,
+                                replaced_actions: outcome.replaced_actions,
+                                illegal_actions: outcome.illegal_actions,
+                            })
+                        });
+                        match run {
+                            Ok(outcome) => batch.push((trial, outcome)),
+                            Err(err) => {
+                                error = Some((trial, err));
+                                abort.store(true, Ordering::Release);
+                                break;
+                            }
+                        }
                     }
+                    (batch, error)
+                })
+            })
+            .collect();
+        for handle in handles {
+            let (batch, error) = handle.join().expect("trial worker panicked");
+            for (trial, outcome) in batch {
+                slots[trial] = Some(outcome);
+            }
+            if let Some((trial, err)) = error {
+                if first_error.as_ref().is_none_or(|&(first, _)| trial < first) {
+                    first_error = Some((trial, err));
                 }
-            });
+            }
         }
     });
 
-    if let Some(err) = failure.into_inner().expect("failure lock") {
+    if let Some((_, err)) = first_error {
         return Err(err);
     }
-    let mut outcomes = results.into_inner().expect("results lock");
-    outcomes.sort_by_key(|o| o.trial);
-    Ok(outcomes)
+    Ok(slots
+        .into_iter()
+        .map(|slot| slot.expect("every trial index was claimed and completed"))
+        .collect())
 }
 
 /// Fraction of trials that solved.

@@ -6,7 +6,7 @@
 //! describe *what* to run with a spec, then stamp out per-trial instances
 //! by varying the seed.
 
-use hh_core::BoxedAgent;
+use hh_core::Colony;
 use hh_model::{ColonyConfig, Environment, NoiseModel, QualitySpec};
 
 use crate::error::SimError;
@@ -103,7 +103,7 @@ impl ScenarioSpec {
     ///
     /// Propagates configuration validation failures and agent-count
     /// mismatches.
-    pub fn build_simulation(&self, agents: Vec<BoxedAgent>) -> Result<Simulation, SimError> {
+    pub fn build_simulation(&self, agents: impl Into<Colony>) -> Result<Simulation, SimError> {
         let env = self.build_environment()?;
         Simulation::with_perturbations(env, agents, self.perturbations.clone())
     }

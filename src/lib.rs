@@ -52,8 +52,8 @@ pub mod prelude {
     pub use hh_core::colony;
     pub use hh_core::problem;
     pub use hh_core::{
-        AdaptiveAnt, AdaptivePolicy, Agent, AgentRole, BoxedAgent, CyclePhase, OptimalAnt,
-        QualityAnt, SimpleAnt, SpreadStrategy, SpreaderAnt, UrnOptions,
+        AdaptiveAnt, AdaptivePolicy, Agent, AgentRole, AnyAgent, BoxedAgent, Colony, CyclePhase,
+        OptimalAnt, QualityAnt, RoleCensus, SimpleAnt, SpreadStrategy, SpreaderAnt, UrnOptions,
     };
     pub use hh_model::{
         Action, AntId, ColonyConfig, Environment, ModelError, NestId, NoiseModel, Outcome, Quality,

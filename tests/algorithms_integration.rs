@@ -7,7 +7,7 @@ fn solve(
     n: usize,
     spec: QualitySpec,
     seed: u64,
-    agents: Vec<BoxedAgent>,
+    agents: Colony,
     rule: ConvergenceRule,
     max_rounds: u64,
 ) -> Option<Solved> {

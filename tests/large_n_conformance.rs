@@ -1,0 +1,78 @@
+//! Release-mode guard for the catalog's largest colonies: every
+//! `Tag::Large` scenario (n ≥ 1024, including the n = 4096 entries) must
+//! keep building, running within its round budget, and reproducing
+//! bit-identically across worker counts.
+//!
+//! The default `registry_conformance` suite already covers the whole
+//! catalog; this file exists so CI can run the large-n subset in a
+//! dedicated **release** job with more repro trials — large-n perf or
+//! determinism regressions (the engine's hot path) then fail a
+//! purpose-named job instead of hiding inside a long debug run. The
+//! tests are
+//! `#[ignore]`d by default to keep `cargo test` fast; CI invokes them
+//! with `cargo test --release --test large_n_conformance -- --ignored`.
+
+use house_hunting::prelude::*;
+use std::time::Instant;
+
+fn large_scenarios() -> Vec<Scenario> {
+    let scenarios = registry::with_tag(Tag::Large);
+    assert!(
+        scenarios.iter().any(|s| s.n() >= 4096),
+        "the catalog must keep an n >= 4096 scenario"
+    );
+    scenarios
+}
+
+#[test]
+#[ignore = "release-mode CI job; run with -- --ignored"]
+fn large_scenarios_run_within_budget() {
+    for scenario in large_scenarios() {
+        let start = Instant::now();
+        let outcome = scenario
+            .run(scenario.base_seed())
+            .unwrap_or_else(|e| panic!("{}: run failed: {e}", scenario.name()));
+        assert!(
+            outcome.rounds_run <= scenario.round_budget(),
+            "{}: ran past its budget",
+            scenario.name()
+        );
+        assert_eq!(
+            outcome.solved.is_some(),
+            scenario.expects_convergence(),
+            "{}: convergence expectation violated",
+            scenario.name()
+        );
+        // A soft perf tripwire: a large-n trial that takes minutes means
+        // the engine lost an order of magnitude; the bound is generous
+        // enough for slow CI machines.
+        assert!(
+            start.elapsed().as_secs() < 120,
+            "{}: a single large-n trial took {:?}",
+            scenario.name(),
+            start.elapsed()
+        );
+    }
+}
+
+#[test]
+#[ignore = "release-mode CI job; run with -- --ignored"]
+fn large_scenarios_reproduce_bit_identically_across_worker_counts() {
+    const TRIALS: usize = 4;
+    for scenario in large_scenarios() {
+        let serial = scenario
+            .run_trials_with_workers(TRIALS, 1)
+            .unwrap_or_else(|e| panic!("{}: serial trials failed: {e}", scenario.name()));
+        for workers in [2usize, 4, 16] {
+            let parallel = scenario
+                .run_trials_with_workers(TRIALS, workers)
+                .unwrap_or_else(|e| panic!("{}: parallel trials failed: {e}", scenario.name()));
+            assert_eq!(
+                serial,
+                parallel,
+                "{}: outcomes diverged between 1 and {workers} workers",
+                scenario.name()
+            );
+        }
+    }
+}

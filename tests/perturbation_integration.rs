@@ -102,7 +102,7 @@ fn optimal_is_fragile_under_delays() {
     // The paper's claim in the negative: the optimal algorithm needs
     // lockstep synchrony. Under 15% delays it should fail noticeably
     // more often than the simple one.
-    let measure = |agents_for: fn(u64) -> Vec<BoxedAgent>| {
+    let measure = |agents_for: fn(u64) -> Colony| {
         let outcomes = run_trials(8, 30_000, ConvergenceRule::stable_commitment(8), |trial| {
             let seed = 500 + trial as u64;
             ScenarioSpec::new(N, spec())
@@ -133,7 +133,7 @@ fn byzantine_minority_does_not_stop_honest_quorum() {
     let outcomes = run_trials(8, 20_000, ConvergenceRule::quorum(0.9, 8), |trial| {
         let seed = 600 + trial as u64;
         let mut agents = colony::simple(N, seed);
-        colony::plant_adversaries(&mut agents, 3, |_| Box::new(BadNestRecruiter::new()));
+        colony::plant_adversaries(&mut agents, 3, |_| BadNestRecruiter::new());
         ScenarioSpec::new(N, spec())
             .seed(seed)
             .build_simulation(agents)
@@ -235,7 +235,7 @@ fn combined_perturbations_small_doses() {
     let outcomes = run_trials(8, 30_000, ConvergenceRule::quorum(0.9, 8), |trial| {
         let seed = 700 + trial as u64;
         let mut agents = colony::simple(N, seed);
-        colony::plant_adversaries(&mut agents, 1, |_| Box::new(BadNestRecruiter::new()));
+        colony::plant_adversaries(&mut agents, 1, |_| BadNestRecruiter::new());
         ScenarioSpec::new(N, spec())
             .seed(seed)
             .noise(NoiseModel {

@@ -11,7 +11,7 @@ fn assert_always_legal(
     n: usize,
     spec: QualitySpec,
     seed: u64,
-    mut agents: Vec<BoxedAgent>,
+    mut agents: Colony,
     rounds: u64,
     reveal: bool,
 ) -> Result<(), TestCaseError> {
@@ -132,13 +132,13 @@ proptest! {
         seed in any::<u64>(),
         byz in 1usize..4,
     ) {
-        use house_hunting::core::{BadNestRecruiter, OscillatorAnt};
+        use house_hunting::core::{AnyAgent, BadNestRecruiter, OscillatorAnt};
         let mut agents = colony::simple(n, seed);
         colony::plant_adversaries(&mut agents, byz, |slot| {
             if slot % 2 == 0 {
-                Box::new(BadNestRecruiter::new())
+                AnyAgent::from(BadNestRecruiter::new())
             } else {
-                Box::new(OscillatorAnt::new())
+                AnyAgent::from(OscillatorAnt::new())
             }
         });
         assert_always_legal(

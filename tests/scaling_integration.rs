@@ -14,7 +14,7 @@ fn mean_rounds(
     rule: ConvergenceRule,
     trials: usize,
     seed_base: u64,
-    colony_for: impl Fn(u64) -> Vec<BoxedAgent> + Sync,
+    colony_for: impl Fn(u64) -> Colony + Sync,
 ) -> f64 {
     let outcomes = run_trials(trials, 60_000, rule, |trial| {
         let seed = seed_base + trial as u64;

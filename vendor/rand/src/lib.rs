@@ -210,7 +210,6 @@ pub mod rngs {
 /// Sequence-related helpers (the shim's `rand::seq`).
 pub mod seq {
     use super::Rng;
-    use crate::distr::SampleRange;
 
     /// Extension trait for slices: in-place Fisher–Yates shuffling.
     pub trait SliceRandom {
@@ -220,8 +219,17 @@ pub mod seq {
 
     impl<T> SliceRandom for [T] {
         fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+            // Fisher–Yates with multiply-shift index sampling: one word
+            // draw and one widening multiply per index, no division and
+            // no rejection loop. Shuffling is the single hottest RNG
+            // consumer in the workspace (the recruitment pairing shuffles
+            // every round), and hardware division is the expensive part
+            // of exact bounded sampling. The multiply-shift residual bias
+            // is at most `bound / 2^64 < 2^-32` per index — far below the
+            // statistical resolution of any experiment here.
             for i in (1..self.len()).rev() {
-                let j = (0..=i).sample_from(rng);
+                let bound = (i + 1) as u64;
+                let j = ((u128::from(rng.next_u64()) * u128::from(bound)) >> 64) as usize;
                 self.swap(i, j);
             }
         }
