@@ -142,11 +142,50 @@ fn bench_quorum_rounds(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_round_threads(c: &mut Criterion) {
+    // The intra-round worker pool across its thread axis: the
+    // detector-inclusive convergence loop (the true hot path) at the
+    // catalog's large scales. Every cell of a given n executes the
+    // bit-identical stochastic process — the contract the conformance
+    // suite enforces — so the rows differ in wall clock only.
+    let mut group = c.benchmark_group("engine/threads");
+    for n in [4096usize, 16384] {
+        group.throughput(Throughput::Elements(n as u64));
+        group.sample_size(if n >= 16384 { 500 } else { 2000 });
+        for threads in [1usize, 2, 4, 8] {
+            let scenario = steady_state_scenario(n).round_threads(threads);
+            group.bench_with_input(
+                BenchmarkId::from_parameter(format!("n{n}/t{threads}")),
+                &scenario,
+                |b, s| {
+                    // Same pre-consensus regime discipline as
+                    // `steady_state_round`.
+                    let mut sim = s.build(1).expect("valid");
+                    let mut seed = 1u64;
+                    b.iter(|| {
+                        if sim.round() >= 200 {
+                            seed = seed.wrapping_add(1);
+                            sim = s.build(seed).expect("valid");
+                        }
+                        black_box(
+                            sim.run_to_convergence(ConvergenceRule::all_final(), 1)
+                                .expect("runs")
+                                .rounds_run,
+                        )
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_rounds,
     bench_trials,
     bench_detector_overhead,
-    bench_quorum_rounds
+    bench_quorum_rounds,
+    bench_round_threads
 );
 criterion_main!(benches);

@@ -93,6 +93,73 @@ impl RoleCensus {
             self.bucket(snapshot.role, -1);
         }
     }
+
+    /// Folds a signed per-role delta (accumulated off to the side by a
+    /// chunked executor pass) into the census.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a bucket would underflow — that indicates the delta was
+    /// not produced against this census's snapshots.
+    pub fn apply_delta(&mut self, delta: &CensusDelta) {
+        self.bucket(AgentRole::Searching, delta.searching);
+        self.bucket(AgentRole::Active, delta.active);
+        self.bucket(AgentRole::Passive, delta.passive);
+        self.bucket(AgentRole::Final, delta.final_count);
+        self.bucket(AgentRole::Other, delta.other);
+    }
+}
+
+/// A signed [`RoleCensus`] delta, accumulated per worker during a
+/// chunked executor pass and merged at the barrier with
+/// [`RoleCensus::apply_delta`] / [`Colony::apply_census_delta`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CensusDelta {
+    searching: isize,
+    active: isize,
+    passive: isize,
+    final_count: isize,
+    other: isize,
+}
+
+impl CensusDelta {
+    /// Resets the delta to zero.
+    pub fn clear(&mut self) {
+        *self = CensusDelta::default();
+    }
+
+    /// `true` if the delta changes nothing.
+    #[must_use]
+    pub fn is_zero(&self) -> bool {
+        *self == CensusDelta::default()
+    }
+
+    /// Records one agent's snapshot transition, with the same
+    /// role/honesty gating [`Colony::refresh`] applies: only flips that
+    /// change the census are recorded.
+    #[inline]
+    pub fn record(&mut self, old: &AgentSnapshot, new: &AgentSnapshot) {
+        if new.role == old.role && new.honest == old.honest {
+            return;
+        }
+        if old.honest {
+            self.bucket(old.role, -1);
+        }
+        if new.honest {
+            self.bucket(new.role, 1);
+        }
+    }
+
+    fn bucket(&mut self, role: AgentRole, delta: isize) {
+        let slot = match role {
+            AgentRole::Searching => &mut self.searching,
+            AgentRole::Active => &mut self.active,
+            AgentRole::Passive => &mut self.passive,
+            AgentRole::Final => &mut self.final_count,
+            _ => &mut self.other,
+        };
+        *slot += delta;
+    }
 }
 
 /// One agent's harness-observable state, cached by [`Colony`] so census
@@ -311,6 +378,33 @@ impl Colony {
         let (action, new) = self.agents[index].observe_choose(round, outcome);
         let old = self.absorb(index, new);
         (action, (old, new))
+    }
+
+    /// Executor parallel hot path: simultaneous mutable access to the
+    /// agents and their cached snapshots, for splitting into disjoint
+    /// ant chunks.
+    ///
+    /// Unlike [`agents_mut`](Colony::agents_mut) this does **not** mark
+    /// the caches stale: the caller contracts to keep each touched
+    /// agent's snapshot current itself (write the agent's freshly
+    /// computed snapshot back into its slot) and to fold the resulting
+    /// census changes in via
+    /// [`apply_census_delta`](Colony::apply_census_delta) before the next
+    /// census query.
+    pub fn engine_split(&mut self) -> (&mut [AnyAgent], &mut [AgentSnapshot]) {
+        debug_assert!(!self.stale, "engine_split on a stale colony; call sync()");
+        (&mut self.agents, &mut self.snapshots)
+    }
+
+    /// Folds a per-worker [`CensusDelta`] (accumulated against
+    /// [`engine_split`](Colony::engine_split) chunks) into the cached
+    /// census.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a census bucket would underflow.
+    pub fn apply_census_delta(&mut self, delta: &CensusDelta) {
+        self.census.apply_delta(delta);
     }
 
     /// Stores agent `index`'s freshly computed snapshot, updating the

@@ -80,7 +80,7 @@ pub use adaptive::{AdaptiveAnt, AdaptivePolicy};
 pub use agent::{Agent, AgentRole, BoxedAgent, CyclePhase};
 pub use any::AnyAgent;
 pub use byzantine::{BadNestRecruiter, OscillatorAnt, SleeperAnt};
-pub use colony::{AgentSnapshot, Colony, RoleCensus};
+pub use colony::{AgentSnapshot, CensusDelta, Colony, RoleCensus};
 pub use idle::IdlerAnt;
 pub use optimal::OptimalAnt;
 pub use quality::QualityAnt;

@@ -19,6 +19,22 @@
 //!   [`NoiseModel`](crate::noise::NoiseModel) (exact by default), drawn
 //!   independently per observation.
 //!
+//! ## Randomness ownership (the intra-round determinism contract)
+//!
+//! Every random draw attributable to a single ant — its search placement
+//! and its observation noise — comes from that ant's own derived streams
+//! ([`StreamKind::AgentEnvironment`] and [`StreamKind::AgentNoise`]), so
+//! a round's outcome is a function of per-ant state only and is
+//! independent of the order (or thread) ants are processed in. The only
+//! draw on the shared environment stream is the recruitment pairing
+//! (Algorithm 1), which is a single colony-level process and stays
+//! serial. The executor in `hh-sim` exploits this to run the per-ant
+//! phases of a round over disjoint ant chunks on a worker pool with
+//! bit-identical results for every thread count; the chunked entry
+//! points are [`Environment::relocation_view`] /
+//! [`Environment::outcome_view`] with the serial
+//! [`Environment::pair_round`] between them.
+//!
 //! ## Knowledge-set clarification
 //!
 //! The paper's formal precondition for `go(i)`/`recruit(·, i)` is a prior
@@ -39,7 +55,7 @@ use crate::nest::{Nest, Quality};
 use crate::noise::NoiseModel;
 use crate::recruitment::{pair_ants_into, Pairing, RecruitCall};
 use crate::seeding::{derive_seed, StreamKind};
-use crate::util::BitMatrix;
+use crate::util::{BitMatrix, RowBandMut};
 
 /// The ground-truth state of one house-hunting execution.
 ///
@@ -66,14 +82,21 @@ pub struct Environment {
     known: BitMatrix,
     counts: Vec<usize>,
     round: u64,
+    /// The shared colony-level stream: recruitment pairing only. All
+    /// per-ant draws live in `ant_rngs`/`noise_rngs` (see the module
+    /// docs on randomness ownership).
     rng: SmallRng,
-    noise_rng: SmallRng,
+    /// Per-ant environment streams (search placement), indexed by ant id.
+    ant_rngs: Vec<SmallRng>,
+    /// Per-ant observation-noise streams, indexed by ant id.
+    noise_rngs: Vec<SmallRng>,
     noise: NoiseModel,
     reveal_quality_on_go: bool,
     /// Reused across rounds by [`Environment::step_into`] so steady-state
     /// stepping allocates nothing.
     scratch_pairing: Pairing,
     scratch_perm: Vec<u32>,
+    scratch_counts: Vec<usize>,
 }
 
 /// Everything the environment reports about one executed round.
@@ -117,6 +140,11 @@ impl Environment {
         let mut counts = vec![0; k + 1];
         counts[0] = n;
         let base = config.base_seed();
+        let per_ant = |kind| {
+            (0..n)
+                .map(|ant| SmallRng::seed_from_u64(derive_seed(base, kind, ant as u64)))
+                .collect()
+        };
         Ok(Self {
             nests,
             locations: vec![NestId::HOME; n],
@@ -124,11 +152,13 @@ impl Environment {
             counts,
             round: 0,
             rng: SmallRng::seed_from_u64(derive_seed(base, StreamKind::Environment, 0)),
-            noise_rng: SmallRng::seed_from_u64(derive_seed(base, StreamKind::Noise, 0)),
+            ant_rngs: per_ant(StreamKind::AgentEnvironment),
+            noise_rngs: per_ant(StreamKind::AgentNoise),
             noise: config.noise_model(),
             reveal_quality_on_go: config.go_reveals_quality(),
             scratch_pairing: Pairing::default(),
             scratch_perm: Vec::new(),
+            scratch_counts: Vec::new(),
         })
     }
 
@@ -311,95 +341,102 @@ impl Environment {
         debug_assert!(self.validate(actions).is_ok(), "caller must pre-validate");
         self.resolve_round(actions, report);
         self.materialize_outcomes(actions, report);
-        self.copy_pairs_into(report);
+        self.export_pairs(report);
     }
 
     /// Phases 1–3 of a round: relocation + population tally + recruit
     /// call collection, the pairing, recruitment learning, and the round
     /// counter. Leaves `report.outcomes`/`pairs` untouched.
+    ///
+    /// Implemented over the same chunk-view primitives the `hh-sim`
+    /// worker pool uses ([`relocation_view`](Self::relocation_view) with
+    /// one full-range chunk), so the serial and chunked round paths are
+    /// one stochastic process by construction.
     fn resolve_round(&mut self, actions: &[Action], report: &mut StepReport) {
-        let k = self.k();
-        // Phase 1: one pass over the actions resolves relocation, tallies
-        // the end-of-round populations c(·, r), and collects the round's
-        // recruit() calls — each needs exactly the per-ant data this loop
-        // already holds, so separate passes would be pure rereads.
-        self.counts.fill(0);
         report.recruitment.calls.clear();
-        for (idx, action) in actions.iter().enumerate() {
-            match *action {
-                Action::Search => {
-                    let nest = NestId::candidate(self.rng.random_range(1..=k));
-                    self.locations[idx] = nest;
-                    self.known.insert(idx, nest.raw());
-                    self.counts[nest.raw()] += 1;
-                }
-                Action::Go(nest) => {
-                    self.locations[idx] = nest;
-                    self.counts[nest.raw()] += 1;
-                }
-                Action::Recruit { active, nest } => {
-                    self.locations[idx] = NestId::HOME;
-                    self.counts[0] += 1;
-                    report
-                        .recruitment
-                        .calls
-                        .push(RecruitCall::new(AntId::new(idx), active, nest));
-                }
+        let mut counts = std::mem::take(&mut self.scratch_counts);
+        counts.clear();
+        counts.resize(self.k() + 1, 0);
+        {
+            let mut view = self.relocation_view();
+            for (idx, action) in actions.iter().enumerate() {
+                view.apply(idx, *action, &mut counts, &mut report.recruitment.calls);
             }
         }
+        self.merge_counts(std::iter::once(counts.as_slice()));
+        self.scratch_counts = counts;
+        self.pair_round(&report.recruitment.calls);
+    }
 
-        let calls = &report.recruitment.calls;
+    /// The full-colony per-ant relocation view — phase 1 of a chunked
+    /// round. Split it into disjoint chunks ([`RelocationChunk::split_at`])
+    /// and [`apply`](RelocationChunk::apply) every ant's action exactly
+    /// once, tallying populations into per-chunk buffers and collecting
+    /// recruit calls into per-chunk vectors (concatenated in chunk order
+    /// they reproduce ant order). Then fold the tallies back with
+    /// [`merge_counts`](Self::merge_counts) and run
+    /// [`pair_round`](Self::pair_round).
+    ///
+    /// The environment's own population tally is stale while a relocation
+    /// view is live; nothing in the view reads it.
+    pub fn relocation_view(&mut self) -> RelocationChunk<'_> {
+        RelocationChunk {
+            start: 0,
+            k: self.nests.len(),
+            locations: &mut self.locations,
+            known: self.known.rows_mut(),
+            rngs: &mut self.ant_rngs,
+        }
+    }
+
+    /// Replaces the population tally with the sum of the per-chunk
+    /// tallies produced against [`relocation_view`](Self::relocation_view).
+    /// Deltas are summed in iteration order; each slice must have length
+    /// `k + 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a delta slice's length is not `k + 1`.
+    pub fn merge_counts<'a, I>(&mut self, deltas: I)
+    where
+        I: IntoIterator<Item = &'a [usize]>,
+    {
+        self.counts.fill(0);
+        for delta in deltas {
+            assert_eq!(delta.len(), self.counts.len(), "count delta width");
+            for (slot, add) in self.counts.iter_mut().zip(delta) {
+                *slot += add;
+            }
+        }
+    }
+
+    /// The serial middle of a round: runs Algorithm 1 over the collected
+    /// recruit calls (which must be in ant order) on the shared
+    /// environment stream, applies recruitment learning, and advances the
+    /// round counter. Call between the relocation and outcome phases.
+    pub fn pair_round(&mut self, calls: &[RecruitCall]) {
         pair_ants_into(
             calls,
             &mut self.rng,
             &mut self.scratch_pairing,
             &mut self.scratch_perm,
         );
-        let pairing = &self.scratch_pairing;
         // Recruited ants learn the nest they were recruited to; only
         // matched pairs can have learned anything, so walk those instead
         // of every participant.
-        for &(recruiter, recruited) in pairing.matched_indices() {
+        for &(recruiter, recruited) in self.scratch_pairing.matched_indices() {
             if recruiter != recruited {
                 let learned = calls[recruiter as usize].nest;
                 self.known
                     .insert(calls[recruited as usize].ant.index(), learned.raw());
             }
         }
-
         self.round += 1;
     }
 
-    /// [`step_into_prevalidated`](Self::step_into_prevalidated), but each
-    /// ant's outcome is handed to `deliver` (in ant order) instead of
-    /// being materialized — `report.outcomes` is left **empty**, while
-    /// the recruitment instrumentation is filled as usual. This is the
-    /// zero-copy spine of the executor's convergence loop: outcomes exist
-    /// only for the instant the owning agent consumes them, never as a
-    /// colony-sized buffer that is written and re-read every round.
-    ///
-    /// The observation-noise draws are identical in content and order to
-    /// the materializing variants.
-    pub fn step_deliver(
-        &mut self,
-        actions: &[Action],
-        report: &mut StepReport,
-        mut deliver: impl FnMut(usize, &Outcome),
-    ) {
-        debug_assert!(self.validate(actions).is_ok(), "caller must pre-validate");
-        self.resolve_round(actions, report);
-        report.outcomes.clear();
-        let mut call_cursor = 0usize;
-        for (idx, action) in actions.iter().enumerate() {
-            let outcome = self.outcome_for(idx, *action, &mut call_cursor);
-            deliver(idx, &outcome);
-        }
-        self.copy_pairs_into(report);
-    }
-
-    /// Copies the round's matched pairs into the report — shared tail of
-    /// every step variant.
-    fn copy_pairs_into(&self, report: &mut StepReport) {
+    /// Copies the just-paired round's matched pairs into the report —
+    /// shared tail of every step variant.
+    pub fn export_pairs(&self, report: &mut StepReport) {
         report.recruitment.pairs.clear();
         report
             .recruitment
@@ -407,68 +444,39 @@ impl Environment {
             .extend_from_slice(self.scratch_pairing.pairs());
     }
 
+    /// The full-colony outcome view — the per-ant delivery phase of a
+    /// chunked round. Valid only after [`pair_round`](Self::pair_round);
+    /// split the chunk and compute every ant's outcome exactly once, in
+    /// ascending ant order within each chunk, threading a call cursor
+    /// that starts at the ant's rank among the round's recruiters (0 for
+    /// the first chunk; later chunks start at the prefix sum of earlier
+    /// chunks' recruit-call counts).
+    pub fn outcome_view(&mut self) -> (OutcomeChunk<'_>, OutcomeCtx<'_>) {
+        (
+            OutcomeChunk {
+                start: 0,
+                locations: &self.locations,
+                noise_rngs: &mut self.noise_rngs,
+            },
+            OutcomeCtx {
+                nests: &self.nests,
+                counts: &self.counts,
+                noise: self.noise,
+                reveal_quality_on_go: self.reveal_quality_on_go,
+                pairing: &self.scratch_pairing,
+            },
+        )
+    }
+
     /// Phase 4 for the materializing step variants.
     fn materialize_outcomes(&mut self, actions: &[Action], report: &mut StepReport) {
         report.outcomes.clear();
         report.outcomes.reserve(actions.len());
+        let (mut chunk, ctx) = self.outcome_view();
         let mut call_cursor = 0usize;
         for (idx, action) in actions.iter().enumerate() {
-            let outcome = self.outcome_for(idx, *action, &mut call_cursor);
+            let outcome = chunk.outcome(&ctx, idx, *action, &mut call_cursor);
             report.outcomes.push(outcome);
-        }
-    }
-
-    /// Computes one ant's outcome for the just-resolved round, advancing
-    /// `call_cursor` past recruit participants. Must be invoked in
-    /// ascending ant order so the noise draws match the materialized
-    /// variant exactly.
-    #[inline]
-    fn outcome_for(&mut self, idx: usize, action: Action, call_cursor: &mut usize) -> Outcome {
-        match action {
-            Action::Search => {
-                let nest = self.locations[idx];
-                let true_quality =
-                    self.nests[nest.candidate_index().expect("searched nest")].quality();
-                Outcome::Search {
-                    nest,
-                    quality: self
-                        .noise
-                        .quality
-                        .observe(true_quality, &mut self.noise_rng),
-                    count: self
-                        .noise
-                        .count
-                        .observe(self.counts[nest.raw()], &mut self.noise_rng),
-                }
-            }
-            Action::Go(nest) => Outcome::Go {
-                count: self
-                    .noise
-                    .count
-                    .observe(self.counts[nest.raw()], &mut self.noise_rng),
-                quality: if self.reveal_quality_on_go {
-                    let true_quality =
-                        self.nests[nest.candidate_index().expect("candidate nest")].quality();
-                    Some(
-                        self.noise
-                            .quality
-                            .observe(true_quality, &mut self.noise_rng),
-                    )
-                } else {
-                    None
-                },
-            },
-            Action::Recruit { .. } => {
-                let assigned = self.scratch_pairing.assigned_nest(*call_cursor);
-                *call_cursor += 1;
-                Outcome::Recruit {
-                    nest: assigned,
-                    home_count: self
-                        .noise
-                        .count
-                        .observe(self.counts[0], &mut self.noise_rng),
-                }
-            }
         }
     }
 
@@ -488,18 +496,9 @@ impl Environment {
     /// Panics if `ant` is out of range.
     #[inline]
     pub fn check_action(&self, ant: AntId, action: &Action) -> Result<(), ModelError> {
-        if let Some(nest) = action.nest() {
-            if nest.is_home() {
-                return Err(ModelError::HomeNotAllowed { ant });
-            }
-            if nest.raw() > self.k() {
-                return Err(ModelError::UnknownNest { ant, nest });
-            }
-            if !self.known.contains(ant.index(), nest.raw()) {
-                return Err(ModelError::NestNotKnown { ant, nest });
-            }
-        }
-        Ok(())
+        check_nest_argument(self.k(), ant, action, |nest| {
+            self.known.contains(ant.index(), nest.raw())
+        })
     }
 
     fn validate(&self, actions: &[Action]) -> Result<(), ModelError> {
@@ -514,6 +513,299 @@ impl Environment {
         }
         Ok(())
     }
+}
+
+/// The nest-argument legality test — the **single** definition shared
+/// by [`Environment::check_action`] and
+/// [`RelocationChunk::check_action`], so the serial and chunked
+/// executor paths cannot drift apart. `knows` answers whether the ant
+/// has visited or been recruited to the nest.
+#[inline]
+fn check_nest_argument(
+    k: usize,
+    ant: AntId,
+    action: &Action,
+    knows: impl FnOnce(NestId) -> bool,
+) -> Result<(), ModelError> {
+    if let Some(nest) = action.nest() {
+        if nest.is_home() {
+            return Err(ModelError::HomeNotAllowed { ant });
+        }
+        if nest.raw() > k {
+            return Err(ModelError::UnknownNest { ant, nest });
+        }
+        if !knows(nest) {
+            return Err(ModelError::NestNotKnown { ant, nest });
+        }
+    }
+    Ok(())
+}
+
+/// A disjoint, contiguous chunk of the colony's per-ant relocation state
+/// — phase 1 of a chunked round.
+///
+/// Produced by [`Environment::relocation_view`] (the full-range chunk)
+/// and [`RelocationChunk::split_at`]. All randomness comes from the
+/// chunk's per-ant streams, so processing chunks concurrently (each ant
+/// applied exactly once) yields bit-identical state to the serial
+/// full-range pass regardless of where the boundaries fall.
+#[derive(Debug)]
+pub struct RelocationChunk<'a> {
+    /// Global ant id of the chunk's first ant.
+    start: usize,
+    k: usize,
+    locations: &'a mut [NestId],
+    known: RowBandMut<'a>,
+    rngs: &'a mut [SmallRng],
+}
+
+impl<'a> RelocationChunk<'a> {
+    /// Global ant id of the first ant in the chunk.
+    #[must_use]
+    pub fn start(&self) -> usize {
+        self.start
+    }
+
+    /// Number of ants in the chunk.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.locations.len()
+    }
+
+    /// `true` if the chunk covers no ants.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.locations.is_empty()
+    }
+
+    /// Splits at global ant id `mid` into `[start, mid)` and
+    /// `[mid, start + len)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mid` is outside the chunk's range.
+    #[must_use]
+    pub fn split_at(self, mid: usize) -> (RelocationChunk<'a>, RelocationChunk<'a>) {
+        let local = mid - self.start;
+        let (loc_a, loc_b) = self.locations.split_at_mut(local);
+        let (known_a, known_b) = self.known.split_at(local);
+        let (rng_a, rng_b) = self.rngs.split_at_mut(local);
+        (
+            RelocationChunk {
+                start: self.start,
+                k: self.k,
+                locations: loc_a,
+                known: known_a,
+                rngs: rng_a,
+            },
+            RelocationChunk {
+                start: mid,
+                k: self.k,
+                locations: loc_b,
+                known: known_b,
+                rngs: rng_b,
+            },
+        )
+    }
+
+    /// [`Environment::check_action`] against the chunk's state: whether
+    /// ant `idx` (global id, within the chunk) may legally perform
+    /// `action` this round.
+    ///
+    /// # Errors
+    ///
+    /// Returns the same errors [`Environment::step`] would for this
+    /// single action.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is outside the chunk.
+    #[inline]
+    pub fn check_action(&self, idx: usize, action: &Action) -> Result<(), ModelError> {
+        check_nest_argument(self.k, AntId::new(idx), action, |nest| {
+            self.known.contains(idx - self.start, nest.raw())
+        })
+    }
+
+    /// The location-preserving in-place no-op for ant `idx` — the chunk
+    /// equivalent of [`noop_action`](crate::faults::noop_action) with
+    /// [`CrashStyle::InPlace`](crate::faults::CrashStyle::InPlace), used
+    /// to sandbox illegal actions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is outside the chunk.
+    #[must_use]
+    pub fn noop_in_place(&self, idx: usize) -> Action {
+        let local = idx - self.start;
+        crate::faults::in_place_noop(
+            self.locations[local],
+            self.known.first(local).map(NestId::from_raw),
+        )
+    }
+
+    /// Applies ant `idx`'s action: relocates the ant, updates its
+    /// knowledge set, tallies the end-of-round population into `counts`
+    /// (length `k + 1`, raw-nest-indexed), and appends `recruit` calls to
+    /// `calls`. Search placement draws from the ant's own stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is outside the chunk or the action names an
+    /// out-of-range nest (pre-validate with
+    /// [`check_action`](Self::check_action)).
+    #[inline]
+    pub fn apply(
+        &mut self,
+        idx: usize,
+        action: Action,
+        counts: &mut [usize],
+        calls: &mut Vec<RecruitCall>,
+    ) {
+        let local = idx - self.start;
+        match action {
+            Action::Search => {
+                let nest = NestId::candidate(self.rngs[local].random_range(1..=self.k));
+                self.locations[local] = nest;
+                self.known.insert(local, nest.raw());
+                counts[nest.raw()] += 1;
+            }
+            Action::Go(nest) => {
+                self.locations[local] = nest;
+                counts[nest.raw()] += 1;
+            }
+            Action::Recruit { active, nest } => {
+                self.locations[local] = NestId::HOME;
+                counts[0] += 1;
+                calls.push(RecruitCall::new(AntId::new(idx), active, nest));
+            }
+        }
+    }
+}
+
+/// A disjoint, contiguous chunk of the colony's per-ant outcome state —
+/// the delivery phase of a chunked round.
+///
+/// Produced by [`Environment::outcome_view`] after
+/// [`Environment::pair_round`]; split with
+/// [`OutcomeChunk::split_at`]. Observation noise draws come from the
+/// chunk's per-ant streams, so concurrent chunks reproduce the serial
+/// pass bit-identically.
+#[derive(Debug)]
+pub struct OutcomeChunk<'a> {
+    /// Global ant id of the chunk's first ant.
+    start: usize,
+    locations: &'a [NestId],
+    noise_rngs: &'a mut [SmallRng],
+}
+
+impl<'a> OutcomeChunk<'a> {
+    /// Global ant id of the first ant in the chunk.
+    #[must_use]
+    pub fn start(&self) -> usize {
+        self.start
+    }
+
+    /// Number of ants in the chunk.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.locations.len()
+    }
+
+    /// `true` if the chunk covers no ants.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.locations.is_empty()
+    }
+
+    /// Splits at global ant id `mid` into `[start, mid)` and
+    /// `[mid, start + len)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mid` is outside the chunk's range.
+    #[must_use]
+    pub fn split_at(self, mid: usize) -> (OutcomeChunk<'a>, OutcomeChunk<'a>) {
+        let local = mid - self.start;
+        let (loc_a, loc_b) = self.locations.split_at(local);
+        let (rng_a, rng_b) = self.noise_rngs.split_at_mut(local);
+        (
+            OutcomeChunk {
+                start: self.start,
+                locations: loc_a,
+                noise_rngs: rng_a,
+            },
+            OutcomeChunk {
+                start: mid,
+                locations: loc_b,
+                noise_rngs: rng_b,
+            },
+        )
+    }
+
+    /// Computes ant `idx`'s outcome for the just-paired round, advancing
+    /// `call_cursor` past recruit participants. Must be invoked in
+    /// ascending ant order within the chunk, with `call_cursor` starting
+    /// at the ant's rank among the round's recruiters (see
+    /// [`Environment::outcome_view`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is outside the chunk or `action` is not the action
+    /// the round was resolved with.
+    #[inline]
+    pub fn outcome(
+        &mut self,
+        ctx: &OutcomeCtx<'_>,
+        idx: usize,
+        action: Action,
+        call_cursor: &mut usize,
+    ) -> Outcome {
+        let local = idx - self.start;
+        let rng = &mut self.noise_rngs[local];
+        match action {
+            Action::Search => {
+                let nest = self.locations[local];
+                let true_quality =
+                    ctx.nests[nest.candidate_index().expect("searched nest")].quality();
+                Outcome::Search {
+                    nest,
+                    quality: ctx.noise.quality.observe(true_quality, rng),
+                    count: ctx.noise.count.observe(ctx.counts[nest.raw()], rng),
+                }
+            }
+            Action::Go(nest) => Outcome::Go {
+                count: ctx.noise.count.observe(ctx.counts[nest.raw()], rng),
+                quality: if ctx.reveal_quality_on_go {
+                    let true_quality =
+                        ctx.nests[nest.candidate_index().expect("candidate nest")].quality();
+                    Some(ctx.noise.quality.observe(true_quality, rng))
+                } else {
+                    None
+                },
+            },
+            Action::Recruit { .. } => {
+                let assigned = ctx.pairing.assigned_nest(*call_cursor);
+                *call_cursor += 1;
+                Outcome::Recruit {
+                    nest: assigned,
+                    home_count: ctx.noise.count.observe(ctx.counts[0], rng),
+                }
+            }
+        }
+    }
+}
+
+/// The shared, read-only round context for the outcome phase: nests,
+/// merged end-of-round populations, the noise model, and the round's
+/// pairing. One context serves every [`OutcomeChunk`] concurrently.
+#[derive(Debug)]
+pub struct OutcomeCtx<'a> {
+    nests: &'a [Nest],
+    counts: &'a [usize],
+    noise: NoiseModel,
+    reveal_quality_on_go: bool,
+    pairing: &'a Pairing,
 }
 
 #[cfg(test)]

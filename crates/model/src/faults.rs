@@ -28,7 +28,7 @@ use rand::{seq::SliceRandom, SeedableRng};
 
 use crate::actions::Action;
 use crate::env::Environment;
-use crate::ids::AntId;
+use crate::ids::{AntId, NestId};
 use crate::seeding::{derive_seed, splitmix64, StreamKind};
 
 /// Where a crashed ant comes to rest.
@@ -213,14 +213,29 @@ impl Default for DelayPlan {
 /// Panics if `ant` is out of range for the environment.
 #[must_use]
 pub fn noop_action(env: &Environment, ant: AntId, style: CrashStyle) -> Action {
-    let location = env.location_of(ant);
+    let first_known = env.first_known(ant);
     match style {
-        CrashStyle::InPlace if !location.is_home() => Action::Go(location),
-        _ => match env.first_known(ant) {
-            Some(nest) => Action::recruit_passive(nest),
-            // Round-1 fault: searching is the only legal call.
-            None => Action::Search,
-        },
+        CrashStyle::InPlace => in_place_noop(env.location_of(ant), first_known),
+        // Walking home first, the ant then takes the stay-at-home no-op.
+        CrashStyle::AtHome => in_place_noop(NestId::HOME, first_known),
+    }
+}
+
+/// The in-place location-preserving no-op given an ant's location and
+/// lowest known nest — the **single** definition of the no-op
+/// semantics, shared by [`noop_action`] and the chunked executor
+/// sandbox ([`RelocationChunk::noop_in_place`]), so the serial and
+/// chunked paths cannot drift apart.
+///
+/// [`RelocationChunk::noop_in_place`]: crate::RelocationChunk::noop_in_place
+pub(crate) fn in_place_noop(location: NestId, first_known: Option<NestId>) -> Action {
+    if !location.is_home() {
+        return Action::Go(location);
+    }
+    match first_known {
+        Some(nest) => Action::recruit_passive(nest),
+        // Round-1 fault: searching is the only legal call.
+        None => Action::Search,
     }
 }
 

@@ -66,7 +66,9 @@ pub mod util;
 
 pub use actions::{Action, Outcome};
 pub use config::{ColonyConfig, QualitySpec};
-pub use env::{Environment, RecruitmentReport, StepReport};
+pub use env::{
+    Environment, OutcomeChunk, OutcomeCtx, RecruitmentReport, RelocationChunk, StepReport,
+};
 pub use error::ModelError;
 pub use ids::{AntId, NestId};
 pub use nest::{Nest, Quality};

@@ -63,6 +63,17 @@ pub enum StreamKind {
     Delay,
     /// Scratch stream for tests and ad-hoc tooling.
     Auxiliary,
+    /// One environment stream per ant, indexed by ant id: search
+    /// placement and any other environment draw attributable to a single
+    /// ant. Keeping these per ant (instead of on one shared environment
+    /// stream) makes a round's outcome independent of the order ants are
+    /// processed in — the determinism contract behind intra-round
+    /// parallelism.
+    AgentEnvironment,
+    /// One observation-noise stream per ant, indexed by ant id. Separate
+    /// from [`StreamKind::AgentEnvironment`] so that enabling noise does
+    /// not change where ants search.
+    AgentNoise,
 }
 
 impl StreamKind {
@@ -74,6 +85,8 @@ impl StreamKind {
             StreamKind::Crash => 4,
             StreamKind::Delay => 5,
             StreamKind::Auxiliary => 6,
+            StreamKind::AgentEnvironment => 7,
+            StreamKind::AgentNoise => 8,
         }
     }
 }
@@ -146,6 +159,8 @@ mod tests {
             StreamKind::Crash,
             StreamKind::Delay,
             StreamKind::Auxiliary,
+            StreamKind::AgentEnvironment,
+            StreamKind::AgentNoise,
         ] {
             for index in 0..100 {
                 assert!(

@@ -307,6 +307,17 @@ impl BitMatrix {
             .sum()
     }
 
+    /// A mutable view over all rows, splittable into disjoint row bands
+    /// for chunked (parallel) processing — see [`RowBandMut`].
+    #[must_use]
+    pub fn rows_mut(&mut self) -> RowBandMut<'_> {
+        RowBandMut {
+            words: &mut self.words,
+            words_per_row: self.words_per_row,
+            capacity: self.capacity,
+        }
+    }
+
     /// Iterates the values of row `row` in ascending order.
     ///
     /// # Panics
@@ -328,6 +339,101 @@ impl BitMatrix {
                     Some(w * 64 + bit)
                 })
             })
+    }
+}
+
+/// A mutable view over a contiguous band of [`BitMatrix`] rows.
+///
+/// Rows are word-aligned (each row owns at least one whole `u64`), so
+/// bands over disjoint row ranges never alias: [`RowBandMut::split_at`]
+/// partitions a band into two independent bands that can be mutated
+/// concurrently. Row indices are band-local (the first row of a band is
+/// row 0).
+#[derive(Debug)]
+pub struct RowBandMut<'a> {
+    words: &'a mut [u64],
+    words_per_row: usize,
+    capacity: usize,
+}
+
+impl<'a> RowBandMut<'a> {
+    /// The number of rows in this band.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.words.len() / self.words_per_row
+    }
+
+    /// Splits the band into `[0, row)` and `[row, rows())`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row > rows()`.
+    #[must_use]
+    pub fn split_at(self, row: usize) -> (RowBandMut<'a>, RowBandMut<'a>) {
+        let (head, tail) = self.words.split_at_mut(row * self.words_per_row);
+        (
+            RowBandMut {
+                words: head,
+                words_per_row: self.words_per_row,
+                capacity: self.capacity,
+            },
+            RowBandMut {
+                words: tail,
+                words_per_row: self.words_per_row,
+                capacity: self.capacity,
+            },
+        )
+    }
+
+    /// Returns `true` if band-local row `row` contains `value`.
+    /// Out-of-range values are never contained.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of range for the band.
+    #[inline]
+    #[must_use]
+    pub fn contains(&self, row: usize, value: usize) -> bool {
+        if value >= self.capacity {
+            return false;
+        }
+        self.words[row * self.words_per_row + value / 64] & (1u64 << (value % 64)) != 0
+    }
+
+    /// Inserts `value` into band-local row `row`, returning `true` if it
+    /// was fresh.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of range for the band or
+    /// `value >= capacity`.
+    #[inline]
+    pub fn insert(&mut self, row: usize, value: usize) -> bool {
+        assert!(
+            value < self.capacity,
+            "row band insert out of range: {value} >= {}",
+            self.capacity
+        );
+        let word = &mut self.words[row * self.words_per_row + value / 64];
+        let mask = 1u64 << (value % 64);
+        let fresh = *word & mask == 0;
+        *word |= mask;
+        fresh
+    }
+
+    /// Returns the smallest value in band-local row `row`, if any.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of range for the band.
+    #[must_use]
+    pub fn first(&self, row: usize) -> Option<usize> {
+        let start = row * self.words_per_row;
+        self.words[start..start + self.words_per_row]
+            .iter()
+            .enumerate()
+            .find(|(_, &word)| word != 0)
+            .map(|(w, &word)| w * 64 + word.trailing_zeros() as usize)
     }
 }
 

@@ -115,12 +115,31 @@ impl ConvergenceRule {
     }
 
     /// Quorum commitment on a good nest over a stability window.
+    ///
+    /// Invalid fractions are sanitized rather than silently accepted:
+    /// `NaN` and non-positive values snap to `0.5` (a simple majority,
+    /// the smallest quorum that still means agreement), values above 1
+    /// clamp to `1.0`. The old behavior let `NaN` through (`f64::clamp`
+    /// propagates it, corrupting the detector's threshold arithmetic)
+    /// and turned `0.0` into `f64::MIN_POSITIVE`, where a single
+    /// committed ant satisfied the "quorum".
     #[must_use]
     pub fn quorum(fraction: f64, stable_rounds: u64) -> Self {
         ConvergenceRule::Quorum {
-            fraction: fraction.clamp(f64::MIN_POSITIVE, 1.0),
+            fraction: sanitize_quorum_fraction(fraction),
             stable_rounds: stable_rounds.max(1),
         }
+    }
+}
+
+/// Snaps an invalid quorum fraction to a sane value: `NaN` and
+/// non-positive fractions become `0.5` (simple majority), fractions
+/// above 1 become `1.0` (unanimity). Valid fractions pass through.
+fn sanitize_quorum_fraction(fraction: f64) -> f64 {
+    if fraction.is_nan() || fraction <= 0.0 {
+        0.5
+    } else {
+        fraction.min(1.0)
     }
 }
 
@@ -186,7 +205,11 @@ impl Detector {
                 fraction,
                 stable_rounds,
             } => (
-                tally.quorum(fraction, |nest| is_good(sim, nest)),
+                // Re-sanitize: the variant's fields are public, so a
+                // hand-built rule can bypass the constructor.
+                tally.quorum(sanitize_quorum_fraction(fraction), |nest| {
+                    is_good(sim, nest)
+                }),
                 stable_rounds,
             ),
         };
@@ -203,6 +226,10 @@ impl Detector {
             }
         }
 
+        // Hand-built rules can carry `stable_rounds: 0` (the variant
+        // fields are public); snap to the constructors' minimum window
+        // so a zero-streak round never "satisfies" it.
+        let window = window.max(1);
         if self.streak >= window {
             let nest = self.candidate.expect("streak implies candidate");
             Some(Solved {
@@ -392,6 +419,101 @@ mod tests {
                 assert_eq!(stable_rounds, 1);
             }
             other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    fn quorum_fraction(rule: ConvergenceRule) -> f64 {
+        match rule {
+            ConvergenceRule::Quorum { fraction, .. } => fraction,
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn quorum_rejects_nan_fraction() {
+        // The old `f64::clamp` let NaN straight through.
+        assert_eq!(quorum_fraction(ConvergenceRule::quorum(f64::NAN, 1)), 0.5);
+    }
+
+    #[test]
+    fn quorum_rejects_non_positive_fractions() {
+        // The old clamp snapped 0.0 to `f64::MIN_POSITIVE`, a "quorum"
+        // one single ant satisfies.
+        assert_eq!(quorum_fraction(ConvergenceRule::quorum(0.0, 1)), 0.5);
+        assert_eq!(quorum_fraction(ConvergenceRule::quorum(-3.0, 1)), 0.5);
+    }
+
+    #[test]
+    fn hand_built_zero_window_does_not_panic() {
+        // `stable_rounds: 0` via the public fields: the first check has
+        // streak 0 and no candidate; the window must snap to 1 instead
+        // of reporting a detection out of nothing (or panicking).
+        for rule in [
+            ConvergenceRule::Quorum {
+                fraction: 0.7,
+                stable_rounds: 0,
+            },
+            ConvergenceRule::Commitment {
+                stable_rounds: 0,
+                require_good: true,
+            },
+            ConvergenceRule::Location { stable_rounds: 0 },
+        ] {
+            let mut fresh = sim(8, QualitySpec::good_prefix(2, 1), 5, colony::simple(8, 5));
+            let mut detector = Detector::new(rule);
+            assert!(
+                detector.check(&fresh).is_none(),
+                "{rule:?}: detected before any round ran"
+            );
+            // And the rule still works as a window-1 rule.
+            let outcome = fresh.run_to_convergence(rule, 5_000).unwrap();
+            assert!(outcome.solved.is_some(), "{rule:?}: never converged");
+        }
+    }
+
+    #[test]
+    fn nan_quorum_detects_at_simple_majority() {
+        // End to end: a hand-built NaN-fraction rule must behave exactly
+        // like the sanitized 0.5 rule rather than silently corrupting
+        // the detector's threshold.
+        let run = |rule: ConvergenceRule| {
+            let mut s = sim(
+                24,
+                QualitySpec::good_prefix(3, 1),
+                13,
+                colony::simple(24, 13),
+            );
+            s.run_to_convergence(rule, 5_000).unwrap().solved
+        };
+        let nan = run(ConvergenceRule::Quorum {
+            fraction: f64::NAN,
+            stable_rounds: 1,
+        });
+        let majority = run(ConvergenceRule::quorum(0.5, 1));
+        assert_eq!(nan, majority);
+        assert!(nan.is_some());
+    }
+
+    #[test]
+    fn zero_quorum_needs_more_than_one_ant() {
+        // With a 24-ant colony just starting out, a single early commit
+        // must not satisfy a (sanitized) zero quorum: run one round and
+        // check nothing fires before half the colony agrees.
+        let mut s = sim(
+            24,
+            QualitySpec::good_prefix(3, 1),
+            17,
+            colony::simple(24, 17),
+        );
+        let mut detector = Detector::new(ConvergenceRule::quorum(0.0, 1));
+        s.step().unwrap();
+        let census = s.role_census();
+        if let Some(solved) = detector.check(&s) {
+            let committed: usize = census.active + census.passive + census.final_count;
+            assert!(
+                committed * 2 >= 24,
+                "quorum fired at round 1 with only {committed} committed ants ({solved:?})"
+            );
         }
     }
 

@@ -28,14 +28,35 @@
 //!   agent ([`Colony::refresh`]), never by rescanning the colony, so the
 //!   convergence [`Detector`](crate::Detector) reads O(k) state instead
 //!   of touching all n agents every round.
+//! * **Deterministic intra-round parallelism.** Agents are independent
+//!   within a round, so the per-ant phases — validate/relocate/tally and
+//!   the fused outcome/observe/choose/refresh pass — run over disjoint
+//!   colony chunks on a persistent worker pool
+//!   ([`Simulation::with_round_threads`]), spawned once and reused every
+//!   round. Every random draw attributable to an ant comes from that
+//!   ant's own stream (see the `hh_model::env` docs on randomness
+//!   ownership), each worker writes only its own slots, and per-worker
+//!   census/tally/count deltas are merged in chunk order at the barrier
+//!   — so every thread count, including the serial `round_threads = 1`
+//!   default (the same code run inline), produces **bit-identical**
+//!   results. Only the Algorithm 1 pairing stays serial, as the paper's
+//!   one colony-level process. Perturbed simulations execute their
+//!   rounds serially regardless of the setting (the fault bookkeeping is
+//!   not worth parallelizing), which preserves the contract trivially.
+
+use std::sync::Mutex;
 
 use hh_core::colony::AgentSnapshot;
-use hh_core::{AnyAgent, Colony};
+use hh_core::{Agent, AnyAgent, CensusDelta, Colony};
 use hh_model::faults::{noop_action, CrashPlan, CrashStyle, DelayPlan};
-use hh_model::{Action, AntId, Environment, NestId, StepReport};
+use hh_model::recruitment::RecruitCall;
+use hh_model::{
+    Action, AntId, Environment, NestId, Outcome, OutcomeChunk, RelocationChunk, StepReport,
+};
 
 use crate::convergence::{ConvergenceRule, Detector, Solved};
 use crate::error::SimError;
+use crate::pool::{scatter, WorkerPool, MAX_ROUND_THREADS};
 
 pub use hh_core::RoleCensus;
 
@@ -194,6 +215,31 @@ impl LiveTally {
         self.finals == self.total
     }
 
+    /// Folds a per-worker [`TallyDelta`] (chunk-order merge at the round
+    /// barrier) into the tally. The end state is identical to having
+    /// applied every agent transition directly.
+    pub(crate) fn apply_delta(&mut self, delta: &TallyDelta) {
+        self.total = signed_add(self.total, delta.total);
+        self.uncommitted = signed_add(self.uncommitted, delta.uncommitted);
+        self.finals = signed_add(self.finals, delta.finals);
+        for (raw, &change) in delta.commits.iter().enumerate() {
+            if change == 0 {
+                continue;
+            }
+            if raw >= self.commits.len() {
+                self.commits.resize(raw + 1, 0);
+            }
+            let old = self.commits[raw];
+            let new = signed_add(old, change);
+            self.commits[raw] = new;
+            match (old == 0, new == 0) {
+                (true, false) => self.distinct += 1,
+                (false, true) => self.distinct -= 1,
+                _ => {}
+            }
+        }
+    }
+
     /// The nest satisfying `good` that holds at least `fraction` of the
     /// live honest colony's commitments, if any; the highest count wins,
     /// lowest nest id breaking ties.
@@ -213,6 +259,82 @@ impl LiveTally {
         }
         best.map(|(_, nest)| nest)
     }
+}
+
+/// Adds a signed delta to an unsigned counter; panics on underflow
+/// (which would indicate a delta produced against foreign state).
+fn signed_add(value: usize, delta: isize) -> usize {
+    value
+        .checked_add_signed(delta)
+        .expect("live tally underflow")
+}
+
+/// A signed [`LiveTally`] delta, accumulated per worker during the
+/// chunked observe/choose/refresh pass and merged in chunk order at the
+/// round barrier ([`LiveTally::apply_delta`]).
+#[derive(Debug, Clone, Default)]
+pub(crate) struct TallyDelta {
+    total: isize,
+    uncommitted: isize,
+    finals: isize,
+    /// Signed commitment changes per raw nest id (grown on demand).
+    commits: Vec<isize>,
+}
+
+impl TallyDelta {
+    fn clear(&mut self) {
+        self.total = 0;
+        self.uncommitted = 0;
+        self.finals = 0;
+        self.commits.fill(0);
+    }
+
+    /// Mirrors [`LiveTally::apply`] for one agent's snapshot transition.
+    #[inline]
+    fn apply(&mut self, old: &AgentSnapshot, new: &AgentSnapshot) {
+        if old == new {
+            return;
+        }
+        if old.honest {
+            self.shift(old, -1);
+        }
+        if new.honest {
+            self.shift(new, 1);
+        }
+    }
+
+    fn shift(&mut self, snapshot: &AgentSnapshot, sign: isize) {
+        self.total += sign;
+        self.finals += isize::from(snapshot.is_final) * sign;
+        match snapshot.committed {
+            None => self.uncommitted += sign,
+            Some(nest) => {
+                let raw = nest.raw();
+                if raw >= self.commits.len() {
+                    self.commits.resize(raw + 1, 0);
+                }
+                self.commits[raw] += sign;
+            }
+        }
+    }
+}
+
+/// Per-worker round state: everything a chunk writes besides its
+/// disjoint slots, merged serially in chunk order at the barriers so
+/// results never depend on the thread count. Buffers persist across
+/// rounds — the steady state allocates nothing.
+#[derive(Debug, Default)]
+struct WorkerScratch {
+    /// Phase 1: this chunk's population tally (length `k + 1`).
+    counts: Vec<usize>,
+    /// Phase 1: this chunk's recruit calls, in ant order.
+    calls: Vec<RecruitCall>,
+    /// Phase 1: illegal actions sandboxed in this chunk.
+    illegal: u64,
+    /// Phase 2: this chunk's role-census delta.
+    census: CensusDelta,
+    /// Phase 2: this chunk's live-tally delta.
+    tally: TallyDelta,
 }
 
 /// One synchronous execution: environment + colony + perturbations.
@@ -249,6 +371,15 @@ pub struct Simulation {
     prechosen: bool,
     live: LiveTally,
     scratch: RoundScratch,
+    /// Intra-round parts (1 = serial). See
+    /// [`with_round_threads`](Simulation::with_round_threads).
+    round_threads: usize,
+    /// Ant-chunk boundaries, length `round_threads + 1`.
+    chunk_bounds: Vec<usize>,
+    /// One scratch per part, merged in part order at the barriers.
+    worker_scratch: Vec<WorkerScratch>,
+    /// The persistent pool (`round_threads > 1`, unperturbed only).
+    pool: Option<WorkerPool>,
 }
 
 impl std::fmt::Debug for Simulation {
@@ -260,6 +391,7 @@ impl std::fmt::Debug for Simulation {
             .field("perturbations", &self.perturbations)
             .field("replaced_actions", &self.replaced_actions)
             .field("illegal_actions", &self.illegal_actions)
+            .field("round_threads", &self.round_threads)
             .finish_non_exhaustive()
     }
 }
@@ -315,7 +447,42 @@ impl Simulation {
             prechosen: false,
             live,
             scratch: RoundScratch::default(),
+            round_threads: 1,
+            chunk_bounds: vec![0, n],
+            worker_scratch: vec![WorkerScratch::default()],
+            pool: None,
         })
+    }
+
+    /// Sets the number of intra-round parts and spawns the persistent
+    /// worker pool behind them (once; the threads are reused every
+    /// round). `threads` is clamped to `1..=16`; 1 restores the serial
+    /// engine.
+    ///
+    /// **Determinism contract:** every thread count produces
+    /// bit-identical executions — the serial path is the same chunked
+    /// code run inline, all per-ant randomness lives in per-ant streams,
+    /// and per-worker deltas merge in chunk order. The registry
+    /// conformance suite enforces this across the whole catalog.
+    ///
+    /// Perturbed simulations keep executing serially regardless of the
+    /// setting; the contract holds trivially there.
+    #[must_use]
+    pub fn with_round_threads(mut self, threads: usize) -> Self {
+        let threads = threads.clamp(1, MAX_ROUND_THREADS);
+        let n = self.env.n();
+        self.round_threads = threads;
+        self.chunk_bounds = (0..=threads).map(|part| part * n / threads).collect();
+        self.worker_scratch
+            .resize_with(threads, WorkerScratch::default);
+        self.pool = (threads > 1 && self.unperturbed).then(|| WorkerPool::new(threads - 1));
+        self
+    }
+
+    /// The configured number of intra-round parts.
+    #[must_use]
+    pub fn round_threads(&self) -> usize {
+        self.round_threads
     }
 
     /// The environment (read-only).
@@ -358,88 +525,313 @@ impl Simulation {
     ///
     /// With `materialize` set, the report (including the per-ant outcome
     /// vector) is readable as `self.scratch.report` afterwards; without
-    /// it, the fast path hands each outcome straight to its agent and
-    /// `report.outcomes` stays empty — the convergence loop needs no
-    /// colony-sized outcome buffer.
+    /// it, each outcome is handed straight to its agent as it is
+    /// computed and `report.outcomes` stays empty — the convergence loop
+    /// needs no colony-sized outcome buffer. Both modes run the **same**
+    /// delivering round pass; materializing only adds the per-slot copy
+    /// into the (persistent) report buffer, so instrumented and
+    /// convergence runs are one code path and report identical
+    /// [`RunOutcome`]s.
     fn step_round(&mut self, materialize: bool) -> Result<(), SimError> {
+        if self.unperturbed {
+            self.step_round_fast(materialize)
+        } else {
+            self.step_round_perturbed(materialize)
+        }
+    }
+
+    /// The unperturbed fast path: no crash/delay plans to consult per
+    /// ant, and every agent chooses every round, so the `chose` mask is
+    /// a constant `true` and is not materialized.
+    ///
+    /// The engine is memory-bound at scale — the dominant cost of a
+    /// round is streaming the agent array — so the fast path makes
+    /// exactly ONE pass over the agents per round: round r's observe is
+    /// fused with round r+1's choose (agents are independent, and
+    /// between rounds nothing else touches them), and the pre-chosen
+    /// actions are stashed in `next_actions` for the next step. Only the
+    /// first round after construction runs a dedicated choose pass.
+    ///
+    /// Both per-ant phases (validate/relocate/tally, then the fused
+    /// outcome/observe/choose/refresh pass) run over `round_threads`
+    /// disjoint ant chunks — inline when serial, on the persistent pool
+    /// otherwise — with per-worker deltas merged in chunk order between
+    /// the phases; only the Algorithm 1 pairing runs serially. See the
+    /// module docs for why every thread count is bit-identical.
+    ///
+    /// Legality is still checked at the top of the round the action
+    /// executes in (identical sandboxing semantics and counters), and
+    /// the per-ant crash/delay semantics that forbid pre-choosing — a
+    /// skipped ant must not advance its state machine — cannot occur
+    /// here by definition.
+    fn step_round_fast(&mut self, materialize: bool) -> Result<(), SimError> {
+        let n = self.env.n();
+        let k1 = self.env.k() + 1;
+        let round = self.env.round() + 1;
+        let threads = self.round_threads;
+        let prechosen = std::mem::replace(&mut self.prechosen, true);
+
+        let Self {
+            env,
+            colony,
+            scratch,
+            worker_scratch,
+            live,
+            pool,
+            chunk_bounds,
+            illegal_actions,
+            ..
+        } = self;
+
+        let bounds = chunk_bounds.as_slice();
+
+        // Round 1 only: the dedicated choose pass that primes the
+        // pre-chosen pipeline.
+        if !prechosen {
+            scratch.next_actions.clear();
+            scratch.next_actions.resize(n, Action::Search);
+            struct ChoosePart<'a> {
+                agents: &'a mut [AnyAgent],
+                next: &'a mut [Action],
+            }
+            let slots: [Mutex<Option<ChoosePart>>; MAX_ROUND_THREADS] =
+                std::array::from_fn(|_| Mutex::new(None));
+            let (mut rest_agents, _) = colony.engine_split();
+            let mut rest_next = scratch.next_actions.as_mut_slice();
+            for (part, slot) in slots.iter().take(threads).enumerate() {
+                let len = bounds[part + 1] - bounds[part];
+                let (agents, tail) = std::mem::take(&mut rest_agents).split_at_mut(len);
+                rest_agents = tail;
+                let (next, tail) = std::mem::take(&mut rest_next).split_at_mut(len);
+                rest_next = tail;
+                *slot.lock().expect("slot") = Some(ChoosePart { agents, next });
+            }
+            scatter(pool.as_mut(), threads, &slots, |_, part: ChoosePart<'_>| {
+                for (agent, next) in part.agents.iter_mut().zip(part.next) {
+                    *next = agent.choose(round);
+                }
+            });
+        }
+        std::mem::swap(&mut scratch.actions, &mut scratch.next_actions);
+        // Both buffers are written slot-by-slot for every ant (phase 1
+        // fills `ran`, phase 2 fills `next_actions`), so at steady state
+        // they only need their length established — refilling defaults
+        // every round would be two redundant full-colony write passes.
+        if scratch.next_actions.len() != n {
+            scratch.next_actions.resize(n, Action::Search);
+        }
+        if scratch.ran.len() != n {
+            scratch.ran.resize(n, true);
+        }
+
+        // ── Phase 1 (chunked): validate + sandbox, relocate, tally
+        // populations, collect recruit calls.
+        {
+            struct RelocPart<'a> {
+                chunk: RelocationChunk<'a>,
+                actions: &'a mut [Action],
+                ran: &'a mut [bool],
+                scratch: &'a mut WorkerScratch,
+            }
+            let slots: [Mutex<Option<RelocPart>>; MAX_ROUND_THREADS] =
+                std::array::from_fn(|_| Mutex::new(None));
+            let mut rest_chunk = Some(env.relocation_view());
+            let mut rest_actions = scratch.actions.as_mut_slice();
+            let mut rest_ran = scratch.ran.as_mut_slice();
+            let mut scratch_iter = worker_scratch.iter_mut();
+            for (part, slot) in slots.iter().take(threads).enumerate() {
+                let len = bounds[part + 1] - bounds[part];
+                let chunk = if part + 1 == threads {
+                    rest_chunk.take().expect("chunk remainder")
+                } else {
+                    let (head, tail) = rest_chunk
+                        .take()
+                        .expect("chunk remainder")
+                        .split_at(bounds[part + 1]);
+                    rest_chunk = Some(tail);
+                    head
+                };
+                let (actions, tail) = std::mem::take(&mut rest_actions).split_at_mut(len);
+                rest_actions = tail;
+                let (ran, tail) = std::mem::take(&mut rest_ran).split_at_mut(len);
+                rest_ran = tail;
+                *slot.lock().expect("slot") = Some(RelocPart {
+                    chunk,
+                    actions,
+                    ran,
+                    scratch: scratch_iter.next().expect("worker scratch"),
+                });
+            }
+            scatter(pool.as_mut(), threads, &slots, |_, part: RelocPart<'_>| {
+                let RelocPart {
+                    mut chunk,
+                    actions,
+                    ran,
+                    scratch,
+                } = part;
+                scratch.counts.clear();
+                scratch.counts.resize(k1, 0);
+                scratch.calls.clear();
+                scratch.illegal = 0;
+                let start = chunk.start();
+                for (local, action) in actions.iter_mut().enumerate() {
+                    let idx = start + local;
+                    let legal = chunk.check_action(idx, action).is_ok();
+                    ran[local] = legal;
+                    if !legal {
+                        scratch.illegal += 1;
+                        *action = chunk.noop_in_place(idx);
+                    }
+                    chunk.apply(idx, *action, &mut scratch.counts, &mut scratch.calls);
+                }
+            });
+        }
+
+        // ── Serial middle: merge the per-chunk tallies and calls (chunk
+        // order reproduces ant order), then run Algorithm 1.
+        for ws in worker_scratch.iter() {
+            *illegal_actions += ws.illegal;
+        }
+        env.merge_counts(worker_scratch.iter().map(|ws| ws.counts.as_slice()));
+        let calls = &mut scratch.report.recruitment.calls;
+        calls.clear();
+        for ws in worker_scratch.iter() {
+            calls.extend_from_slice(&ws.calls);
+        }
+        env.pair_round(calls);
+
+        // ── Phase 2 (chunked): the single agent pass — compute the
+        // outcome, observe round `round`, choose round `round + 1`,
+        // refresh the (cache-hot) snapshot — one dispatch per ant
+        // (`AnyAgent::observe_choose`) — and accumulate census/tally
+        // deltas per worker. In the eliding mode each outcome lives only
+        // for the instant its agent consumes it; materializing adds a
+        // copy into the report's persistent buffer.
+        scratch.report.outcomes.clear();
+        if materialize {
+            scratch.report.outcomes.resize(
+                n,
+                Outcome::Go {
+                    count: 0,
+                    quality: None,
+                },
+            );
+        }
+        {
+            struct OutcomePart<'a> {
+                chunk: OutcomeChunk<'a>,
+                agents: &'a mut [AnyAgent],
+                snapshots: &'a mut [AgentSnapshot],
+                next: &'a mut [Action],
+                outcomes: Option<&'a mut [Outcome]>,
+                scratch: &'a mut WorkerScratch,
+                /// This chunk's first recruiter rank (call cursor start).
+                cursor: usize,
+            }
+            let slots: [Mutex<Option<OutcomePart>>; MAX_ROUND_THREADS] =
+                std::array::from_fn(|_| Mutex::new(None));
+            let (full_chunk, ctx) = env.outcome_view();
+            let (mut rest_agents, mut rest_snapshots) = colony.engine_split();
+            let mut rest_chunk = Some(full_chunk);
+            let mut rest_next = scratch.next_actions.as_mut_slice();
+            let mut rest_outcomes = materialize.then_some(scratch.report.outcomes.as_mut_slice());
+            let mut scratch_iter = worker_scratch.iter_mut();
+            let mut cursor = 0usize;
+            for (part, slot) in slots.iter().take(threads).enumerate() {
+                let len = bounds[part + 1] - bounds[part];
+                let chunk = if part + 1 == threads {
+                    rest_chunk.take().expect("chunk remainder")
+                } else {
+                    let (head, tail) = rest_chunk
+                        .take()
+                        .expect("chunk remainder")
+                        .split_at(bounds[part + 1]);
+                    rest_chunk = Some(tail);
+                    head
+                };
+                let (agents, tail) = std::mem::take(&mut rest_agents).split_at_mut(len);
+                rest_agents = tail;
+                let (snapshots, tail) = std::mem::take(&mut rest_snapshots).split_at_mut(len);
+                rest_snapshots = tail;
+                let (next, tail) = std::mem::take(&mut rest_next).split_at_mut(len);
+                rest_next = tail;
+                let outcomes = rest_outcomes.take().map(|rest| {
+                    let (head, tail) = rest.split_at_mut(len);
+                    rest_outcomes = Some(tail);
+                    head
+                });
+                let ws = scratch_iter.next().expect("worker scratch");
+                let part_cursor = cursor;
+                cursor += ws.calls.len();
+                *slot.lock().expect("slot") = Some(OutcomePart {
+                    chunk,
+                    agents,
+                    snapshots,
+                    next,
+                    outcomes,
+                    scratch: ws,
+                    cursor: part_cursor,
+                });
+            }
+            let actions = scratch.actions.as_slice();
+            let ran = scratch.ran.as_slice();
+            scatter(
+                pool.as_mut(),
+                threads,
+                &slots,
+                |_, part: OutcomePart<'_>| {
+                    let OutcomePart {
+                        mut chunk,
+                        agents,
+                        snapshots,
+                        next,
+                        mut outcomes,
+                        scratch,
+                        mut cursor,
+                    } = part;
+                    scratch.census.clear();
+                    scratch.tally.clear();
+                    let start = chunk.start();
+                    for (local, agent) in agents.iter_mut().enumerate() {
+                        let idx = start + local;
+                        let outcome = chunk.outcome(&ctx, idx, actions[idx], &mut cursor);
+                        if let Some(out) = outcomes.as_deref_mut() {
+                            out[local] = outcome;
+                        }
+                        let observed = ran[idx].then_some(&outcome);
+                        let (next_action, new) = agent.observe_choose(round, observed);
+                        next[local] = next_action;
+                        let old = snapshots[local];
+                        if new != old {
+                            scratch.census.record(&old, &new);
+                            scratch.tally.apply(&old, &new);
+                            snapshots[local] = new;
+                        }
+                    }
+                },
+            );
+        }
+
+        // ── Round barrier: fold the per-chunk deltas, in chunk order.
+        for ws in worker_scratch.iter() {
+            colony.apply_census_delta(&ws.census);
+            live.apply_delta(&ws.tally);
+        }
+        env.export_pairs(&mut scratch.report);
+        Ok(())
+    }
+
+    /// The perturbed path: serial (regardless of `round_threads`), with
+    /// per-ant crash/delay bookkeeping, but built on the same chunk-view
+    /// primitives — one full-range chunk per phase — and the same
+    /// delivering outcome pass as the fast path.
+    fn step_round_perturbed(&mut self, materialize: bool) -> Result<(), SimError> {
         let round = self.env.round() + 1;
         let n = self.env.n();
         let scratch = &mut self.scratch;
         scratch.actions.clear();
         scratch.ran.clear();
-        scratch.ran.resize(n, true);
-
-        if self.unperturbed {
-            // Fast path: no crash/delay plans to consult per ant, and
-            // every agent chooses every round, so the `chose` mask is a
-            // constant `true` and is not materialized.
-            //
-            // The engine is memory-bound at scale — the dominant cost of
-            // a round is streaming the agent array — so the fast path
-            // makes exactly ONE pass over the agents per round: round
-            // r's observe is fused with round r+1's choose (agents are
-            // independent, and between rounds nothing else touches
-            // them), and the pre-chosen actions are stashed in
-            // `next_actions` for the next step. Only the first round
-            // after construction runs a dedicated choose pass.
-            //
-            // Legality is still checked at the top of the round the
-            // action executes in (identical sandboxing semantics and
-            // counters), and the per-ant crash/delay semantics that
-            // forbid pre-choosing — a skipped ant must not advance its
-            // state machine — cannot occur here by definition.
-            if !self.prechosen {
-                for idx in 0..n {
-                    let action = self.colony.choose(idx, round);
-                    scratch.next_actions.push(action);
-                }
-                self.prechosen = true;
-            }
-            std::mem::swap(&mut scratch.actions, &mut scratch.next_actions);
-            scratch.next_actions.clear();
-
-            for (idx, action) in scratch.actions.iter_mut().enumerate() {
-                if self.env.check_action(AntId::new(idx), action).is_err() {
-                    scratch.ran[idx] = false;
-                    self.illegal_actions += 1;
-                    *action = noop_action(&self.env, AntId::new(idx), CrashStyle::InPlace);
-                }
-            }
-
-            // The single agent pass: observe round `round`, choose round
-            // `round + 1`, refresh the (cache-hot) snapshot, and fold
-            // census deltas into the live tally — one dispatch per ant
-            // (`Colony::observe_choose`). In the eliding mode the
-            // environment hands each outcome over by reference as it is
-            // computed; in the materializing mode the outcome vector is
-            // built first (for `step`'s and `run_observed`'s callers) and
-            // consumed from the report.
-            if materialize {
-                self.env
-                    .step_into_prevalidated(&scratch.actions, &mut scratch.report);
-                for idx in 0..n {
-                    let outcome = scratch.ran[idx].then(|| &scratch.report.outcomes[idx]);
-                    let (action, (old, new)) = self.colony.observe_choose(idx, round, outcome);
-                    scratch.next_actions.push(action);
-                    self.live.apply(&old, &new);
-                }
-            } else {
-                let colony = &mut self.colony;
-                let live = &mut self.live;
-                let ran = &scratch.ran;
-                let next_actions = &mut scratch.next_actions;
-                self.env
-                    .step_deliver(&scratch.actions, &mut scratch.report, |idx, outcome| {
-                        let outcome = ran[idx].then_some(outcome);
-                        let (action, (old, new)) = colony.observe_choose(idx, round, outcome);
-                        next_actions.push(action);
-                        live.apply(&old, &new);
-                    });
-            }
-            return Ok(());
-        }
-
-        scratch.ran.fill(false);
+        scratch.ran.resize(n, false);
         scratch.chose.clear();
         scratch.chose.resize(n, false);
         for idx in 0..n {
@@ -479,29 +871,64 @@ impl Simulation {
         }
 
         // Every pushed action was either checked above or is a
-        // location-preserving no-op, legal by construction.
-        self.env
-            .step_into_prevalidated(&scratch.actions, &mut scratch.report);
-
-        // One fused pass: observe, then refresh the same (cache-hot)
-        // agent. Refresh covers every agent whose `choose` ran — observe
-        // or not, choosing alone can advance a state machine — and folds
-        // the deltas into the live tally.
-        for idx in 0..n {
-            if !scratch.chose[idx] {
-                continue;
+        // location-preserving no-op, legal by construction. Resolve the
+        // round over one full-range chunk.
+        scratch.report.recruitment.calls.clear();
+        {
+            let ws = &mut self.worker_scratch[0];
+            ws.counts.clear();
+            ws.counts.resize(self.env.k() + 1, 0);
+            let mut view = self.env.relocation_view();
+            for (idx, action) in scratch.actions.iter().enumerate() {
+                view.apply(
+                    idx,
+                    *action,
+                    &mut ws.counts,
+                    &mut scratch.report.recruitment.calls,
+                );
             }
-            if scratch.ran[idx] {
-                self.colony
-                    .observe(idx, round, &scratch.report.outcomes[idx]);
-            }
-            let (old, new) = self.colony.refresh(idx);
-            debug_assert!(
-                old == new || !self.crashed[idx],
-                "crashed agents never choose"
-            );
-            self.live.apply(&old, &new);
         }
+        self.env
+            .merge_counts(std::iter::once(self.worker_scratch[0].counts.as_slice()));
+        self.env.pair_round(&scratch.report.recruitment.calls);
+
+        // Outcome + observe + refresh, fused per ant. Refresh covers
+        // every agent whose `choose` ran — observe or not, choosing
+        // alone can advance a state machine — and folds the deltas into
+        // the live tally.
+        scratch.report.outcomes.clear();
+        if materialize {
+            scratch.report.outcomes.resize(
+                n,
+                Outcome::Go {
+                    count: 0,
+                    quality: None,
+                },
+            );
+        }
+        {
+            let (mut chunk, ctx) = self.env.outcome_view();
+            let mut cursor = 0usize;
+            for (idx, &action) in scratch.actions.iter().enumerate() {
+                let outcome = chunk.outcome(&ctx, idx, action, &mut cursor);
+                if materialize {
+                    scratch.report.outcomes[idx] = outcome;
+                }
+                if !scratch.chose[idx] {
+                    continue;
+                }
+                if scratch.ran[idx] {
+                    self.colony.observe(idx, round, &outcome);
+                }
+                let (old, new) = self.colony.refresh(idx);
+                debug_assert!(
+                    old == new || !self.crashed[idx],
+                    "crashed agents never choose"
+                );
+                self.live.apply(&old, &new);
+            }
+        }
+        self.env.export_pairs(&mut scratch.report);
         Ok(())
     }
 
@@ -812,6 +1239,67 @@ mod tests {
     }
 
     #[test]
+    fn round_threads_are_bit_identical_to_serial() {
+        // Odd colony size so chunk boundaries are uneven; run the whole
+        // convergence loop and compare everything observable.
+        let n = 257;
+        let run = |threads: usize| {
+            let mut sim = Simulation::new(env(n, 3, 21), colony::simple(n, 21))
+                .unwrap()
+                .with_round_threads(threads);
+            let outcome = sim
+                .run_to_convergence(ConvergenceRule::commitment(), 20_000)
+                .unwrap();
+            let counts = sim.env().counts().to_vec();
+            let locations = sim.env().locations().to_vec();
+            let census = sim.role_census();
+            (outcome, counts, locations, census)
+        };
+        let serial = run(1);
+        for threads in [2usize, 3, 5, 8, 16] {
+            assert_eq!(serial, run(threads), "{threads} round threads diverged");
+        }
+    }
+
+    #[test]
+    fn round_threads_match_stepwise_reports() {
+        let n = 64;
+        let mut serial = Simulation::new(env(n, 2, 33), colony::simple(n, 33)).unwrap();
+        let mut parallel = Simulation::new(env(n, 2, 33), colony::simple(n, 33))
+            .unwrap()
+            .with_round_threads(4);
+        for _ in 0..50 {
+            assert_eq!(serial.step().unwrap(), parallel.step().unwrap());
+        }
+        assert_eq!(serial.illegal_actions(), parallel.illegal_actions());
+    }
+
+    #[test]
+    fn round_threads_clamp() {
+        let sim = Simulation::new(env(8, 2, 1), colony::simple(8, 1))
+            .unwrap()
+            .with_round_threads(0);
+        assert_eq!(sim.round_threads(), 1);
+        let sim = Simulation::new(env(8, 2, 1), colony::simple(8, 1))
+            .unwrap()
+            .with_round_threads(10_000);
+        assert_eq!(sim.round_threads(), 16);
+    }
+
+    #[test]
+    fn more_threads_than_ants_still_agree() {
+        let n = 5;
+        let run = |threads: usize| {
+            let mut sim = Simulation::new(env(n, 2, 9), colony::simple(n, 9))
+                .unwrap()
+                .with_round_threads(threads);
+            sim.run_to_convergence(ConvergenceRule::commitment(), 5_000)
+                .unwrap()
+        };
+        assert_eq!(run(1), run(16));
+    }
+
+    #[test]
     fn run_observed_sees_every_round() {
         let mut sim = Simulation::new(env(16, 2, 8), colony::simple(16, 8)).unwrap();
         let mut observed = 0u64;
@@ -819,5 +1307,41 @@ mod tests {
             .run_observed(ConvergenceRule::commitment(), 2_000, |_, _| observed += 1)
             .unwrap();
         assert_eq!(observed, outcome.rounds_run);
+    }
+
+    #[test]
+    fn run_observed_matches_run_to_convergence() {
+        // The instrumented and convergence paths are one delivering code
+        // path; materializing the report for the observer must not change
+        // the execution. Check unperturbed, perturbed, and parallel.
+        use hh_model::faults::{CrashPlan, CrashStyle};
+        let build = |threads: usize, perturbed: bool| {
+            let n = 48;
+            let perturbations = perturbed.then(|| Perturbations {
+                crash: CrashPlan::fraction(n, 0.2, 4, CrashStyle::InPlace, 3),
+                delay: DelayPlan::new(0.05, 3),
+            });
+            Simulation::with_perturbations(env(n, 3, 27), colony::simple(n, 27), perturbations)
+                .unwrap()
+                .with_round_threads(threads)
+        };
+        for (threads, perturbed) in [(1, false), (4, false), (1, true)] {
+            let rule = ConvergenceRule::stable_commitment(4);
+            let quiet = build(threads, perturbed)
+                .run_to_convergence(rule, 10_000)
+                .unwrap();
+            let mut rounds_with_outcomes = 0u64;
+            let observed = build(threads, perturbed)
+                .run_observed(rule, 10_000, |sim, report| {
+                    assert_eq!(report.outcomes.len(), sim.env().n());
+                    rounds_with_outcomes += 1;
+                })
+                .unwrap();
+            assert_eq!(
+                quiet, observed,
+                "threads={threads} perturbed={perturbed}: instrumented run diverged"
+            );
+            assert_eq!(rounds_with_outcomes, observed.rounds_run);
+        }
     }
 }

@@ -37,7 +37,10 @@
 //! # Ok::<(), hh_sim::SimError>(())
 //! ```
 
-#![forbid(unsafe_code)]
+// Deny, not forbid: the worker pool behind intra-round parallelism
+// (`pool`) carries the crate's single reviewed `#[allow(unsafe_code)]`
+// for its lifetime-erased job dispatch. Everything else stays safe.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
@@ -45,6 +48,7 @@ mod convergence;
 mod error;
 mod executor;
 mod metrics;
+mod pool;
 mod runner;
 mod scenario;
 

@@ -119,13 +119,43 @@ impl SeriesRecorder {
             .collect()
     }
 
-    /// The population series of one candidate nest (1-based id) across
-    /// recorded rounds.
+    /// The population series of one nest across recorded rounds.
+    ///
+    /// The argument is the **raw nest id**, exactly as
+    /// [`RoundSnapshot::nest_populations`] is indexed: `0` is the home
+    /// nest and candidate `nᵢ` is `i` (so for candidates the raw id and
+    /// the 1-based candidate number coincide — by construction, not by
+    /// accident). Out-of-range ids read as an all-zero series.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use hh_core::colony;
+    /// use hh_sim::{ConvergenceRule, SeriesRecorder, Simulation};
+    /// use hh_model::{ColonyConfig, Environment, NestId, QualitySpec};
+    ///
+    /// let n = 16;
+    /// let env = Environment::new(&ColonyConfig::new(n, QualitySpec::all_good(1)).seed(3))?;
+    /// let mut sim = Simulation::new(env, colony::simple(n, 3))?;
+    /// let mut recorder = SeriesRecorder::new();
+    /// sim.run_observed(ConvergenceRule::commitment(), 1_000, |sim, _| recorder.record(sim))?;
+    ///
+    /// // Raw id 0 is the home nest, raw id 1 is candidate n₁ — and the
+    /// // two series describe different nests: with a single candidate,
+    /// // home + n₁ always account for every searching-phase ant.
+    /// let home = recorder.population_series(NestId::HOME.raw());
+    /// let candidate = recorder.population_series(NestId::candidate(1).raw());
+    /// assert_eq!(home.len(), candidate.len());
+    /// // After round 1 every ant has left home for the only candidate.
+    /// assert_eq!(home[0], 0);
+    /// assert_eq!(candidate[0], n);
+    /// # Ok::<(), hh_sim::SimError>(())
+    /// ```
     #[must_use]
-    pub fn population_series(&self, nest_index: usize) -> Vec<usize> {
+    pub fn population_series(&self, nest_id: usize) -> Vec<usize> {
         self.snapshots
             .iter()
-            .map(|s| s.nest_populations.get(nest_index).copied().unwrap_or(0))
+            .map(|s| s.nest_populations.get(nest_id).copied().unwrap_or(0))
             .collect()
     }
 }

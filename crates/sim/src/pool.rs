@@ -1,0 +1,383 @@
+//! A persistent fork–join worker pool for deterministic intra-round
+//! parallelism.
+//!
+//! [`WorkerPool`] spawns its threads **once** (per [`Simulation`]) and
+//! reuses them every round. A dispatch ([`WorkerPool::run`]) publishes a
+//! job — a `Fn(usize)` processing one part index — bumps an epoch, runs
+//! part 0 on the calling thread while the workers run parts
+//! `1..=workers`, and returns only after every part completed. Between
+//! rounds workers spin briefly and then park with a timeout, so an idle
+//! simulation stops burning CPU within microseconds and a missed
+//! wake-up can only delay a round by the park timeout, never deadlock
+//! it.
+//!
+//! Work distribution happens through [`scatter`]: each part's work
+//! package sits in its own mutex slot, taken exactly once by the thread
+//! that owns the part. In the steady state the only synchronization per
+//! round is two epoch/done handshakes and one uncontended lock per part
+//! — the per-ant loops themselves run lock-free on disjoint state.
+//!
+//! ## The one `unsafe`
+//!
+//! Sending a *borrowed* closure to persistent threads requires erasing
+//! its lifetime (this is the same irreducible unsafety at the core of
+//! `crossbeam::scope` and rayon). It is sound here because
+//! [`WorkerPool::run`] does not return while any worker can still touch
+//! the job: workers bump `done` only after their last use of the job
+//! reference (panicking jobs are caught and still count), and `run`
+//! blocks until `done` equals the worker count.
+//! Everything else in the crate is `#![deny(unsafe_code)]`-clean.
+//!
+//! [`Simulation`]: crate::Simulation
+
+#![allow(unsafe_code)]
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Upper bound on intra-round parts (the main thread plus spawned
+/// workers). Chunk bounds, scratch slots, and package arrays are sized
+/// to this.
+pub(crate) const MAX_ROUND_THREADS: usize = 16;
+
+/// How long a waiter spins before escalating. Long enough to catch a
+/// dispatch that is microseconds away (the common case on a hot round
+/// loop with free cores), short enough that an oversubscribed machine —
+/// e.g. a single-CPU CI container — degrades to scheduler hand-offs
+/// instead of burning whole quanta in spin loops.
+const SPINS_BEFORE_YIELD: u32 = 1 << 12;
+
+/// How many yields a worker offers after spinning before parking.
+const YIELDS_BEFORE_PARK: u32 = 64;
+
+/// Park timeout: an upper bound on wake-up latency after a long idle
+/// stretch, and the self-healing interval against any missed unpark.
+const PARK_TIMEOUT: Duration = Duration::from_millis(1);
+
+/// State shared between the owning thread and the pool workers.
+struct Shared {
+    /// Bumped once per dispatch (and once for shutdown); workers run one
+    /// job per observed bump.
+    epoch: AtomicUsize,
+    /// Parts completed for the current epoch.
+    done: AtomicUsize,
+    /// Set if any worker's job panicked (the owning thread re-panics).
+    panicked: AtomicBool,
+    /// Terminal flag, observed at the next epoch bump.
+    shutdown: AtomicBool,
+    /// The current dispatch's job. Published before the epoch bump
+    /// (release) and read after observing it (acquire); the `'static` is
+    /// a lie the `done` protocol makes harmless — see the module docs.
+    job: Mutex<Option<&'static (dyn Fn(usize) + Sync)>>,
+}
+
+/// A persistent fork–join pool; see the module docs.
+pub(crate) struct WorkerPool {
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("workers", &self.handles.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl WorkerPool {
+    /// Spawns `workers` persistent threads (the pool then serves
+    /// `workers + 1` parts per dispatch, part 0 running on the caller).
+    pub(crate) fn new(workers: usize) -> Self {
+        let shared = Arc::new(Shared {
+            epoch: AtomicUsize::new(0),
+            done: AtomicUsize::new(0),
+            panicked: AtomicBool::new(false),
+            shutdown: AtomicBool::new(false),
+            job: Mutex::new(None),
+        });
+        let handles = (1..=workers)
+            .map(|part| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("hh-round-{part}"))
+                    .spawn(move || worker_loop(&shared, part))
+                    .expect("spawn round worker")
+            })
+            .collect();
+        Self { shared, handles }
+    }
+
+    /// The number of spawned workers (parts per dispatch minus one).
+    pub(crate) fn workers(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Runs `job(part)` for every part: 0 on the calling thread,
+    /// `1..=workers()` on the pool. Returns once all parts completed.
+    ///
+    /// Takes `&mut self` so the compiler enforces the one-dispatch-at-a-
+    /// time invariant the epoch/done protocol (and thus the `unsafe`
+    /// soundness argument) rests on — `WorkerPool` is otherwise `Sync`.
+    ///
+    /// # Panics
+    ///
+    /// Re-panics on the calling thread if any worker's part panicked.
+    pub(crate) fn run(&mut self, job: &(dyn Fn(usize) + Sync)) {
+        let shared = &*self.shared;
+        // SAFETY: the job reference outlives every use. Workers read it
+        // only between observing this dispatch's epoch bump and bumping
+        // `done` for it, and this function does not return until `done`
+        // reaches the worker count — so the erased lifetime can never
+        // actually dangle.
+        let erased: &'static (dyn Fn(usize) + Sync) =
+            unsafe { std::mem::transmute::<&(dyn Fn(usize) + Sync), _>(job) };
+        *shared.job.lock().expect("pool poisoned") = Some(erased);
+        shared.done.store(0, Ordering::Release);
+        shared.epoch.fetch_add(1, Ordering::Release);
+        for handle in &self.handles {
+            handle.thread().unpark();
+        }
+
+        // The completion barrier must hold on EVERY exit path: if the
+        // caller's part-0 job panics, unwinding out of `run` before the
+        // workers finished would free the job's stack frame while they
+        // still call through the erased reference. The guard's drop
+        // waits out the barrier (and clears the job slot) first.
+        let barrier = BarrierGuard {
+            shared,
+            workers: self.handles.len(),
+        };
+        job(0);
+        drop(barrier);
+
+        if shared.panicked.swap(false, Ordering::AcqRel) {
+            panic!("a round worker panicked; the simulation state is inconsistent");
+        }
+    }
+}
+
+/// Waits for every worker's `done` bump and clears the published job —
+/// on drop, so the wait also runs while unwinding a part-0 panic (the
+/// load-bearing half of the `unsafe` soundness argument).
+struct BarrierGuard<'a> {
+    shared: &'a Shared,
+    workers: usize,
+}
+
+impl Drop for BarrierGuard<'_> {
+    fn drop(&mut self) {
+        let mut spins = 0u32;
+        while self.shared.done.load(Ordering::Acquire) < self.workers {
+            spins = spins.saturating_add(1);
+            if spins < SPINS_BEFORE_YIELD {
+                std::hint::spin_loop();
+            } else {
+                // Oversubscribed (or a long part): hand the CPU to the
+                // workers instead of burning a quantum polling.
+                std::thread::yield_now();
+            }
+        }
+        if let Ok(mut job) = self.shared.job.lock() {
+            *job = None;
+        }
+        if std::thread::panicking() {
+            // Part 0 is already unwinding; clear any concurrent worker
+            // flag so the next dispatch does not double-report it.
+            self.shared.panicked.store(false, Ordering::Release);
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.epoch.fetch_add(1, Ordering::Release);
+        for handle in &self.handles {
+            handle.thread().unpark();
+        }
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared, part: usize) {
+    let mut seen = 0usize;
+    loop {
+        // Wait for the next epoch: spin briefly (rounds are hot), then
+        // park with a timeout (idle pools must not burn CPU; the timeout
+        // also self-heals any conceivable missed unpark).
+        let mut spins = 0u32;
+        loop {
+            let epoch = shared.epoch.load(Ordering::Acquire);
+            if epoch != seen {
+                seen = epoch;
+                break;
+            }
+            spins = spins.saturating_add(1);
+            if spins < SPINS_BEFORE_YIELD {
+                std::hint::spin_loop();
+            } else if spins < SPINS_BEFORE_YIELD + YIELDS_BEFORE_PARK {
+                std::thread::yield_now();
+            } else {
+                std::thread::park_timeout(PARK_TIMEOUT);
+            }
+        }
+        if shared.shutdown.load(Ordering::Acquire) {
+            break;
+        }
+        let job = shared
+            .job
+            .lock()
+            .expect("pool poisoned")
+            .expect("dispatch published a job before bumping the epoch");
+        // Catch panics so the worker thread (and thus the pool) survives
+        // a panicking job; the dispatcher re-raises after the barrier.
+        if std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| job(part))).is_err() {
+            shared.panicked.store(true, Ordering::Release);
+        }
+        shared.done.fetch_add(1, Ordering::Release);
+    }
+}
+
+/// Runs one work package per part: serially in part order when `pool` is
+/// `None` (the `round_threads = 1` path — the same code, trivially
+/// scheduled), otherwise scattered across the pool. Slots must be
+/// pre-filled with `slots[part] = package` for every part that has work;
+/// each slot is taken exactly once by the thread owning that part.
+pub(crate) fn scatter<P: Send>(
+    pool: Option<&mut WorkerPool>,
+    parts: usize,
+    slots: &[Mutex<Option<P>>],
+    work: impl Fn(usize, P) + Sync,
+) {
+    let take_and_work = |part: usize| {
+        let package = slots[part].lock().expect("scatter slot poisoned").take();
+        if let Some(package) = package {
+            work(part, package);
+        }
+    };
+    match pool {
+        None => {
+            for part in 0..parts {
+                take_and_work(part);
+            }
+        }
+        Some(pool) => {
+            debug_assert!(pool.workers() + 1 >= parts, "more parts than pool threads");
+            pool.run(&take_and_work);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn pool_runs_every_part_every_dispatch() {
+        let mut pool = WorkerPool::new(3);
+        let hits = AtomicU64::new(0);
+        for _ in 0..100 {
+            pool.run(&|part| {
+                hits.fetch_add(1 << (8 * part), Ordering::Relaxed);
+            });
+        }
+        // 100 dispatches × 4 parts, one count per byte lane.
+        assert_eq!(hits.load(Ordering::Relaxed), 0x6464_6464);
+    }
+
+    #[test]
+    fn pool_survives_idle_gaps() {
+        let mut pool = WorkerPool::new(2);
+        let hits = AtomicU64::new(0);
+        pool.run(&|_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        // Long enough that every worker has parked.
+        std::thread::sleep(Duration::from_millis(10));
+        pool.run(&|_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 6);
+    }
+
+    #[test]
+    fn scatter_without_pool_runs_in_part_order() {
+        let order = Mutex::new(Vec::new());
+        let slots: [Mutex<Option<usize>>; 4] = std::array::from_fn(|i| Mutex::new(Some(i * 10)));
+        scatter(None, 4, &slots, |part, package| {
+            order.lock().unwrap().push((part, package));
+        });
+        assert_eq!(
+            order.into_inner().unwrap(),
+            vec![(0, 0), (1, 10), (2, 20), (3, 30)]
+        );
+    }
+
+    #[test]
+    fn scatter_with_pool_consumes_every_slot() {
+        let mut pool = WorkerPool::new(3);
+        let sum = AtomicU64::new(0);
+        let slots: [Mutex<Option<u64>>; 4] = std::array::from_fn(|i| Mutex::new(Some(i as u64)));
+        scatter(Some(&mut pool), 4, &slots, |_, package| {
+            sum.fetch_add(package + 1, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 10);
+        assert!(slots.iter().all(|s| s.lock().unwrap().is_none()));
+    }
+
+    #[test]
+    fn part_zero_panic_still_waits_for_workers() {
+        // A panic in the dispatcher's own part must not unwind past the
+        // completion barrier: the workers' side effects for the same
+        // dispatch must all be visible once `run` has exited, and the
+        // pool must stay usable.
+        let mut pool = WorkerPool::new(3);
+        let hits = AtomicU64::new(0);
+        for _ in 0..20 {
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                pool.run(&|part| {
+                    if part == 0 {
+                        panic!("boom in part 0");
+                    }
+                    // Give the dispatcher every chance to win the race.
+                    std::thread::sleep(Duration::from_micros(50));
+                    hits.fetch_add(1, Ordering::Relaxed);
+                });
+            }));
+            assert!(result.is_err());
+        }
+        assert_eq!(
+            hits.load(Ordering::Relaxed),
+            60,
+            "every worker part must have completed before run() unwound"
+        );
+        // And the pool still dispatches.
+        pool.run(&|_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 64);
+    }
+
+    #[test]
+    fn worker_panic_propagates_to_the_dispatcher() {
+        let mut pool = WorkerPool::new(1);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.run(&|part| {
+                assert_ne!(part, 1, "boom");
+            });
+        }));
+        assert!(result.is_err(), "worker panic must reach the dispatcher");
+        // The pool remains usable for the next dispatch.
+        let hits = AtomicU64::new(0);
+        pool.run(&|_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 2);
+    }
+}

@@ -486,6 +486,7 @@ pub struct Scenario {
     base_seed: u64,
     tags: Vec<Tag>,
     expect_convergence: bool,
+    round_threads: usize,
 }
 
 impl Scenario {
@@ -519,6 +520,7 @@ impl Scenario {
             base_seed,
             tags: Vec::new(),
             expect_convergence: true,
+            round_threads: 1,
         };
         scenario.tags = scenario.derived_tags();
         scenario
@@ -593,6 +595,24 @@ impl Scenario {
     pub fn expect_no_convergence(mut self) -> Self {
         self.expect_convergence = false;
         self
+    }
+
+    /// Sets the intra-round thread count every simulation this scenario
+    /// builds runs with (default 1, the serial engine). Outcomes are
+    /// bit-identical for every setting — see
+    /// [`Simulation::with_round_threads`] — so this is purely a
+    /// performance knob; the conformance suite holds the whole catalog
+    /// to that contract.
+    #[must_use]
+    pub fn round_threads(mut self, threads: usize) -> Self {
+        self.round_threads = threads;
+        self
+    }
+
+    /// The configured intra-round thread count.
+    #[must_use]
+    pub fn intra_round_threads(&self) -> usize {
+        self.round_threads
     }
 
     /// The scenario's registry name.
@@ -739,7 +759,10 @@ impl Scenario {
     ///
     /// Propagates configuration validation failures.
     pub fn build(&self, seed: u64) -> Result<Simulation, SimError> {
-        self.spec_for(seed).build_simulation(self.colony_for(seed))
+        Ok(self
+            .spec_for(seed)
+            .build_simulation(self.colony_for(seed))?
+            .with_round_threads(self.round_threads))
     }
 
     /// Builds and runs one trial to the scenario's rule and budget.

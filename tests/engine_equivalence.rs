@@ -68,6 +68,24 @@ fn static_and_custom_dispatch_are_bit_identical() {
 }
 
 #[test]
+fn dispatch_equivalence_holds_under_round_threads() {
+    // The chunked parallel engine must preserve the dispatch-equivalence
+    // guarantee: a Custom-boxed colony on 8 intra-round threads matches
+    // the static-dispatch colony on the serial engine bit for bit.
+    for scenario in dispatch_scenarios() {
+        let serial_static = run_wrapped(&scenario, 2, 1, |agent| agent);
+        let threaded = scenario.clone().round_threads(8);
+        let threaded_boxed = run_wrapped(&threaded, 2, 1, AnyAgent::custom);
+        assert_eq!(
+            serial_static,
+            threaded_boxed,
+            "{}: boxed colony on 8 round threads diverged from serial static dispatch",
+            scenario.name()
+        );
+    }
+}
+
+#[test]
 fn custom_wrapping_is_visible_but_behaviour_is_not() {
     let scenario = registry::lookup("baseline-16").expect("catalog entry");
     let seed = scenario.base_seed();

@@ -76,3 +76,32 @@ fn large_scenarios_reproduce_bit_identically_across_worker_counts() {
         }
     }
 }
+
+#[test]
+#[ignore = "release-mode CI job; run with -- --ignored"]
+fn large_scenarios_reproduce_bit_identically_across_round_threads() {
+    // Intra-round parallelism at the sizes it exists for: the n >= 1024
+    // catalog entries must be bit-identical between the serial engine
+    // and every chunked thread count.
+    const TRIALS: usize = 2;
+    for scenario in large_scenarios() {
+        let serial = scenario
+            .clone()
+            .round_threads(1)
+            .run_trials_with_workers(TRIALS, 2)
+            .unwrap_or_else(|e| panic!("{}: serial trials failed: {e}", scenario.name()));
+        for threads in [2usize, 4, 8] {
+            let threaded = scenario
+                .clone()
+                .round_threads(threads)
+                .run_trials_with_workers(TRIALS, 2)
+                .unwrap_or_else(|e| panic!("{}: threaded trials failed: {e}", scenario.name()));
+            assert_eq!(
+                serial,
+                threaded,
+                "{}: outcomes diverged between 1 and {threads} round threads",
+                scenario.name()
+            );
+        }
+    }
+}

@@ -67,4 +67,44 @@ proptest! {
         let parallel = scenario.run_trials_with_workers(trials, workers).unwrap();
         prop_assert_eq!(serial, parallel);
     }
+
+    /// Intra-round chunk boundaries never leak into results: because
+    /// every per-ant draw comes from that ant's own RNG stream, the
+    /// per-round state is a function of per-ant state only. Two distinct
+    /// thread counts give two distinct boundary layouts over the same
+    /// colony; both must match the serial engine round for round.
+    #[test]
+    fn chunk_boundaries_never_change_round_results(
+        n in 2usize..96,
+        k in 2usize..5,
+        seed in any::<u64>(),
+        threads_a in 2usize..17,
+        threads_b in 2usize..17,
+        rounds in 1usize..40,
+    ) {
+        let build = |threads: usize| -> Result<Simulation, SimError> {
+            Ok(ScenarioSpec::new(n, QualitySpec::good_prefix(k, 1 + k / 2))
+                .seed(seed)
+                .build_simulation(colony::simple(n, seed))?
+                .with_round_threads(threads))
+        };
+        let mut serial = build(1).unwrap();
+        let mut chunked_a = build(threads_a).unwrap();
+        let mut chunked_b = build(threads_b).unwrap();
+        for round in 0..rounds {
+            let reference = serial.step().unwrap();
+            let report_a = chunked_a.step().unwrap();
+            let report_b = chunked_b.step().unwrap();
+            prop_assert_eq!(
+                &reference, &report_a,
+                "round {}: {} threads diverged from serial", round, threads_a
+            );
+            prop_assert_eq!(
+                &reference, &report_b,
+                "round {}: {} threads diverged from serial", round, threads_b
+            );
+        }
+        prop_assert_eq!(serial.env().counts(), chunked_a.env().counts());
+        prop_assert_eq!(serial.env().locations(), chunked_a.env().locations());
+    }
 }

@@ -170,6 +170,52 @@ fn every_scenario_reproduces_bit_identically_across_worker_counts() {
     }
 }
 
+/// Intra-round thread counts every scenario must reproduce across. The
+/// CI thread matrix extends the set through `HH_ROUND_THREADS`, so the
+/// determinism contract is enforced at the matrix's count on every push.
+fn round_thread_counts() -> Vec<usize> {
+    let mut counts = vec![1, 2, 8];
+    if let Ok(matrix) = std::env::var("HH_ROUND_THREADS") {
+        // Fail loudly on a malformed value: a typo in the CI matrix must
+        // not silently turn the dedicated thread-matrix leg into a
+        // duplicate of the default set.
+        let threads: usize = matrix
+            .trim()
+            .parse()
+            .unwrap_or_else(|e| panic!("HH_ROUND_THREADS={matrix:?} is not a thread count: {e}"));
+        if !counts.contains(&threads) {
+            counts.push(threads);
+        }
+    }
+    counts
+}
+
+#[test]
+fn every_scenario_is_bit_identical_across_round_threads() {
+    for scenario in registry::all_scenarios() {
+        let serial = scenario
+            .clone()
+            .round_threads(1)
+            .run_trials_with_workers(REPRO_TRIALS, 2)
+            .unwrap_or_else(|e| panic!("{}: serial trials failed: {e}", scenario.name()));
+        for &threads in round_thread_counts().iter().skip(1) {
+            let threaded = scenario
+                .clone()
+                .round_threads(threads)
+                .run_trials_with_workers(REPRO_TRIALS, 2)
+                .unwrap_or_else(|e| {
+                    panic!("{}: {threads}-thread trials failed: {e}", scenario.name())
+                });
+            assert_eq!(
+                serial,
+                threaded,
+                "{}: outcomes diverged between 1 and {threads} round threads",
+                scenario.name()
+            );
+        }
+    }
+}
+
 #[test]
 fn every_scenario_matches_its_declared_tags() {
     for scenario in registry::all_scenarios() {
