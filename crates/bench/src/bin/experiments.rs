@@ -14,6 +14,10 @@ use std::time::Instant;
 use hh_analysis::Table;
 use hh_bench::{all_experiments, experiments_index_markdown, ExperimentReport, Mode};
 
+// The harness times each experiment for the progress report — a
+// legitimate wall-clock read outside the engine's determinism contract
+// (clippy.toml mirrors the hh_lint `wall-clock` rule).
+#[allow(clippy::disallowed_methods)]
 fn main() {
     let mut mode = Mode::Full;
     let mut selected: Vec<String> = Vec::new();

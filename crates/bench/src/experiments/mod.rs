@@ -101,8 +101,11 @@ pub struct Experiment {
 
 /// Renders the experiment-registry index exactly as embedded in
 /// `EXPERIMENTS.md` between the `BEGIN/END GENERATED` markers — the
-/// doc-drift test regenerates this and fails when the checked-in file is
-/// stale, so the table can only be edited here.
+/// `hh_lint --docs` rule regenerates this table (statically, from this
+/// file's `id:`/`title:` literals) and fails the tier-1 lint gate when
+/// the checked-in file is stale, so the table can only be edited here.
+/// Keep the row shape `| {id} | {title} |` in sync with
+/// `crates/lint/src/docs.rs`.
 #[must_use]
 pub fn experiments_index_markdown() -> String {
     let mut out = String::from("| id | title |\n|----|-------|\n");

@@ -23,6 +23,10 @@ pub struct Throughput {
 
 /// Measures steady-state executor throughput for the simple colony.
 #[must_use]
+// Wall-clock reads are banned workspace-wide (clippy.toml mirrors the
+// hh_lint `wall-clock` rule); measuring throughput is the one job that
+// genuinely needs them, and hh-bench is outside the engine contract.
+#[allow(clippy::disallowed_methods)]
 pub fn measure_throughput(n: usize, rounds: u64, cell: u64) -> Throughput {
     let scenario = Scenario::custom(
         format!("t2-n{n}"),

@@ -263,7 +263,7 @@ mod tests {
                 },
             );
         }
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for round in 3..7 {
             match ant.choose(round) {
                 Action::Recruit { active: true, nest } => {

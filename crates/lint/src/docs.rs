@@ -1,0 +1,189 @@
+//! Rule `docs-drift` (`--docs`): the generated experiment-registry
+//! index embedded in `EXPERIMENTS.md` must match the registry declared
+//! in `crates/bench/src/experiments/mod.rs`.
+//!
+//! This folds the old `crates/bench/tests/docs_drift.rs` check into the
+//! linter so doc drift and source drift report through one tool. The
+//! old test linked `hh-bench` and called `experiments_index_markdown()`;
+//! hh_lint is zero-dependency, so instead it *statically* extracts the
+//! `id:`/`title:` string literals from `all_experiments()` — the only
+//! `id:`-followed-by-string-literal sites in that file — and regenerates
+//! the exact `| id | title |` table `experiments_index_markdown()`
+//! renders. The two generators agree byte-for-byte as long as the table
+//! shape stays `| {id} | {title} |`; the `docs` CLI smoke test pins
+//! that agreement against the checked-in file.
+
+use crate::lexer::{lex, TokenKind};
+use crate::report::Diagnostic;
+
+/// Marker opening the generated block in `EXPERIMENTS.md`.
+pub const BEGIN: &str = "<!-- BEGIN GENERATED: experiment registry index -->";
+/// Marker closing the generated block.
+pub const END: &str = "<!-- END GENERATED: experiment registry index -->";
+
+/// The registry source of truth, relative to the repo root.
+pub const REGISTRY_SOURCE: &str = "crates/bench/src/experiments/mod.rs";
+/// The documented index, relative to the repo root.
+pub const EXPERIMENTS_DOC: &str = "EXPERIMENTS.md";
+
+/// Extracts `(id, title)` pairs, in declaration order, from the
+/// experiments registry source. An `id:` field must be followed (before
+/// the next `id:`) by its `title:` field, mirroring the `Experiment`
+/// literal layout.
+#[must_use]
+pub fn registry_entries(source: &str) -> Vec<(String, String)> {
+    let lexed = lex(source);
+    let toks = &lexed.tokens;
+    let mut entries = Vec::new();
+    let mut pending_id: Option<String> = None;
+    let mut i = 0usize;
+    while i + 2 < toks.len() {
+        let field = &toks[i];
+        let is_field = field.kind == TokenKind::Ident
+            && toks[i + 1].text == ":"
+            && toks[i + 2].kind == TokenKind::Str;
+        if is_field && field.text == "id" {
+            pending_id = Some(toks[i + 2].text.clone());
+            i += 3;
+        } else if is_field && field.text == "title" {
+            if let Some(id) = pending_id.take() {
+                entries.push((id, toks[i + 2].text.clone()));
+            }
+            i += 3;
+        } else {
+            i += 1;
+        }
+    }
+    entries
+}
+
+/// Renders the index table exactly as `experiments_index_markdown()`
+/// does (and as embedded between the markers).
+#[must_use]
+pub fn render_index(entries: &[(String, String)]) -> String {
+    let mut out = String::from("| id | title |\n|----|-------|\n");
+    for (id, title) in entries {
+        out.push_str(&format!("| {id} | {title} |\n"));
+    }
+    out
+}
+
+/// Checks `EXPERIMENTS.md` (contents in `doc`) against the registry
+/// source (contents in `registry_src`). Returns one diagnostic per
+/// drift: missing markers, a stale embedded table, or an experiment id
+/// absent from the document prose.
+#[must_use]
+pub fn check_docs(doc: &str, registry_src: &str) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let entries = registry_entries(registry_src);
+    if entries.is_empty() {
+        diags.push(Diagnostic::new(
+            "docs-drift",
+            REGISTRY_SOURCE,
+            1,
+            "no `id:`/`title:` experiment entries found in the registry source; \
+             the --docs extractor no longer matches `all_experiments()`",
+        ));
+        return diags;
+    }
+
+    let begin = doc.find(BEGIN);
+    let end = doc.find(END);
+    let (Some(begin), Some(end)) = (begin, end) else {
+        diags.push(Diagnostic::new(
+            "docs-drift",
+            EXPERIMENTS_DOC,
+            1,
+            format!("missing the generated-index markers (`{BEGIN}` … `{END}`)"),
+        ));
+        return diags;
+    };
+    let marker_line = line_of(doc, begin);
+    if begin >= end {
+        diags.push(Diagnostic::new(
+            "docs-drift",
+            EXPERIMENTS_DOC,
+            marker_line,
+            "generated-index markers are out of order",
+        ));
+        return diags;
+    }
+
+    let embedded = doc[begin + BEGIN.len()..end].trim();
+    let expected = render_index(&entries);
+    if embedded != expected.trim() {
+        diags.push(Diagnostic::new(
+            "docs-drift",
+            EXPERIMENTS_DOC,
+            marker_line,
+            "embedded experiment-registry index is stale; regenerate with \
+             `cargo run --release -p hh-bench --bin experiments -- --index`",
+        ));
+    }
+    for (id, title) in &entries {
+        if !doc.contains(&format!("| {id} |")) {
+            diags.push(Diagnostic::new(
+                "docs-drift",
+                EXPERIMENTS_DOC,
+                marker_line,
+                format!("experiment {id} ({title}) is not documented in EXPERIMENTS.md"),
+            ));
+        }
+    }
+    diags
+}
+
+/// 1-based line number of byte offset `at` in `text`.
+fn line_of(text: &str, at: usize) -> u32 {
+    u32::try_from(text[..at].bytes().filter(|&b| b == b'\n').count() + 1).unwrap_or(u32::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const REGISTRY: &str = r#"
+        pub struct Experiment { pub id: &'static str, pub title: &'static str }
+        pub fn all_experiments() -> Vec<Experiment> {
+            vec![
+                Experiment { id: "F1", title: "Theorem — Ω(log n)", run: noop },
+                Experiment { id: "T2", title: "Throughput", run: noop },
+            ]
+        }
+    "#;
+
+    fn doc_with(index: &str) -> String {
+        format!("# Experiments\n\n{BEGIN}\n{index}\n{END}\n")
+    }
+
+    #[test]
+    fn extracts_entries_in_order() {
+        assert_eq!(
+            registry_entries(REGISTRY),
+            vec![
+                ("F1".to_string(), "Theorem — Ω(log n)".to_string()),
+                ("T2".to_string(), "Throughput".to_string()),
+            ]
+        );
+    }
+
+    #[test]
+    fn matching_doc_is_clean() {
+        let doc = doc_with(render_index(&registry_entries(REGISTRY)).trim());
+        assert!(check_docs(&doc, REGISTRY).is_empty());
+    }
+
+    #[test]
+    fn stale_table_is_flagged() {
+        let doc = doc_with("| id | title |\n|----|-------|\n| F1 | Old title |");
+        let diags = check_docs(&doc, REGISTRY);
+        assert!(diags.iter().any(|d| d.message.contains("stale")));
+    }
+
+    #[test]
+    fn missing_markers_are_flagged() {
+        let diags = check_docs("# No markers here", REGISTRY);
+        assert_eq!(diags.len(), 1);
+        assert!(diags[0].message.contains("markers"));
+    }
+}

@@ -1,0 +1,101 @@
+//! The `hh_lint` command-line front end; see the library crate docs for
+//! the rule set. Exit status 0 iff no diagnostics.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use hh_lint::{check_docs_at, default_root, lint_source, lint_workspace, render_json, Diagnostic};
+
+const USAGE: &str = "\
+usage: hh_lint [--workspace] [--docs] [--json] [--root DIR] [--as PATH] [FILES...]
+
+  --workspace   lint every .rs file under the workspace root
+                (skips target/, vendor/, tests/fixtures/)
+  --docs        also run the docs-drift rule (EXPERIMENTS.md vs the
+                experiment registry source)
+  --json        emit the machine-readable report on stdout
+  --root DIR    workspace root (default: compiled-in repo root)
+  --as PATH     lint the given FILES as if they lived at this
+                repo-relative path (rule scoping is path-driven;
+                used by fixture tests and ad-hoc checks)
+  FILES         repo-relative .rs files to lint instead of the walk
+";
+
+fn main() -> ExitCode {
+    match run(std::env::args().skip(1).collect()) {
+        Ok(code) => code,
+        Err(message) => {
+            eprintln!("hh_lint: {message}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run(args: Vec<String>) -> Result<ExitCode, String> {
+    let mut workspace = false;
+    let mut docs = false;
+    let mut json = false;
+    let mut root: Option<PathBuf> = None;
+    let mut virtual_path: Option<String> = None;
+    let mut files: Vec<String> = Vec::new();
+
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--workspace" => workspace = true,
+            "--docs" => docs = true,
+            "--json" => json = true,
+            "--root" => root = Some(PathBuf::from(it.next().ok_or("--root needs a value")?)),
+            "--as" => virtual_path = Some(it.next().ok_or("--as needs a value")?),
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return Ok(ExitCode::SUCCESS);
+            }
+            flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}\n{USAGE}")),
+            file => files.push(file.to_string()),
+        }
+    }
+    if !workspace && !docs && files.is_empty() {
+        return Err(format!("nothing to lint\n{USAGE}"));
+    }
+    if virtual_path.is_some() && files.len() != 1 {
+        return Err("--as applies to exactly one file".to_string());
+    }
+    let root = root.unwrap_or_else(default_root);
+
+    let (checked, diags) = if workspace {
+        lint_workspace(&root, docs).map_err(|err| format!("walking {}: {err}", root.display()))?
+    } else {
+        let mut diags: Vec<Diagnostic> = Vec::new();
+        for file in &files {
+            let source = std::fs::read_to_string(root.join(file))
+                .or_else(|_| std::fs::read_to_string(file))
+                .map_err(|err| format!("reading {file}: {err}"))?;
+            let as_path = virtual_path.as_deref().unwrap_or(file.as_str());
+            diags.extend(lint_source(as_path, &source));
+        }
+        if docs {
+            diags.extend(check_docs_at(&root));
+        }
+        (files.len() + usize::from(docs), diags)
+    };
+
+    if json {
+        print!("{}", render_json(checked, &diags));
+    } else {
+        for diag in &diags {
+            println!("{diag}");
+        }
+        eprintln!(
+            "hh_lint: {checked} file(s) checked, {} violation(s)",
+            diags.len()
+        );
+    }
+    Ok(if diags.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}

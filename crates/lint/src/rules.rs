@@ -1,0 +1,370 @@
+//! The repo-specific rule set. See the crate docs for the determinism
+//! contract each rule encodes; this module is the machine-checkable
+//! half of that contract.
+
+use crate::lexer::{cfg_test_regions, impl_regions, lex, Lexed, TokenKind};
+use crate::report::Diagnostic;
+
+/// The one file allowed to contain the `unsafe` keyword.
+pub const UNSAFE_SANCTUARY: &str = "crates/sim/src/pool.rs";
+
+/// The crate whose root declares `#![deny(unsafe_code)]` instead of
+/// `#![forbid(unsafe_code)]` (its `pool` module carves out the single
+/// reviewed `#[allow]`; `forbid` cannot be overridden).
+pub const DENY_UNSAFE_ROOT: &str = "crates/sim/src/lib.rs";
+
+/// Crates whose sources feed deterministic simulation state. The
+/// determinism lints (hash containers, wall clock, ambient randomness)
+/// apply to non-test code in these path prefixes.
+pub const ENGINE_PREFIXES: [&str; 3] = ["crates/model/src/", "crates/core/src/", "crates/sim/src/"];
+
+/// Files whose *entire* non-test body runs under (or dispatches onto)
+/// the intra-round worker pool.
+pub const CHUNK_PHASE_FILES: [&str; 1] = ["crates/sim/src/executor.rs"];
+
+/// Types whose `impl` blocks are chunk-phase code wherever they live:
+/// the per-chunk round views workers iterate in parallel.
+pub const CHUNK_PHASE_TYPES: [&str; 2] = ["RelocationChunk", "OutcomeChunk"];
+
+/// The only `StreamKind` variants chunk-phase code may draw from: one
+/// stream per ant, so outcomes cannot depend on ant processing order.
+pub const PER_ANT_STREAMS: [&str; 2] = ["AgentEnvironment", "AgentNoise"];
+
+/// Per-file allowlists for the atomic-ordering audit: every
+/// `Ordering::<variant>` token in these files must use a listed variant
+/// *and* carry an attached `// ordering:` justification comment.
+pub const ORDERING_ALLOWLIST: [(&str, &[&str]); 2] = [
+    // The fork–join pool's epoch/done protocol is pure release/acquire
+    // handshakes (plus one AcqRel swap on the panic flag); SeqCst would
+    // paper over a misunderstanding and Relaxed would be a bug.
+    (
+        "crates/sim/src/pool.rs",
+        &["Acquire", "Release", "AcqRel", "Relaxed"],
+    ),
+    // The trial runner needs acquire/release only for the abort flag;
+    // the work-stealing cursor is intentionally relaxed.
+    (
+        "crates/sim/src/runner.rs",
+        &["Acquire", "Release", "Relaxed"],
+    ),
+];
+
+/// Rules a `hh-lint: allow(<rule>)` comment may waive. Soundness rules
+/// (unsafe confinement, ordering audit, headers) are deliberately
+/// unwaivable: changing those is a policy edit in this file, reviewed
+/// as such.
+pub const WAIVABLE_RULES: [&str; 4] = [
+    "hash-container",
+    "wall-clock",
+    "ambient-randomness",
+    "shared-stream",
+];
+
+/// Lints one file's source as if it lived at repo-relative `path`
+/// (forward slashes). The path decides which rules apply; fixture tests
+/// use virtual paths to exercise every rule.
+#[must_use]
+pub fn lint_source(path: &str, source: &str) -> Vec<Diagnostic> {
+    let lexed = lex(source);
+    let mut diags = Vec::new();
+    let test_regions = cfg_test_regions(&lexed);
+    let in_test = |line: u32| test_regions.iter().any(|&(a, b)| a <= line && line <= b);
+    let waived = |rule: &str, line: u32| {
+        WAIVABLE_RULES.contains(&rule)
+            && lexed.attached_comment_contains(line, &format!("hh-lint: allow({rule})"))
+    };
+    let is_engine = ENGINE_PREFIXES.iter().any(|p| path.starts_with(p));
+
+    unsafe_confinement(path, &lexed, &mut diags);
+    lint_header(path, &lexed, &mut diags);
+    if is_engine {
+        determinism(path, &lexed, &in_test, &waived, &mut diags);
+        shared_stream(path, &lexed, &in_test, &waived, &mut diags);
+    }
+    ordering_audit(path, &lexed, &in_test, &mut diags);
+    diags
+}
+
+/// Rule `unsafe-confinement`: the `unsafe` keyword may appear only in
+/// [`UNSAFE_SANCTUARY`] (test code included — there is no such thing as
+/// test-only unsafety).
+fn unsafe_confinement(path: &str, lexed: &Lexed, diags: &mut Vec<Diagnostic>) {
+    if path == UNSAFE_SANCTUARY {
+        return;
+    }
+    for tok in &lexed.tokens {
+        if tok.kind == TokenKind::Ident && tok.text == "unsafe" {
+            diags.push(Diagnostic::new(
+                "unsafe-confinement",
+                path,
+                tok.line,
+                format!(
+                    "`unsafe` is confined to {UNSAFE_SANCTUARY}; move the code behind the \
+                     reviewed pool primitive or make it safe"
+                ),
+            ));
+        }
+    }
+}
+
+/// Rule `lint-header`: every crate root (`crates/*/src/lib.rs` and the
+/// facade `src/lib.rs`) carries the agreed preamble —
+/// `#![forbid(unsafe_code)]` (`deny` for hh-sim), `#![warn(missing_docs)]`,
+/// and `#![warn(missing_debug_implementations)]`.
+fn lint_header(path: &str, lexed: &Lexed, diags: &mut Vec<Diagnostic>) {
+    let is_crate_root =
+        path == "src/lib.rs" || (path.starts_with("crates/") && path.ends_with("/src/lib.rs"));
+    if !is_crate_root {
+        return;
+    }
+    let unsafe_level = if path == DENY_UNSAFE_ROOT {
+        "deny"
+    } else {
+        "forbid"
+    };
+    let required: [(&str, &str); 3] = [
+        (unsafe_level, "unsafe_code"),
+        ("warn", "missing_docs"),
+        ("warn", "missing_debug_implementations"),
+    ];
+    for (level, lint) in required {
+        if !has_inner_attr(lexed, level, lint) {
+            diags.push(Diagnostic::new(
+                "lint-header",
+                path,
+                1,
+                format!(
+                    "crate root is missing `#![{level}({lint})]` from the agreed lint preamble"
+                ),
+            ));
+        }
+    }
+    // The inverse check: a root that *forbids* when it must deny (or
+    // vice versa) gets a targeted message instead of a missing-attr one.
+    let wrong_level = if unsafe_level == "deny" {
+        "forbid"
+    } else {
+        "deny"
+    };
+    if has_inner_attr(lexed, wrong_level, "unsafe_code") {
+        diags.push(Diagnostic::new(
+            "lint-header",
+            path,
+            1,
+            format!(
+                "crate root declares `#![{wrong_level}(unsafe_code)]` but the agreed level \
+                 here is `{unsafe_level}`"
+            ),
+        ));
+    }
+}
+
+/// Matches the inner-attribute token sequence `# ! [ level ( lint ) ]`.
+fn has_inner_attr(lexed: &Lexed, level: &str, lint: &str) -> bool {
+    let toks = &lexed.tokens;
+    toks.windows(8).any(|w| {
+        w[0].text == "#"
+            && w[1].text == "!"
+            && w[2].text == "["
+            && w[3].text == level
+            && w[4].text == "("
+            && w[5].text == lint
+            && w[6].text == ")"
+            && w[7].text == "]"
+    })
+}
+
+/// Rules `hash-container`, `wall-clock`, `ambient-randomness`: engine
+/// crates must not use order-unstable containers, read the wall clock,
+/// or draw ambient (unseeded) randomness in non-test code. Test code is
+/// exempt from the first two (a test asserting uniqueness via `HashSet`
+/// leaks no iteration order into outcomes) but not from ambient
+/// randomness — an unseeded test is unreproducible by construction.
+fn determinism(
+    path: &str,
+    lexed: &Lexed,
+    in_test: &dyn Fn(u32) -> bool,
+    waived: &dyn Fn(&str, u32) -> bool,
+    diags: &mut Vec<Diagnostic>,
+) {
+    for tok in &lexed.tokens {
+        if tok.kind != TokenKind::Ident {
+            continue;
+        }
+        let (rule, message): (&str, String) = match tok.text.as_str() {
+            "HashMap" | "HashSet" if !in_test(tok.line) => (
+                "hash-container",
+                format!(
+                    "`{}` iteration order is randomized per process; deterministic paths \
+                     must use `BTreeMap`/`BTreeSet`, a `Vec`, or the crate's flat bitsets",
+                    tok.text
+                ),
+            ),
+            "Instant" | "SystemTime" if !in_test(tok.line) => (
+                "wall-clock",
+                format!(
+                    "`{}` reads the wall clock; engine outcomes must be a function of \
+                     (config, seed) only — time benchmarks belong in hh-bench",
+                    tok.text
+                ),
+            ),
+            "thread_rng" | "ThreadRng" | "from_entropy" | "OsRng" => (
+                "ambient-randomness",
+                format!(
+                    "`{}` is ambient randomness; every engine draw must come from a \
+                     stream derived via `seeding::derive_seed`",
+                    tok.text
+                ),
+            ),
+            _ => continue,
+        };
+        if !waived(rule, tok.line) {
+            diags.push(Diagnostic::new(rule, path, tok.line, message));
+        }
+    }
+}
+
+/// Rule `shared-stream`: inside chunk-phase code (the whole body of
+/// [`CHUNK_PHASE_FILES`], and `impl` blocks of [`CHUNK_PHASE_TYPES`]
+/// anywhere in the engine), only per-ant streams may be named. A draw
+/// from a shared stream inside code that runs under the worker pool
+/// would make outcomes depend on ant processing order — exactly the bug
+/// class the per-ant stream split (PR 5) exists to rule out.
+fn shared_stream(
+    path: &str,
+    lexed: &Lexed,
+    in_test: &dyn Fn(u32) -> bool,
+    waived: &dyn Fn(&str, u32) -> bool,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let whole_file = CHUNK_PHASE_FILES.contains(&path);
+    let impl_spans = impl_regions(lexed, &CHUNK_PHASE_TYPES);
+    let in_chunk_scope =
+        |line: u32| whole_file || impl_spans.iter().any(|&(a, b)| a <= line && line <= b);
+
+    let toks = &lexed.tokens;
+    for w in toks.windows(4) {
+        let is_stream_path = w[0].kind == TokenKind::Ident
+            && w[0].text == "StreamKind"
+            && w[1].text == ":"
+            && w[2].text == ":"
+            && w[3].kind == TokenKind::Ident;
+        if !is_stream_path {
+            continue;
+        }
+        let variant = w[3].text.as_str();
+        let line = w[0].line;
+        if PER_ANT_STREAMS.contains(&variant) || !in_chunk_scope(line) || in_test(line) {
+            continue;
+        }
+        if !waived("shared-stream", line) {
+            diags.push(Diagnostic::new(
+                "shared-stream",
+                path,
+                line,
+                format!(
+                    "`StreamKind::{variant}` is a shared stream; chunk-phase code running \
+                     under the worker pool may draw only from the per-ant streams \
+                     (`StreamKind::AgentEnvironment`, `StreamKind::AgentNoise`)"
+                ),
+            ));
+        }
+    }
+}
+
+/// Rule `atomic-ordering`: every `Ordering::<variant>` token in the
+/// audited files must use an allowlisted variant and carry an attached
+/// `// ordering:` justification comment (same line, or the own-line
+/// comment block directly above). Test code is exempt — test counters
+/// are not part of the synchronization protocol under audit.
+fn ordering_audit(
+    path: &str,
+    lexed: &Lexed,
+    in_test: &dyn Fn(u32) -> bool,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let Some((_, allowed)) = ORDERING_ALLOWLIST.iter().find(|(p, _)| *p == path) else {
+        return;
+    };
+    let toks = &lexed.tokens;
+    for w in toks.windows(4) {
+        let is_ordering_path = w[0].kind == TokenKind::Ident
+            && w[0].text == "Ordering"
+            && w[1].text == ":"
+            && w[2].text == ":"
+            && w[3].kind == TokenKind::Ident;
+        if !is_ordering_path {
+            continue;
+        }
+        let variant = w[3].text.as_str();
+        let line = w[0].line;
+        if in_test(line) {
+            continue;
+        }
+        if !allowed.contains(&variant) {
+            diags.push(Diagnostic::new(
+                "atomic-ordering",
+                path,
+                line,
+                format!(
+                    "`Ordering::{variant}` is not on the audited allowlist for {path} \
+                     (allowed: {}); extend the allowlist in hh_lint with a review, or use \
+                     a listed ordering",
+                    allowed.join(", ")
+                ),
+            ));
+        } else if !lexed.attached_comment_contains(line, "ordering:") {
+            diags.push(Diagnostic::new(
+                "atomic-ordering",
+                path,
+                line,
+                format!(
+                    "`Ordering::{variant}` has no attached `// ordering:` justification \
+                     comment; every ordering in the audited files must say why it is \
+                     sufficient"
+                ),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_engine_source_is_clean() {
+        let src = "//! Docs.\nfn f(x: u64) -> u64 { x + 1 }\n";
+        assert!(lint_source("crates/core/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn non_engine_crates_may_use_hash_containers() {
+        let src = "use std::collections::HashMap;\nfn f() { let _m: HashMap<u8, u8> = HashMap::new(); }\n";
+        assert!(lint_source("crates/analysis/src/x.rs", src).is_empty());
+        assert_eq!(lint_source("crates/model/src/x.rs", src).len(), 3);
+    }
+
+    #[test]
+    fn sanctuary_file_may_be_unsafe_but_sim_root_must_deny() {
+        assert!(lint_source(UNSAFE_SANCTUARY, "unsafe { }").is_empty());
+        let diags = lint_source("crates/sim/src/lib.rs", "#![forbid(unsafe_code)]\n");
+        assert!(diags
+            .iter()
+            .any(|d| d.message.contains("agreed level here is `deny`")));
+    }
+
+    #[test]
+    fn waiver_requires_the_exact_rule_name() {
+        let waived = "// hh-lint: allow(hash-container) — census scratch, drained sorted\nuse std::collections::HashMap;\n";
+        let wrong = "// hh-lint: allow(wall-clock)\nuse std::collections::HashMap;\n";
+        assert!(lint_source("crates/core/src/x.rs", waived).is_empty());
+        assert_eq!(lint_source("crates/core/src/x.rs", wrong).len(), 1);
+    }
+
+    #[test]
+    fn unsafe_is_not_waivable() {
+        let src = "// hh-lint: allow(unsafe-confinement)\nunsafe fn f() {}\n";
+        assert_eq!(lint_source("crates/core/src/x.rs", src).len(), 1);
+    }
+}

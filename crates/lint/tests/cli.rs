@@ -1,0 +1,70 @@
+//! End-to-end tests of the `hh_lint` binary: exit codes, `--json`
+//! output shape, and `--as` virtual-path scoping — the same interface
+//! CI's `lint-analysis` job and the tier-1 facade gate consume.
+
+use std::process::Command;
+
+fn hh_lint() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_hh_lint"))
+}
+
+fn fixture(name: &str) -> String {
+    format!("{}/tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"))
+}
+
+#[test]
+fn workspace_tree_is_clean_and_exits_zero() {
+    let output = hh_lint()
+        .args(["--workspace", "--docs"])
+        .output()
+        .expect("run hh_lint");
+    assert!(
+        output.status.success(),
+        "workspace must lint clean:\n{}{}",
+        String::from_utf8_lossy(&output.stdout),
+        String::from_utf8_lossy(&output.stderr),
+    );
+}
+
+#[test]
+fn violation_fixture_exits_nonzero_with_span() {
+    let output = hh_lint()
+        .args([
+            "--as",
+            "crates/core/src/colony.rs",
+            &fixture("stray_unsafe.rs"),
+        ])
+        .output()
+        .expect("run hh_lint");
+    assert_eq!(output.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(
+        stdout.contains("crates/core/src/colony.rs:8: [unsafe-confinement]"),
+        "diagnostic must carry the virtual file:line span, got:\n{stdout}"
+    );
+}
+
+#[test]
+fn json_report_shape_is_stable() {
+    let output = hh_lint()
+        .args([
+            "--json",
+            "--as",
+            "crates/sim/src/runner.rs",
+            &fixture("missing_justification.rs"),
+        ])
+        .output()
+        .expect("run hh_lint");
+    assert_eq!(output.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("\"violations\": 1"), "{stdout}");
+    assert!(stdout.contains("\"rule\": \"atomic-ordering\""), "{stdout}");
+    assert!(stdout.contains("\"line\": 9"), "{stdout}");
+    assert_eq!(stdout.matches('{').count(), stdout.matches('}').count());
+}
+
+#[test]
+fn unknown_flags_are_usage_errors() {
+    let output = hh_lint().arg("--frobnicate").output().expect("run hh_lint");
+    assert_eq!(output.status.code(), Some(2));
+}

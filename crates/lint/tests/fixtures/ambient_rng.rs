@@ -1,0 +1,17 @@
+// Fixture: ambient randomness in an engine crate — a draw that no
+// (config, seed) pair can reproduce.
+pub fn jitter() -> u64 {
+    let mut rng = rand::thread_rng();
+    rng.next_u64()
+}
+
+#[cfg(test)]
+mod tests {
+    // Ambient randomness is flagged even in test code: an unseeded
+    // test is unreproducible by construction.
+    #[test]
+    fn jitter_is_nonzero() {
+        let mut rng = rand::thread_rng();
+        assert_ne!(rng.next_u64(), 0);
+    }
+}

@@ -1,0 +1,7 @@
+//! Fixture: a crate root missing the agreed lint preamble — it warns
+//! on missing docs but neither forbids unsafe code nor warns on missing
+//! Debug implementations.
+
+#![warn(missing_docs)]
+
+pub fn noop() {}

@@ -1,0 +1,15 @@
+// Fixture: deterministic engine code that must produce zero
+// diagnostics — seeded per-ant streams, ordered containers, and the
+// words "unsafe", "HashMap", "Instant" appearing only where the lexer
+// must ignore them (this comment and the string below).
+use std::collections::BTreeMap;
+
+pub struct Census {
+    pub counts: BTreeMap<usize, usize>,
+}
+
+pub fn per_ant_seed(base: u64, ant: u64) -> u64 {
+    let note = "no unsafe HashMap Instant here";
+    let _ = note;
+    derive_seed(base, StreamKind::AgentEnvironment, ant)
+}

@@ -1,0 +1,11 @@
+// Fixture: HashMap iteration in an engine crate — the canonical
+// order-instability bug. `BTreeMap` in the same file must not be
+// flagged.
+use std::collections::BTreeMap;
+use std::collections::HashMap;
+
+pub fn tally(commitments: &HashMap<usize, usize>) -> Vec<(usize, usize)> {
+    let ordered: BTreeMap<usize, usize> = BTreeMap::new();
+    let _ = ordered;
+    commitments.iter().map(|(&nest, &count)| (nest, count)).collect()
+}

@@ -1,0 +1,11 @@
+// Fixture: allowlisted orderings in the audited runner file, one with
+// the required `// ordering:` justification (line 8, clean) and one
+// without (line 9, flagged).
+use std::sync::atomic::{AtomicBool, Ordering};
+
+pub fn check(abort: &AtomicBool) -> (bool, bool) {
+    // ordering: Acquire — pairs with the release store on abort.
+    let a = abort.load(Ordering::Acquire);
+    let b = abort.load(Ordering::Acquire);
+    (a, b)
+}

@@ -1,0 +1,12 @@
+// Fixture: a determinism violation silenced by an explicit waiver —
+// the marker must name the exact rule and sits in the comment block
+// directly above the flagged line.
+use std::collections::BTreeMap;
+
+pub fn scratch() -> usize {
+    // hh-lint: allow(hash-container) — insert-only membership probe;
+    // nothing ever iterates it, so no ordering can leak into outcomes.
+    let scratch: std::collections::HashSet<u64> = std::collections::HashSet::new();
+    let ordered: BTreeMap<u64, u64> = BTreeMap::new();
+    scratch.len() + ordered.len()
+}

@@ -1,0 +1,9 @@
+// Fixture: wall-clock reads in an engine crate. Both `Instant` tokens
+// (import and call) and the `SystemTime` read are violations.
+use std::time::Instant;
+
+pub fn round_deadline_elapsed(budget_ms: u64) -> bool {
+    let start = Instant::now();
+    let _wall = std::time::SystemTime::now();
+    start.elapsed().as_millis() as u64 > budget_ms
+}

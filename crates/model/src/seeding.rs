@@ -141,7 +141,7 @@ impl SeedSequence {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::collections::HashSet;
+    use std::collections::BTreeSet;
 
     #[test]
     fn splitmix_is_deterministic() {
@@ -151,7 +151,7 @@ mod tests {
 
     #[test]
     fn derive_seed_distinguishes_streams() {
-        let mut seen = HashSet::new();
+        let mut seen = BTreeSet::new();
         for kind in [
             StreamKind::Environment,
             StreamKind::Noise,
@@ -181,7 +181,7 @@ mod tests {
     #[test]
     fn sequence_yields_distinct_seeds() {
         let mut seq = SeedSequence::new(99);
-        let mut seen = HashSet::new();
+        let mut seen = BTreeSet::new();
         for _ in 0..1000 {
             assert!(seen.insert(seq.next_seed()));
         }

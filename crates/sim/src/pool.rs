@@ -135,7 +135,15 @@ impl WorkerPool {
         let erased: &'static (dyn Fn(usize) + Sync) =
             unsafe { std::mem::transmute::<&(dyn Fn(usize) + Sync), _>(job) };
         *shared.job.lock().expect("pool poisoned") = Some(erased);
-        shared.done.store(0, Ordering::Release);
+        // ordering: Relaxed — the reset needs no ordering of its own:
+        // it is published by the epoch release-bump just below, and
+        // workers only touch `done` through RMWs issued after acquiring
+        // that bump, so they can never observe the previous dispatch's
+        // count. (Loosened from Release by the PR 6 audit.)
+        shared.done.store(0, Ordering::Relaxed);
+        // ordering: Release — the dispatch publication point: makes the
+        // job slot write and the `done` reset visible to every worker
+        // whose epoch load acquires this bump.
         shared.epoch.fetch_add(1, Ordering::Release);
         for handle in &self.handles {
             handle.thread().unpark();
@@ -153,6 +161,11 @@ impl WorkerPool {
         job(0);
         drop(barrier);
 
+        // ordering: AcqRel — the acquire half pairs with a panicking
+        // worker's release store so the flag read here is current; the
+        // release half orders the reset before the next dispatch's
+        // epoch bump (the barrier has already completed, so no worker
+        // store can race this swap).
         if shared.panicked.swap(false, Ordering::AcqRel) {
             panic!("a round worker panicked; the simulation state is inconsistent");
         }
@@ -170,6 +183,12 @@ struct BarrierGuard<'a> {
 impl Drop for BarrierGuard<'_> {
     fn drop(&mut self) {
         let mut spins = 0u32;
+        // ordering: Acquire — pairs with each worker's release
+        // increment, so once the count is reached every worker's job
+        // side effects (and its last use of the erased job reference)
+        // happen-before this thread proceeds. This load IS the
+        // completion barrier the module's `unsafe` soundness argument
+        // rests on; do not weaken it.
         while self.shared.done.load(Ordering::Acquire) < self.workers {
             spins = spins.saturating_add(1);
             if spins < SPINS_BEFORE_YIELD {
@@ -186,6 +205,9 @@ impl Drop for BarrierGuard<'_> {
         if std::thread::panicking() {
             // Part 0 is already unwinding; clear any concurrent worker
             // flag so the next dispatch does not double-report it.
+            // ordering: Release — defensive; the barrier above already
+            // ordered every worker store before this reset, and the
+            // next dispatch's epoch bump would publish it anyway.
             self.shared.panicked.store(false, Ordering::Release);
         }
     }
@@ -193,7 +215,12 @@ impl Drop for BarrierGuard<'_> {
 
 impl Drop for WorkerPool {
     fn drop(&mut self) {
+        // ordering: Release — the shutdown flag must be visible to any
+        // worker that acquires the epoch bump below; the bump's release
+        // is what actually publishes it.
         self.shared.shutdown.store(true, Ordering::Release);
+        // ordering: Release — same publication point as a dispatch: a
+        // worker that acquires this bump observes `shutdown = true`.
         self.shared.epoch.fetch_add(1, Ordering::Release);
         for handle in &self.handles {
             handle.thread().unpark();
@@ -212,6 +239,10 @@ fn worker_loop(shared: &Shared, part: usize) {
         // also self-heals any conceivable missed unpark).
         let mut spins = 0u32;
         loop {
+            // ordering: Acquire — pairs with the dispatcher's release
+            // bump: observing a new epoch makes the published job slot
+            // and the `done` reset visible before this worker reads
+            // them.
             let epoch = shared.epoch.load(Ordering::Acquire);
             if epoch != seen {
                 seen = epoch;
@@ -226,6 +257,9 @@ fn worker_loop(shared: &Shared, part: usize) {
                 std::thread::park_timeout(PARK_TIMEOUT);
             }
         }
+        // ordering: Acquire — ordered after the epoch acquire above;
+        // acquire (rather than relaxed) so the flag read cannot be
+        // hoisted before the epoch observation that published it.
         if shared.shutdown.load(Ordering::Acquire) {
             break;
         }
@@ -237,8 +271,16 @@ fn worker_loop(shared: &Shared, part: usize) {
         // Catch panics so the worker thread (and thus the pool) survives
         // a panicking job; the dispatcher re-raises after the barrier.
         if std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| job(part))).is_err() {
+            // ordering: Release — pairs with the dispatcher's AcqRel
+            // swap; also ordered before the `done` release increment
+            // below, so the flag is always visible once the barrier
+            // completes.
             shared.panicked.store(true, Ordering::Release);
         }
+        // ordering: Release — the worker's completion publication: all
+        // of this part's job side effects (and its last touch of the
+        // erased job reference) happen-before a dispatcher that
+        // acquire-reads the full count. The other half of the barrier.
         shared.done.fetch_add(1, Ordering::Release);
     }
 }

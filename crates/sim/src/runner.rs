@@ -117,9 +117,19 @@ where
                     let mut batch: Vec<(usize, TrialOutcome)> = Vec::new();
                     let mut error: Option<(usize, SimError)> = None;
                     loop {
+                        // ordering: Acquire — pairs with the release
+                        // store of the erroring worker; stronger than a
+                        // pure early-exit hint needs, kept so observing
+                        // the flag also orders this worker after the
+                        // error it is yielding to.
                         if abort.load(Ordering::Acquire) {
                             break;
                         }
+                        // ordering: Relaxed — the cursor only hands out
+                        // disjoint indices; no payload is published
+                        // through it (results travel through the scope
+                        // join), so the RMW's atomicity is all that is
+                        // needed.
                         let trial = cursor.fetch_add(1, Ordering::Relaxed);
                         if trial >= trials {
                             break;
@@ -138,6 +148,10 @@ where
                             Ok(outcome) => batch.push((trial, outcome)),
                             Err(err) => {
                                 error = Some((trial, err));
+                                // ordering: Release — pairs with the
+                                // acquire load at the top of the loop;
+                                // publishes the abort to the other
+                                // workers' next iteration.
                                 abort.store(true, Ordering::Release);
                                 break;
                             }

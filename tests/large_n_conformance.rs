@@ -26,6 +26,10 @@ fn large_scenarios() -> Vec<Scenario> {
 
 #[test]
 #[ignore = "release-mode CI job; run with -- --ignored"]
+// The soft perf tripwire below is a deliberate wall-clock consumer —
+// it measures the engine from outside and feeds nothing back into a
+// simulation, so the workspace wall-clock ban does not apply.
+#[allow(clippy::disallowed_methods)]
 fn large_scenarios_run_within_budget() {
     for scenario in large_scenarios() {
         let start = Instant::now();

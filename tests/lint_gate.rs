@@ -1,0 +1,33 @@
+//! Tier-1 gate for the workspace determinism-and-soundness analyzer:
+//! shells `cargo run -p hh_lint -- --workspace --docs`, so any rule
+//! violation anywhere in the tree — stray `unsafe`, an order-unstable
+//! container in an engine crate, an unjustified atomic ordering, a
+//! stale EXPERIMENTS.md index — fails `cargo test -q`. See
+//! `crates/lint/src/lib.rs` for the contract the rules encode.
+
+use std::process::Command;
+
+#[test]
+fn workspace_passes_hh_lint() {
+    let root = env!("CARGO_MANIFEST_DIR");
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
+    let output = Command::new(cargo)
+        .current_dir(root)
+        .args([
+            "run",
+            "--quiet",
+            "-p",
+            "hh_lint",
+            "--",
+            "--workspace",
+            "--docs",
+        ])
+        .output()
+        .expect("spawn `cargo run -p hh_lint`");
+    assert!(
+        output.status.success(),
+        "hh_lint found violations (run `cargo run -p hh_lint -- --workspace --docs`):\n{}{}",
+        String::from_utf8_lossy(&output.stdout),
+        String::from_utf8_lossy(&output.stderr),
+    );
+}

@@ -81,7 +81,7 @@ fn recruitment_report_matches_outcomes() {
         }
     }
     // No ant appears twice on the recruited side.
-    let mut seen = std::collections::HashSet::new();
+    let mut seen = std::collections::BTreeSet::new();
     for &(_, recruited) in &report.recruitment.pairs {
         assert!(seen.insert(recruited), "{recruited} recruited twice");
     }
@@ -158,7 +158,7 @@ fn noise_affects_observations_not_state() {
     assert_eq!(env.count(NestId::candidate(1)), n);
     // Observations vary around the truth.
     let counts: Vec<usize> = report.outcomes.iter().map(|o| o.count()).collect();
-    let distinct: std::collections::HashSet<usize> = counts.iter().copied().collect();
+    let distinct: std::collections::BTreeSet<usize> = counts.iter().copied().collect();
     assert!(distinct.len() > 1, "independent noise draws should differ");
     let mean = counts.iter().sum::<usize>() as f64 / n as f64;
     assert!(

@@ -2,7 +2,7 @@
 //! process, the environment's invariants under arbitrary legal action
 //! sequences, seed derivation, and the bit set.
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 use house_hunting::model::recruitment::{pair_ants, RecruitCall};
 use house_hunting::model::seeding::{derive_seed, StreamKind};
@@ -32,7 +32,7 @@ proptest! {
         let pairing = pair_ants(&calls, &mut rng);
 
         prop_assert_eq!(pairing.len(), m);
-        let mut recruited_seen = HashSet::new();
+        let mut recruited_seen = BTreeSet::new();
         for &(recruiter, recruited) in pairing.pairs() {
             prop_assert!(calls[recruiter.index()].active, "recruiters are in S");
             prop_assert!(recruited_seen.insert(recruited), "double recruitment");
@@ -128,7 +128,7 @@ proptest! {
     /// windows (a collision would silently correlate two random streams).
     #[test]
     fn seed_streams_do_not_collide(base in any::<u64>()) {
-        let mut seen = HashSet::new();
+        let mut seen = BTreeSet::new();
         for kind in [StreamKind::Environment, StreamKind::Noise, StreamKind::Agent, StreamKind::Crash, StreamKind::Delay] {
             for index in 0..64 {
                 prop_assert!(seen.insert(derive_seed(base, kind, index)));
@@ -136,15 +136,15 @@ proptest! {
         }
     }
 
-    /// BitSet agrees with a reference HashSet model under arbitrary
+    /// BitSet agrees with a reference BTreeSet model under arbitrary
     /// insert/remove interleavings.
     #[test]
-    fn bitset_matches_hashset_model(
+    fn bitset_matches_btreeset_model(
         capacity in 1usize..200,
         ops in proptest::collection::vec((any::<bool>(), 0usize..220), 0..100),
     ) {
         let mut set = BitSet::new(capacity);
-        let mut model: HashSet<usize> = HashSet::new();
+        let mut model: BTreeSet<usize> = BTreeSet::new();
         for (insert, value) in ops {
             if insert {
                 if value < capacity {

@@ -13,7 +13,7 @@
 //! 4. *matches its declared tags* — the hand-declared catalog tags agree
 //!    with the tags derived from the axes.
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 use house_hunting::prelude::*;
 use house_hunting::sim::registry::{self, ColonyMix};
@@ -30,7 +30,7 @@ fn catalog_is_nonempty_and_uniquely_named() {
         "the catalog shrank to {} scenarios",
         scenarios.len()
     );
-    let names: HashSet<_> = scenarios.iter().map(|s| s.name().to_string()).collect();
+    let names: BTreeSet<_> = scenarios.iter().map(|s| s.name().to_string()).collect();
     assert_eq!(names.len(), scenarios.len(), "duplicate scenario names");
     for scenario in &scenarios {
         assert!(!scenario.name().is_empty());
@@ -87,7 +87,7 @@ fn every_scenario_builds_the_advertised_colony() {
                 );
             }
             ColonyMix::Heterogeneous { a, b, .. } => {
-                let labels: HashSet<_> = colony.iter().map(|agent| agent.label()).collect();
+                let labels: BTreeSet<_> = colony.iter().map(|agent| agent.label()).collect();
                 assert!(
                     labels.contains(a.label()) && labels.contains(b.label()),
                     "{}: heterogeneous colony lost a sub-colony",

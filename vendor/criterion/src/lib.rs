@@ -194,6 +194,10 @@ pub struct Bencher {
 impl Bencher {
     /// Times repeated calls of `routine`, preventing the result from
     /// being optimized away.
+    // A benchmark harness is the definitional wall-clock consumer; the
+    // workspace ban (clippy.toml, hh_lint `wall-clock`) targets engine
+    // code, not the timer itself.
+    #[allow(clippy::disallowed_methods)]
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
         for _ in 0..WARM_UP_ITERS {
             black_box(routine());
