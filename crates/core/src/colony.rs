@@ -4,11 +4,13 @@
 //! one per ant, indexed by [`AntId`](hh_model::AntId). [`Colony`] stores
 //! the agents as one contiguous `Vec<AnyAgent>` (static dispatch, cache
 //! friendly) and caches each agent's harness-observable state — honesty,
-//! [`AgentRole`], committed nest, finality — as an [`AgentSnapshot`],
-//! maintaining the aggregate [`RoleCensus`] incrementally. The executor
-//! in `hh-sim` refreshes exactly the agents it stepped each round
-//! ([`Colony::refresh`]), so census queries are O(1) instead of an O(n)
-//! rescan with a dispatch per agent.
+//! [`AgentRole`], committed nest, finality — in struct-of-arrays form
+//! ([`SnapshotColumns`]: four dense
+//! parallel columns), maintaining the aggregate [`RoleCensus`]
+//! incrementally. [`AgentSnapshot`] is the scalar assemble/disassemble
+//! view of one column row. The executor in `hh-sim` refreshes exactly
+//! the agents it stepped each round ([`Colony::refresh`]), so census
+//! queries are O(1) instead of an O(n) rescan with a dispatch per agent.
 //!
 //! The free functions build the standard homogeneous colonies (one per
 //! algorithm) with per-ant seeds derived deterministically from a single
@@ -31,6 +33,7 @@ use hh_model::NestId;
 use crate::adaptive::{AdaptiveAnt, AdaptivePolicy};
 use crate::agent::{Agent, AgentRole, BoxedAgent};
 use crate::any::AnyAgent;
+use crate::columns::{ColumnsMut, SnapshotColumns};
 use crate::optimal::OptimalAnt;
 use crate::quality::QualityAnt;
 use crate::simple::{SimpleAnt, UrnOptions};
@@ -217,7 +220,7 @@ impl AgentSnapshot {
 /// without a rescan.
 pub struct Colony {
     agents: Vec<AnyAgent>,
-    snapshots: Vec<AgentSnapshot>,
+    columns: SnapshotColumns,
     census: RoleCensus,
     stale: bool,
 }
@@ -228,7 +231,7 @@ impl Colony {
     pub fn new() -> Self {
         Self {
             agents: Vec::new(),
-            snapshots: Vec::new(),
+            columns: SnapshotColumns::new(),
             census: RoleCensus::default(),
             stale: false,
         }
@@ -239,7 +242,7 @@ impl Colony {
     pub fn with_capacity(n: usize) -> Self {
         Self {
             agents: Vec::with_capacity(n),
-            snapshots: Vec::with_capacity(n),
+            columns: SnapshotColumns::with_capacity(n),
             census: RoleCensus::default(),
             stale: false,
         }
@@ -250,7 +253,7 @@ impl Colony {
         let agent = agent.into();
         let snapshot = AgentSnapshot::of(&agent);
         self.census.add(&snapshot);
-        self.snapshots.push(snapshot);
+        self.columns.push(snapshot);
         self.agents.push(agent);
     }
 
@@ -262,9 +265,9 @@ impl Colony {
     pub fn replace(&mut self, index: usize, agent: impl Into<AnyAgent>) {
         let agent = agent.into();
         let snapshot = AgentSnapshot::of(&agent);
-        self.census.remove(&self.snapshots[index]);
+        self.census.remove(&self.columns.get(index));
         self.census.add(&snapshot);
-        self.snapshots[index] = snapshot;
+        self.columns.set(index, snapshot);
         self.agents[index] = agent;
     }
 
@@ -294,12 +297,12 @@ impl Colony {
         if !self.stale {
             return;
         }
-        self.snapshots.clear();
-        self.snapshots
-            .extend(self.agents.iter().map(AgentSnapshot::of));
+        self.columns.clear();
         self.census = RoleCensus::default();
-        for snapshot in &self.snapshots {
-            self.census.add(snapshot);
+        for agent in &self.agents {
+            let snapshot = AgentSnapshot::of(agent);
+            self.census.add(&snapshot);
+            self.columns.push(snapshot);
         }
         self.stale = false;
     }
@@ -315,12 +318,34 @@ impl Colony {
         }
     }
 
-    /// The cached per-agent snapshots. Call [`sync`](Colony::sync) first
-    /// if the colony was mutated through [`agents_mut`](Colony::agents_mut).
+    /// Agent `index`'s cached snapshot, assembled from the columns. Call
+    /// [`sync`](Colony::sync) first if the colony was mutated through
+    /// [`agents_mut`](Colony::agents_mut).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    #[inline]
     #[must_use]
-    pub fn snapshots(&self) -> &[AgentSnapshot] {
+    pub fn snapshot(&self, index: usize) -> AgentSnapshot {
+        debug_assert!(!self.stale, "snapshot read while stale; call sync()");
+        self.columns.get(index)
+    }
+
+    /// Iterates the cached per-agent snapshots in ant order. Same
+    /// staleness contract as [`snapshot`](Colony::snapshot).
+    pub fn iter_snapshots(&self) -> impl Iterator<Item = AgentSnapshot> + '_ {
         debug_assert!(!self.stale, "snapshots read while stale; call sync()");
-        &self.snapshots
+        self.columns.iter()
+    }
+
+    /// The snapshot cache in its native struct-of-arrays layout, for
+    /// column-wise readers (detectors, metrics) and the equivalence
+    /// tests. Same staleness contract as [`snapshot`](Colony::snapshot).
+    #[must_use]
+    pub fn snapshot_columns(&self) -> &SnapshotColumns {
+        debug_assert!(!self.stale, "columns read while stale; call sync()");
+        &self.columns
     }
 
     /// Executor hot path: forwards [`Agent::choose`] for ant `index`.
@@ -381,19 +406,19 @@ impl Colony {
     }
 
     /// Executor parallel hot path: simultaneous mutable access to the
-    /// agents and their cached snapshots, for splitting into disjoint
-    /// ant chunks.
+    /// agents and their cached snapshot columns, for splitting into
+    /// disjoint ant chunks ([`ColumnsMut::split_at_mut`]).
     ///
     /// Unlike [`agents_mut`](Colony::agents_mut) this does **not** mark
     /// the caches stale: the caller contracts to keep each touched
-    /// agent's snapshot current itself (write the agent's freshly
-    /// computed snapshot back into its slot) and to fold the resulting
+    /// agent's column row current itself (write the agent's freshly
+    /// computed snapshot back into its row) and to fold the resulting
     /// census changes in via
     /// [`apply_census_delta`](Colony::apply_census_delta) before the next
     /// census query.
-    pub fn engine_split(&mut self) -> (&mut [AnyAgent], &mut [AgentSnapshot]) {
+    pub fn engine_split(&mut self) -> (&mut [AnyAgent], ColumnsMut<'_>) {
         debug_assert!(!self.stale, "engine_split on a stale colony; call sync()");
-        (&mut self.agents, &mut self.snapshots)
+        (&mut self.agents, self.columns.as_band_mut())
     }
 
     /// Folds a per-worker [`CensusDelta`] (accumulated against
@@ -411,7 +436,7 @@ impl Colony {
     /// census on role changes; returns the previous snapshot.
     #[inline]
     fn absorb(&mut self, index: usize, new: AgentSnapshot) -> AgentSnapshot {
-        let old = self.snapshots[index];
+        let old = self.columns.get(index);
         if new != old {
             // Honesty can vary for Custom agents, and the census only
             // counts honest agents — so a flip on either axis re-buckets.
@@ -419,7 +444,7 @@ impl Colony {
                 self.census.remove(&old);
                 self.census.add(&new);
             }
-            self.snapshots[index] = new;
+            self.columns.set(index, new);
         }
         old
     }
@@ -450,14 +475,16 @@ impl std::fmt::Debug for Colony {
 
 impl From<Vec<AnyAgent>> for Colony {
     fn from(agents: Vec<AnyAgent>) -> Self {
-        let snapshots: Vec<AgentSnapshot> = agents.iter().map(AgentSnapshot::of).collect();
+        let mut columns = SnapshotColumns::with_capacity(agents.len());
         let mut census = RoleCensus::default();
-        for snapshot in &snapshots {
-            census.add(snapshot);
+        for agent in &agents {
+            let snapshot = AgentSnapshot::of(agent);
+            census.add(&snapshot);
+            columns.push(snapshot);
         }
         Self {
             agents,
-            snapshots,
+            columns,
             census,
             stale: false,
         }
@@ -711,7 +738,7 @@ mod tests {
         assert_eq!(colony.census().passive, 1);
         colony.sync();
         assert_eq!(colony.census().passive, 1);
-        assert_eq!(colony.snapshots()[0].role, AgentRole::Passive);
+        assert_eq!(colony.snapshot(0).role, AgentRole::Passive);
     }
 
     #[test]

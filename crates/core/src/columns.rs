@@ -1,0 +1,383 @@
+//! Struct-of-arrays storage for the colony's cached agent state.
+//!
+//! [`Colony`](crate::Colony) caches each agent's harness-observable
+//! state — honesty, [`AgentRole`], committed nest, finality. Storing
+//! those caches as one `Vec<AgentSnapshot>` (array-of-structs) makes the
+//! executor's round pass stream 16-byte records to read a 1-byte role;
+//! this module stores the same information as four dense parallel
+//! columns (honesty, role, commitment, finality), so each consumer
+//! touches only the bytes it needs and a column scan is branch-light and
+//! prefetcher-friendly.
+//!
+//! [`AgentSnapshot`] remains the scalar assemble/disassemble view: the
+//! columns and the snapshot are two layouts of the same value, and
+//! [`SnapshotColumns::get`]/[`SnapshotColumns::set`] convert exactly in
+//! both directions (a round-trip is the identity — property-tested in
+//! `tests/property_agents.rs`).
+//!
+//! # Commitment encoding
+//!
+//! The commitment column packs `Option<NestId>` into a single `u32`:
+//! `0` encodes `None` and `raw + 1` encodes `Some(nest)`. The shift (as
+//! opposed to using the home nest's raw `0` as the niche) keeps the
+//! encoding total: even an agent that claims commitment to the home nest
+//! — impossible for the paper's algorithms but expressible through the
+//! [`Agent`](crate::Agent) trait — round-trips exactly.
+
+use hh_model::NestId;
+
+use crate::agent::AgentRole;
+use crate::colony::AgentSnapshot;
+
+/// Packs a committed-nest option into the commitment column's `u32`.
+#[inline]
+#[must_use]
+pub fn encode_commitment(committed: Option<NestId>) -> u32 {
+    match committed {
+        None => 0,
+        Some(nest) => nest.raw() as u32 + 1,
+    }
+}
+
+/// Unpacks a commitment-column value back into `Option<NestId>`.
+#[inline]
+#[must_use]
+pub fn decode_commitment(encoded: u32) -> Option<NestId> {
+    if encoded == 0 {
+        None
+    } else {
+        Some(NestId::from_raw(encoded as usize - 1))
+    }
+}
+
+/// Dense parallel columns of per-agent observable state — the colony's
+/// snapshot cache in struct-of-arrays layout.
+///
+/// All four columns always have identical length (one slot per ant,
+/// indexed by ant id).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SnapshotColumns {
+    honest: Vec<bool>,
+    roles: Vec<AgentRole>,
+    committed: Vec<u32>,
+    finals: Vec<bool>,
+}
+
+impl SnapshotColumns {
+    /// Empty columns.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Empty columns with room for `n` agents.
+    #[must_use]
+    pub fn with_capacity(n: usize) -> Self {
+        Self {
+            honest: Vec::with_capacity(n),
+            roles: Vec::with_capacity(n),
+            committed: Vec::with_capacity(n),
+            finals: Vec::with_capacity(n),
+        }
+    }
+
+    /// Number of agents covered.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.roles.len()
+    }
+
+    /// `true` if no agents are covered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.roles.is_empty()
+    }
+
+    /// Appends one agent's snapshot as a new row.
+    pub fn push(&mut self, snapshot: AgentSnapshot) {
+        self.honest.push(snapshot.honest);
+        self.roles.push(snapshot.role);
+        self.committed.push(encode_commitment(snapshot.committed));
+        self.finals.push(snapshot.is_final);
+    }
+
+    /// Drops all rows, keeping capacity.
+    pub fn clear(&mut self) {
+        self.honest.clear();
+        self.roles.clear();
+        self.committed.clear();
+        self.finals.clear();
+    }
+
+    /// Assembles agent `index`'s row into a scalar [`AgentSnapshot`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    #[inline]
+    #[must_use]
+    pub fn get(&self, index: usize) -> AgentSnapshot {
+        AgentSnapshot {
+            honest: self.honest[index],
+            role: self.roles[index],
+            committed: decode_commitment(self.committed[index]),
+            is_final: self.finals[index],
+        }
+    }
+
+    /// Disassembles a scalar snapshot into agent `index`'s row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    #[inline]
+    pub fn set(&mut self, index: usize, snapshot: AgentSnapshot) {
+        self.honest[index] = snapshot.honest;
+        self.roles[index] = snapshot.role;
+        self.committed[index] = encode_commitment(snapshot.committed);
+        self.finals[index] = snapshot.is_final;
+    }
+
+    /// Agent `index`'s honesty (single-column read).
+    #[inline]
+    #[must_use]
+    pub fn honest(&self, index: usize) -> bool {
+        self.honest[index]
+    }
+
+    /// Agent `index`'s role (single-column read).
+    #[inline]
+    #[must_use]
+    pub fn role(&self, index: usize) -> AgentRole {
+        self.roles[index]
+    }
+
+    /// Agent `index`'s committed nest (single-column read).
+    #[inline]
+    #[must_use]
+    pub fn committed(&self, index: usize) -> Option<NestId> {
+        decode_commitment(self.committed[index])
+    }
+
+    /// Agent `index`'s finality (single-column read).
+    #[inline]
+    #[must_use]
+    pub fn is_final(&self, index: usize) -> bool {
+        self.finals[index]
+    }
+
+    /// Iterates all rows as assembled scalar snapshots.
+    pub fn iter(&self) -> impl Iterator<Item = AgentSnapshot> + '_ {
+        (0..self.len()).map(|i| self.get(i))
+    }
+
+    /// The whole table as one mutable band (for the executor's chunked
+    /// round phases; split it with [`ColumnsMut::split_at_mut`]).
+    pub fn as_band_mut(&mut self) -> ColumnsMut<'_> {
+        ColumnsMut {
+            honest: &mut self.honest,
+            roles: &mut self.roles,
+            committed: &mut self.committed,
+            finals: &mut self.finals,
+        }
+    }
+}
+
+impl FromIterator<AgentSnapshot> for SnapshotColumns {
+    fn from_iter<I: IntoIterator<Item = AgentSnapshot>>(iter: I) -> Self {
+        let iter = iter.into_iter();
+        let mut columns = Self::with_capacity(iter.size_hint().0);
+        for snapshot in iter {
+            columns.push(snapshot);
+        }
+        columns
+    }
+}
+
+/// A mutable band over a contiguous index range of [`SnapshotColumns`] —
+/// the SoA counterpart of `&mut [AgentSnapshot]`, splittable into
+/// disjoint chunks for the executor's worker pool.
+///
+/// Band indices are *local* (`0..len()`), exactly like slice indices
+/// after `split_at_mut`.
+#[derive(Debug)]
+pub struct ColumnsMut<'a> {
+    honest: &'a mut [bool],
+    roles: &'a mut [AgentRole],
+    committed: &'a mut [u32],
+    finals: &'a mut [bool],
+}
+
+impl<'a> ColumnsMut<'a> {
+    /// Number of agents in the band.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.roles.len()
+    }
+
+    /// `true` if the band is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.roles.is_empty()
+    }
+
+    /// Splits the band into disjoint `[0, mid)` and `[mid, len)` halves,
+    /// mirroring `slice::split_at_mut`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mid > len`.
+    #[must_use]
+    pub fn split_at_mut(self, mid: usize) -> (ColumnsMut<'a>, ColumnsMut<'a>) {
+        let (honest_l, honest_r) = self.honest.split_at_mut(mid);
+        let (roles_l, roles_r) = self.roles.split_at_mut(mid);
+        let (committed_l, committed_r) = self.committed.split_at_mut(mid);
+        let (finals_l, finals_r) = self.finals.split_at_mut(mid);
+        (
+            ColumnsMut {
+                honest: honest_l,
+                roles: roles_l,
+                committed: committed_l,
+                finals: finals_l,
+            },
+            ColumnsMut {
+                honest: honest_r,
+                roles: roles_r,
+                committed: committed_r,
+                finals: finals_r,
+            },
+        )
+    }
+
+    /// Reborrows the band (so it can be split without consuming the
+    /// original lifetime).
+    pub fn reborrow(&mut self) -> ColumnsMut<'_> {
+        ColumnsMut {
+            honest: self.honest,
+            roles: self.roles,
+            committed: self.committed,
+            finals: self.finals,
+        }
+    }
+
+    /// Assembles local row `index` into a scalar [`AgentSnapshot`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    #[inline]
+    #[must_use]
+    pub fn get(&self, index: usize) -> AgentSnapshot {
+        AgentSnapshot {
+            honest: self.honest[index],
+            role: self.roles[index],
+            committed: decode_commitment(self.committed[index]),
+            is_final: self.finals[index],
+        }
+    }
+
+    /// Disassembles a scalar snapshot into local row `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    #[inline]
+    pub fn set(&mut self, index: usize, snapshot: AgentSnapshot) {
+        self.honest[index] = snapshot.honest;
+        self.roles[index] = snapshot.role;
+        self.committed[index] = encode_commitment(snapshot.committed);
+        self.finals[index] = snapshot.is_final;
+    }
+
+    /// Local row `index`'s honesty (single-column read).
+    #[inline]
+    #[must_use]
+    pub fn honest(&self, index: usize) -> bool {
+        self.honest[index]
+    }
+
+    /// Local row `index`'s role (single-column read).
+    #[inline]
+    #[must_use]
+    pub fn role(&self, index: usize) -> AgentRole {
+        self.roles[index]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_snapshots() -> Vec<AgentSnapshot> {
+        vec![
+            AgentSnapshot {
+                honest: true,
+                role: AgentRole::Searching,
+                committed: None,
+                is_final: false,
+            },
+            AgentSnapshot {
+                honest: true,
+                role: AgentRole::Active,
+                committed: Some(NestId::candidate(3)),
+                is_final: false,
+            },
+            AgentSnapshot {
+                honest: false,
+                role: AgentRole::Other,
+                committed: Some(NestId::HOME),
+                is_final: false,
+            },
+            AgentSnapshot {
+                honest: true,
+                role: AgentRole::Final,
+                committed: Some(NestId::candidate(1)),
+                is_final: true,
+            },
+        ]
+    }
+
+    #[test]
+    fn commitment_encoding_round_trips() {
+        for committed in [
+            None,
+            Some(NestId::HOME),
+            Some(NestId::candidate(1)),
+            Some(NestId::candidate(250)),
+        ] {
+            assert_eq!(decode_commitment(encode_commitment(committed)), committed);
+        }
+        assert_eq!(encode_commitment(None), 0);
+        assert_eq!(encode_commitment(Some(NestId::HOME)), 1);
+    }
+
+    #[test]
+    fn get_set_round_trip_matches_snapshots() {
+        let snapshots = sample_snapshots();
+        let mut columns: SnapshotColumns = snapshots.iter().copied().collect();
+        assert_eq!(columns.len(), snapshots.len());
+        for (i, expected) in snapshots.iter().enumerate() {
+            assert_eq!(&columns.get(i), expected);
+        }
+        // Overwrite through set and read back.
+        columns.set(0, snapshots[3]);
+        assert_eq!(columns.get(0), snapshots[3]);
+        let collected: Vec<AgentSnapshot> = columns.iter().collect();
+        assert_eq!(collected[1..], snapshots[1..]);
+    }
+
+    #[test]
+    fn band_split_preserves_rows() {
+        let snapshots = sample_snapshots();
+        let mut columns: SnapshotColumns = snapshots.iter().copied().collect();
+        let band = columns.as_band_mut();
+        assert_eq!(band.len(), 4);
+        let (left, mut right) = band.split_at_mut(1);
+        assert_eq!(left.len(), 1);
+        assert_eq!(right.len(), 3);
+        assert_eq!(left.get(0), snapshots[0]);
+        assert_eq!(right.get(2), snapshots[3]);
+        right.set(0, snapshots[0]);
+        assert_eq!(columns.get(1), snapshots[0]);
+    }
+}

@@ -90,12 +90,14 @@ pub struct OptimalAnt {
     state: State,
     /// The committed nest (the pseudocode's `nest`), set by the search.
     nest: Option<NestId>,
-    /// The latest agreed population of the committed nest (`count`).
-    count: usize,
+    /// The latest agreed population of the committed nest (`count`),
+    /// in the outcome field width.
+    count: u32,
     /// This cycle's R1 recruitment result (`nestt`).
     nestt: Option<NestId>,
-    /// This cycle's R2 population reading (`countt`).
-    countt: usize,
+    /// This cycle's R2 population reading (`countt`), in the outcome
+    /// field width.
+    countt: u32,
     /// This cycle's case classification, valid after the R2 observation.
     case: Case,
     /// Deferred transition to `Passive`, applied at cycle end.
@@ -132,7 +134,7 @@ impl OptimalAnt {
     /// Returns the ant's last agreed count of its committed nest.
     #[must_use]
     pub fn remembered_count(&self) -> usize {
-        self.count
+        self.count as usize
     }
 
     /// The committed nest, or a placeholder for the impossible case of an

@@ -60,11 +60,13 @@ pub struct QualityAnt {
     /// Reject recruitments that downgrade quality by more than this.
     rejection_tolerance: Option<f64>,
     nest: Option<NestId>,
-    count: usize,
+    /// Last observed population of the committed nest, in the outcome
+    /// field width.
+    count: u32,
     /// Last observed quality of the committed nest.
     quality: f64,
     /// Previous commitment, kept for downgrade rejection.
-    previous: Option<(NestId, f64, usize)>,
+    previous: Option<(NestId, f64, u32)>,
     /// Assess the new nest at the next `go` observation.
     pending_assessment: bool,
 }
@@ -209,7 +211,7 @@ impl Agent for QualityAnt {
 impl QualityAnt {
     /// Test-only accessor for the last observed count.
     pub(crate) fn last_observed_count_for_tests(&self) -> usize {
-        self.count
+        self.count as usize
     }
 }
 
@@ -243,7 +245,8 @@ mod tests {
             },
         );
         assert_eq!(ant.role(), AgentRole::Active);
-        assert!((ant.observed_quality() - 0.7).abs() < 1e-12);
+        // Quality stores f32; 0.7 lands within one f32 ULP of the input.
+        assert!((ant.observed_quality() - 0.7).abs() < 1e-7);
     }
 
     #[test]
@@ -348,7 +351,7 @@ mod tests {
                 quality: Some(Quality::new(0.9).unwrap()),
             },
         );
-        assert!((ant.observed_quality() - 0.9).abs() < 1e-12);
+        assert!((ant.observed_quality() - 0.9).abs() < 1e-7);
         assert_eq!(ant.last_observed_count_for_tests(), 6);
     }
 
@@ -381,7 +384,7 @@ mod tests {
         );
         // 0.3 + 0.2 < 0.9: rejected, back to the original commitment.
         assert_eq!(ant.committed_nest(), Some(good));
-        assert!((ant.observed_quality() - 0.9).abs() < 1e-12);
+        assert!((ant.observed_quality() - 0.9).abs() < 1e-7);
     }
 
     #[test]

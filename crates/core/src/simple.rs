@@ -173,11 +173,10 @@ impl<P: RecruitPolicy> UrnAnt<P> {
         }
     }
 
-    /// Stores a count observation, saturating into the compact field
-    /// (noisy observations can exceed `n`, but never meaningfully exceed
-    /// `u32`).
-    fn remember_count(&mut self, count: usize) {
-        self.count = count.min(u32::MAX as usize) as u32;
+    /// Stores a count observation. Outcomes already narrow counts into
+    /// `u32` (saturating), so this is a plain move.
+    fn remember_count(&mut self, count: u32) {
+        self.count = count;
     }
 }
 
@@ -268,7 +267,7 @@ impl<P: RecruitPolicy> Agent for UrnAnt<P> {
                 }
                 if self.options.settle_at_full_count
                     && self.state == State::Active
-                    && *count >= self.n as usize
+                    && *count >= self.n
                 {
                     self.state = State::Settled;
                 }

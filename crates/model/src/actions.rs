@@ -103,6 +103,18 @@ impl fmt::Display for Action {
 /// Population counts are *end-of-round* counts `c(i, r)`, as specified in
 /// Section 2, and are reported through the configured observation-noise
 /// model (exact by default).
+///
+/// # Field widths
+///
+/// Counts are stored as `u32` and qualities as a narrow [`Quality`]
+/// (`f32`-backed), which packs the whole enum into 16 bytes — the outcome
+/// buffer is the engine's dominant per-round write traffic. A population
+/// count is bounded by the colony size `n` (a `u32` in every config path)
+/// except after multiplicative observation noise, which can scale it
+/// arbitrarily; [`Outcome::narrow_count`] therefore **saturates** at
+/// `u32::MAX` rather than wrapping. Saturation is unreachable for exact
+/// counts and only reachable under noise models that inflate a count past
+/// ~4.29 × 10⁹ — far beyond any physical colony.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Outcome {
     /// Return value of `search()`: the triple `⟨i, q(i), c(i, r)⟩`.
@@ -112,12 +124,12 @@ pub enum Outcome {
         /// The nest's quality as perceived by this ant (possibly noisy).
         quality: Quality,
         /// The nest's end-of-round population as perceived (possibly noisy).
-        count: usize,
+        count: u32,
     },
     /// Return value of `go(i)`: the count `c(i, r)`.
     Go {
         /// The revisited nest's end-of-round population as perceived.
-        count: usize,
+        count: u32,
         /// The nest's quality, present only under the "assessing go" model
         /// extension (see [`Environment::go_reveals_quality`]); `None` in
         /// the strict Section 2 model.
@@ -131,14 +143,30 @@ pub enum Outcome {
         /// recruited, otherwise the ant's own input `i`.
         nest: NestId,
         /// The home nest's end-of-round population as perceived.
-        home_count: usize,
+        home_count: u32,
     },
 }
 
 impl Outcome {
+    /// Narrows a population count into the outcome's `u32` field width,
+    /// saturating at `u32::MAX`.
+    ///
+    /// Exact counts are bounded by the colony size and never saturate;
+    /// only noise-inflated counts can reach the ceiling, and for those a
+    /// pinned maximum is the honest reading of "more ants than the model
+    /// can distinguish".
+    #[must_use]
+    pub const fn narrow_count(count: usize) -> u32 {
+        if count > u32::MAX as usize {
+            u32::MAX
+        } else {
+            count as u32
+        }
+    }
+
     /// Returns the count carried by the outcome (`c(i, r)` or `c(0, r)`).
     #[must_use]
-    pub const fn count(&self) -> usize {
+    pub const fn count(&self) -> u32 {
         match self {
             Outcome::Search { count, .. } | Outcome::Go { count, .. } => *count,
             Outcome::Recruit { home_count, .. } => *home_count,
@@ -230,6 +258,25 @@ mod tests {
         };
         assert_eq!(recruit.count(), 7);
         assert_eq!(recruit.nest(), Some(NestId::candidate(2)));
+    }
+
+    /// The `u32` narrowing contract: in-range counts pass through exactly
+    /// and out-of-range counts pin at `u32::MAX` instead of wrapping.
+    #[test]
+    fn narrow_count_saturates_at_u32_max() {
+        assert_eq!(Outcome::narrow_count(0), 0);
+        assert_eq!(Outcome::narrow_count(4096), 4096);
+        assert_eq!(Outcome::narrow_count(u32::MAX as usize), u32::MAX);
+        assert_eq!(Outcome::narrow_count(u32::MAX as usize + 1), u32::MAX);
+        assert_eq!(Outcome::narrow_count(usize::MAX), u32::MAX);
+    }
+
+    /// The narrowing left `Outcome` a compact `Copy` value: the outcome
+    /// buffer is the round loop's dominant write traffic, so the width is
+    /// part of the performance contract.
+    #[test]
+    fn outcome_is_16_bytes() {
+        assert_eq!(std::mem::size_of::<Outcome>(), 16);
     }
 
     #[test]

@@ -681,6 +681,64 @@ impl<'a> RelocationChunk<'a> {
             }
         }
     }
+
+    /// Applies a whole chunk's worth of (pre-validated, pre-sandboxed)
+    /// actions at once — functionally identical to calling
+    /// [`apply`](Self::apply) for each ant in chunk order.
+    ///
+    /// The difference is structure, not semantics: search placements are
+    /// drawn first in one tight pass that touches only the per-ant RNG
+    /// and location columns (each destination comes from that ant's own
+    /// [`StreamKind::AgentEnvironment`] stream, so no draw depends on any
+    /// other ant), and relocation/knowledge/tally bookkeeping runs as a
+    /// second pass. The executor's fast path uses this as its phase-1
+    /// inner loop.
+    ///
+    /// [`StreamKind::AgentEnvironment`]: crate::seeding::StreamKind::AgentEnvironment
+    ///
+    /// # Panics
+    ///
+    /// Panics if `actions` is not exactly one action per chunk ant or an
+    /// action names an out-of-range nest (pre-validate with
+    /// [`check_action`](Self::check_action)).
+    pub fn apply_all(
+        &mut self,
+        actions: &[Action],
+        counts: &mut [usize],
+        calls: &mut Vec<RecruitCall>,
+    ) {
+        assert_eq!(actions.len(), self.len(), "one action per chunk ant");
+        // Batched per-ant draws.
+        for (local, action) in actions.iter().enumerate() {
+            if matches!(action, Action::Search) {
+                self.locations[local] =
+                    NestId::candidate(self.rngs[local].random_range(1..=self.k));
+            }
+        }
+        // Relocate, record knowledge, tally populations, collect calls.
+        for (local, action) in actions.iter().enumerate() {
+            match *action {
+                Action::Search => {
+                    let nest = self.locations[local];
+                    self.known.insert(local, nest.raw());
+                    counts[nest.raw()] += 1;
+                }
+                Action::Go(nest) => {
+                    self.locations[local] = nest;
+                    counts[nest.raw()] += 1;
+                }
+                Action::Recruit { active, nest } => {
+                    self.locations[local] = NestId::HOME;
+                    counts[0] += 1;
+                    calls.push(RecruitCall::new(
+                        AntId::new(self.start + local),
+                        active,
+                        nest,
+                    ));
+                }
+            }
+        }
+    }
 }
 
 /// A disjoint, contiguous chunk of the colony's per-ant outcome state —
@@ -771,11 +829,13 @@ impl<'a> OutcomeChunk<'a> {
                 Outcome::Search {
                     nest,
                     quality: ctx.noise.quality.observe(true_quality, rng),
-                    count: ctx.noise.count.observe(ctx.counts[nest.raw()], rng),
+                    count: Outcome::narrow_count(
+                        ctx.noise.count.observe(ctx.counts[nest.raw()], rng),
+                    ),
                 }
             }
             Action::Go(nest) => Outcome::Go {
-                count: ctx.noise.count.observe(ctx.counts[nest.raw()], rng),
+                count: Outcome::narrow_count(ctx.noise.count.observe(ctx.counts[nest.raw()], rng)),
                 quality: if ctx.reveal_quality_on_go {
                     let true_quality =
                         ctx.nests[nest.candidate_index().expect("candidate nest")].quality();
@@ -789,7 +849,7 @@ impl<'a> OutcomeChunk<'a> {
                 *call_cursor += 1;
                 Outcome::Recruit {
                     nest: assigned,
-                    home_count: ctx.noise.count.observe(ctx.counts[0], rng),
+                    home_count: Outcome::narrow_count(ctx.noise.count.observe(ctx.counts[0], rng)),
                 }
             }
         }
@@ -915,7 +975,7 @@ mod tests {
                     assert_eq!(env.location_of(ant), *nest);
                     assert!(env.knows(ant, *nest));
                     assert!(quality.is_good());
-                    assert_eq!(*count, env.count(*nest), "end-of-round count");
+                    assert_eq!(*count as usize, env.count(*nest), "end-of-round count");
                 }
                 other => panic!("expected search outcome, got {other:?}"),
             }

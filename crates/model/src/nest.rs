@@ -3,9 +3,25 @@
 //! Every candidate nest `nᵢ` carries a quality `q(i) ∈ Q`. The paper's main
 //! analysis uses the binary set `Q = {0, 1}` ("unsuitable" / "suitable");
 //! its Section 6 sketches an extension to real-valued qualities in `(0, 1)`.
-//! [`Quality`] supports both: it is a validated `f64` in `[0, 1]`, with
+//! [`Quality`] supports both: a validated value in `[0, 1]`, with
 //! [`Quality::BAD`] and [`Quality::GOOD`] as the binary endpoints and
 //! [`Quality::is_good`] as the binary predicate.
+//!
+//! # Storage width
+//!
+//! Internally a quality is a single `f32` (the public API stays `f64`):
+//! a nest quality only ever feeds threshold comparisons and recruitment
+//! probabilities, so ~7 significant decimal digits is far beyond the
+//! model's resolution, and the narrow field halves [`Outcome`] traffic in
+//! the round hot loop. [`Quality::new`] validates in `f64` and then rounds
+//! to the nearest `f32`; the binary endpoints `0.0`/`1.0` and the `0.5`
+//! threshold are all exactly representable, so `is_good` classification is
+//! never changed by the rounding. Values that are not `f32`-exact (e.g.
+//! `0.45`) shift by at most one `f32` ULP (< 6 × 10⁻⁸ in `[0, 1]`), which
+//! cannot cross the threshold for any quality further than that from
+//! `0.5`.
+//!
+//! [`Outcome`]: crate::actions::Outcome
 
 use std::fmt;
 
@@ -18,6 +34,10 @@ use crate::ids::NestId;
 /// quality `1` a suitable one; the non-binary extension of Section 6 uses
 /// the full range.
 ///
+/// Stored as an `f32` (see the module docs for the rounding
+/// semantics); the constructor and accessor speak `f64` so callers never
+/// see the narrow representation except through rounding.
+///
 /// # Examples
 ///
 /// ```
@@ -28,11 +48,14 @@ use crate::ids::NestId;
 ///
 /// let q = Quality::new(0.8)?;
 /// assert!(q.is_good());
-/// assert_eq!(q.value(), 0.8);
+/// // `value()` returns the stored f32 widened back to f64: exact for
+/// // f32-representable inputs, within one f32 ULP otherwise.
+/// assert!((q.value() - 0.8).abs() < 1e-7);
+/// assert_eq!(Quality::new(0.5)?.value(), 0.5);
 /// # Ok::<(), hh_model::ModelError>(())
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
-pub struct Quality(f64);
+pub struct Quality(f32);
 
 impl Quality {
     /// The unsuitable binary quality, `q = 0`.
@@ -42,10 +65,17 @@ impl Quality {
 
     /// The threshold used by [`is_good`](Self::is_good): qualities at or
     /// above `0.5` count as suitable. For binary environments this maps
-    /// `0 ↦ bad` and `1 ↦ good` exactly.
+    /// `0 ↦ bad` and `1 ↦ good` exactly. (`0.5` is a power of two, so the
+    /// threshold is identical in `f32` and `f64`.)
     pub const GOOD_THRESHOLD: f64 = 0.5;
 
     /// Creates a quality from a value in `[0, 1]`.
+    ///
+    /// The value is validated in full `f64` precision and then rounded to
+    /// the nearest `f32` for storage. Rounding never moves a value out of
+    /// `[0, 1]` (the interval endpoints are `f32`-exact) and never flips
+    /// [`is_good`](Self::is_good) for values more than one `f32` ULP from
+    /// the `0.5` threshold.
     ///
     /// # Errors
     ///
@@ -55,20 +85,21 @@ impl Quality {
         if value.is_nan() || !(0.0..=1.0).contains(&value) {
             return Err(ModelError::InvalidQuality { value });
         }
-        Ok(Self(value))
+        Ok(Self(value as f32))
     }
 
-    /// Returns the quality value in `[0, 1]`.
+    /// Returns the quality value in `[0, 1]` (the stored `f32` widened
+    /// losslessly to `f64`).
     #[must_use]
     pub const fn value(self) -> f64 {
-        self.0
+        self.0 as f64
     }
 
     /// Returns `true` if this quality counts as "suitable" in the binary
     /// model (at least [`Self::GOOD_THRESHOLD`]).
     #[must_use]
     pub fn is_good(self) -> bool {
-        self.0 >= Self::GOOD_THRESHOLD
+        self.value() >= Self::GOOD_THRESHOLD
     }
 }
 
@@ -151,6 +182,48 @@ mod tests {
     fn threshold_predicate() {
         assert!(Quality::new(0.5).unwrap().is_good());
         assert!(!Quality::new(0.49).unwrap().is_good());
+    }
+
+    /// The narrowing contract: `f32`-exact model values round-trip
+    /// bit-for-bit through the narrow store, and everything else lands
+    /// within one `f32` ULP of the `f64` input without ever crossing the
+    /// good/bad threshold.
+    #[test]
+    fn f32_round_trip_against_f64_model_values() {
+        // All qualities that actually appear in the registry catalog plus
+        // the interval endpoints; the first group is f32-exact.
+        for exact in [0.0, 0.25, 0.5, 0.75, 1.0] {
+            assert_eq!(
+                Quality::new(exact).unwrap().value(),
+                exact,
+                "f32-exact value {exact} must round-trip bit-for-bit"
+            );
+        }
+        for inexact in [0.45, 0.49, 0.51, 0.7, 0.8, 0.9] {
+            let q = Quality::new(inexact).unwrap();
+            let err = (q.value() - inexact).abs();
+            assert!(
+                err > 0.0 && err < 6e-8,
+                "{inexact} should shift by one f32 ULP, shifted by {err}"
+            );
+            assert_eq!(
+                q.is_good(),
+                inexact >= Quality::GOOD_THRESHOLD,
+                "rounding must not reclassify {inexact}"
+            );
+            assert!((0.0..=1.0).contains(&q.value()));
+        }
+    }
+
+    #[test]
+    fn narrowing_preserves_ordering() {
+        let ladder: Vec<Quality> = [0.0, 0.1, 0.45, 0.5, 0.55, 0.9, 1.0]
+            .into_iter()
+            .map(|v| Quality::new(v).unwrap())
+            .collect();
+        for pair in ladder.windows(2) {
+            assert!(pair[0] < pair[1], "{} !< {}", pair[0], pair[1]);
+        }
     }
 
     #[test]

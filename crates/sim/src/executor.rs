@@ -47,6 +47,7 @@
 use std::sync::Mutex;
 
 use hh_core::colony::AgentSnapshot;
+use hh_core::columns::ColumnsMut;
 use hh_core::{Agent, AnyAgent, CensusDelta, Colony};
 use hh_model::faults::{noop_action, CrashPlan, CrashStyle, DelayPlan};
 use hh_model::recruitment::RecruitCall;
@@ -84,6 +85,27 @@ impl Perturbations {
     pub fn is_none(&self) -> bool {
         self.crash.is_empty() && self.delay.probability() == 0.0
     }
+}
+
+/// Which round engine drives an unperturbed simulation.
+///
+/// Both engines implement the identical round semantics; the registry's
+/// `soa_equivalence` suite pins them bit-identical (equal seeds produce
+/// equal [`RunOutcome`]s and equal round-by-round census tallies) across
+/// the whole scenario catalog.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum EngineKind {
+    /// The scalar oracle: one match-per-ant pass per phase, always
+    /// serial. This is the perturbed path run with empty plans — the
+    /// simplest correct rendering of the round semantics, kept as the
+    /// reference the SoA engine is distribution-identity-tested against.
+    Scalar,
+    /// The struct-of-arrays fast path: fused observe/choose/refresh over
+    /// the colony's flat snapshot columns, batched per-ant RNG draws,
+    /// and optional intra-round chunk parallelism
+    /// ([`Simulation::with_round_threads`]).
+    #[default]
+    Soa,
 }
 
 /// Outcome of a bounded run (see [`Simulation::run_to_convergence`]).
@@ -366,6 +388,9 @@ pub struct Simulation {
     /// `true` when both perturbation plans are empty — enables the fast
     /// step path with no per-ant fault checks.
     unperturbed: bool,
+    /// Which engine steps unperturbed rounds (perturbed rounds always
+    /// run the scalar bookkeeping path).
+    engine: EngineKind,
     /// Fast path: `scratch.next_actions` holds the upcoming round's
     /// pre-chosen actions.
     prechosen: bool,
@@ -429,9 +454,9 @@ impl Simulation {
         }
         let n = env.n();
         let mut live = LiveTally::default();
-        for snapshot in colony.snapshots() {
+        for snapshot in colony.iter_snapshots() {
             if snapshot.honest {
-                live.add(snapshot);
+                live.add(&snapshot);
             }
         }
         let perturbations = perturbations.unwrap_or_else(|| Perturbations::none(n));
@@ -444,6 +469,7 @@ impl Simulation {
             illegal_actions: 0,
             crashed: vec![false; n],
             unperturbed,
+            engine: EngineKind::default(),
             prechosen: false,
             live,
             scratch: RoundScratch::default(),
@@ -475,8 +501,70 @@ impl Simulation {
         self.chunk_bounds = (0..=threads).map(|part| part * n / threads).collect();
         self.worker_scratch
             .resize_with(threads, WorkerScratch::default);
-        self.pool = (threads > 1 && self.unperturbed).then(|| WorkerPool::new(threads - 1));
+        self.pool = (threads > 1 && self.unperturbed && self.engine == EngineKind::Soa)
+            .then(|| WorkerPool::new(threads - 1));
         self
+    }
+
+    /// Overrides the ant-chunk boundaries used by the SoA engine's
+    /// intra-round phases — a **testing hook** for driving the chunked
+    /// code through adversarial splits (width-1 chunks, `n - 1` cuts,
+    /// prime strides) that the even `with_round_threads` division never
+    /// produces. The determinism contract says every valid split is
+    /// bit-identical to serial; `tests/property_runner.rs` enforces it
+    /// through this hook.
+    ///
+    /// `bounds` must be monotonically non-decreasing, start at `0`, end
+    /// at `n`, and describe at most `MAX_ROUND_THREADS` (`16`) chunks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bounds` is not a valid chunk split as described above.
+    #[must_use]
+    pub fn with_chunk_bounds(mut self, bounds: Vec<usize>) -> Self {
+        let n = self.env.n();
+        assert!(
+            bounds.len() >= 2 && bounds.len() <= MAX_ROUND_THREADS + 1,
+            "chunk bounds must describe 1..={MAX_ROUND_THREADS} chunks"
+        );
+        assert_eq!(bounds[0], 0, "chunk bounds must start at 0");
+        assert_eq!(
+            *bounds.last().expect("non-empty"),
+            n,
+            "chunk bounds must end at n"
+        );
+        assert!(
+            bounds.windows(2).all(|w| w[0] <= w[1]),
+            "chunk bounds must be monotonically non-decreasing"
+        );
+        let threads = bounds.len() - 1;
+        self.round_threads = threads;
+        self.chunk_bounds = bounds;
+        self.worker_scratch
+            .resize_with(threads, WorkerScratch::default);
+        self.pool = (threads > 1 && self.unperturbed && self.engine == EngineKind::Soa)
+            .then(|| WorkerPool::new(threads - 1));
+        self
+    }
+
+    /// Selects the engine for unperturbed rounds (default:
+    /// [`EngineKind::Soa`]).
+    ///
+    /// The scalar engine always runs serially, so choosing it releases
+    /// any worker pool; switching back to SoA re-applies the configured
+    /// `round_threads`.
+    #[must_use]
+    pub fn with_engine(mut self, engine: EngineKind) -> Self {
+        self.engine = engine;
+        self.pool = (self.round_threads > 1 && self.unperturbed && engine == EngineKind::Soa)
+            .then(|| WorkerPool::new(self.round_threads - 1));
+        self
+    }
+
+    /// The engine driving unperturbed rounds.
+    #[must_use]
+    pub fn engine(&self) -> EngineKind {
+        self.engine
     }
 
     /// The configured number of intra-round parts.
@@ -533,10 +621,10 @@ impl Simulation {
     /// convergence runs are one code path and report identical
     /// [`RunOutcome`]s.
     fn step_round(&mut self, materialize: bool) -> Result<(), SimError> {
-        if self.unperturbed {
+        if self.unperturbed && self.engine == EngineKind::Soa {
             self.step_round_fast(materialize)
         } else {
-            self.step_round_perturbed(materialize)
+            self.step_round_scalar(materialize)
         }
     }
 
@@ -674,6 +762,9 @@ impl Simulation {
                 scratch.calls.clear();
                 scratch.illegal = 0;
                 let start = chunk.start();
+                // Validate + sandbox first, so the relocation pass below
+                // sees only legal actions and can batch its per-ant RNG
+                // draws over the chunk's flat stream column.
                 for (local, action) in actions.iter_mut().enumerate() {
                     let idx = start + local;
                     let legal = chunk.check_action(idx, action).is_ok();
@@ -682,8 +773,8 @@ impl Simulation {
                         scratch.illegal += 1;
                         *action = chunk.noop_in_place(idx);
                     }
-                    chunk.apply(idx, *action, &mut scratch.counts, &mut scratch.calls);
                 }
+                chunk.apply_all(actions, &mut scratch.counts, &mut scratch.calls);
             });
         }
 
@@ -721,7 +812,7 @@ impl Simulation {
             struct OutcomePart<'a> {
                 chunk: OutcomeChunk<'a>,
                 agents: &'a mut [AnyAgent],
-                snapshots: &'a mut [AgentSnapshot],
+                snapshots: ColumnsMut<'a>,
                 next: &'a mut [Action],
                 outcomes: Option<&'a mut [Outcome]>,
                 scratch: &'a mut WorkerScratch,
@@ -731,7 +822,8 @@ impl Simulation {
             let slots: [Mutex<Option<OutcomePart>>; MAX_ROUND_THREADS] =
                 std::array::from_fn(|_| Mutex::new(None));
             let (full_chunk, ctx) = env.outcome_view();
-            let (mut rest_agents, mut rest_snapshots) = colony.engine_split();
+            let (mut rest_agents, full_columns) = colony.engine_split();
+            let mut rest_snapshots = Some(full_columns);
             let mut rest_chunk = Some(full_chunk);
             let mut rest_next = scratch.next_actions.as_mut_slice();
             let mut rest_outcomes = materialize.then_some(scratch.report.outcomes.as_mut_slice());
@@ -751,8 +843,16 @@ impl Simulation {
                 };
                 let (agents, tail) = std::mem::take(&mut rest_agents).split_at_mut(len);
                 rest_agents = tail;
-                let (snapshots, tail) = std::mem::take(&mut rest_snapshots).split_at_mut(len);
-                rest_snapshots = tail;
+                let snapshots = if part + 1 == threads {
+                    rest_snapshots.take().expect("columns remainder")
+                } else {
+                    let (head, tail) = rest_snapshots
+                        .take()
+                        .expect("columns remainder")
+                        .split_at_mut(len);
+                    rest_snapshots = Some(tail);
+                    head
+                };
                 let (next, tail) = std::mem::take(&mut rest_next).split_at_mut(len);
                 rest_next = tail;
                 let outcomes = rest_outcomes.take().map(|rest| {
@@ -783,7 +883,7 @@ impl Simulation {
                     let OutcomePart {
                         mut chunk,
                         agents,
-                        snapshots,
+                        mut snapshots,
                         next,
                         mut outcomes,
                         scratch,
@@ -801,11 +901,11 @@ impl Simulation {
                         let observed = ran[idx].then_some(&outcome);
                         let (next_action, new) = agent.observe_choose(round, observed);
                         next[local] = next_action;
-                        let old = snapshots[local];
+                        let old = snapshots.get(local);
                         if new != old {
                             scratch.census.record(&old, &new);
                             scratch.tally.apply(&old, &new);
-                            snapshots[local] = new;
+                            snapshots.set(local, new);
                         }
                     }
                 },
@@ -821,11 +921,25 @@ impl Simulation {
         Ok(())
     }
 
-    /// The perturbed path: serial (regardless of `round_threads`), with
-    /// per-ant crash/delay bookkeeping, but built on the same chunk-view
+    /// The scalar path: one match-per-ant pass per phase, always serial
+    /// (regardless of `round_threads`), built on the same chunk-view
     /// primitives — one full-range chunk per phase — and the same
     /// delivering outcome pass as the fast path.
-    fn step_round_perturbed(&mut self, materialize: bool) -> Result<(), SimError> {
+    ///
+    /// This path plays two roles:
+    ///
+    /// * **Perturbed rounds** always run here — the per-ant crash/delay
+    ///   bookkeeping is not worth parallelizing.
+    /// * **[`EngineKind::Scalar`]** routes unperturbed rounds here too
+    ///   (the plans are empty, so every fault check falls through). That
+    ///   makes this loop the *distribution-identity oracle* for the SoA
+    ///   engine: the per-agent call sequence (`choose(r)` then
+    ///   `observe(r)`), the per-ant RNG streams, the serial pairing fed
+    ///   in ant order, and the sandboxing timing are all identical to
+    ///   the fast path's, so equal seeds must produce bit-identical
+    ///   runs. `tests/soa_equivalence.rs` enforces exactly that across
+    ///   the registry catalog.
+    fn step_round_scalar(&mut self, materialize: bool) -> Result<(), SimError> {
         let round = self.env.round() + 1;
         let n = self.env.n();
         let scratch = &mut self.scratch;
@@ -841,7 +955,7 @@ impl Simulation {
                 // First round this ant is gone: freeze it out of the
                 // live tally at its last refreshed state.
                 self.crashed[idx] = true;
-                let snapshot = self.colony.snapshots()[idx];
+                let snapshot = self.colony.snapshot(idx);
                 if snapshot.honest {
                     self.live.remove(&snapshot);
                 }
@@ -1051,7 +1165,7 @@ impl Simulation {
     /// `true` if ant `idx` is honest and not yet crashed — the detector's
     /// membership predicate, answered from cached state.
     pub(crate) fn is_live_honest(&self, idx: usize) -> bool {
-        !self.crashed[idx] && self.colony.snapshots()[idx].honest
+        !self.crashed[idx] && self.colony.snapshot_columns().honest(idx)
     }
 }
 

@@ -56,7 +56,7 @@ pub mod registry;
 
 pub use convergence::{ConvergenceRule, Detector, Solved};
 pub use error::SimError;
-pub use executor::{Perturbations, RoleCensus, RunOutcome, Simulation};
+pub use executor::{EngineKind, Perturbations, RoleCensus, RunOutcome, Simulation};
 pub use metrics::{RoundSnapshot, SeriesRecorder};
 pub use registry::Scenario;
 pub use runner::{run_trials, run_trials_with_workers, solved_rounds, success_rate, TrialOutcome};

@@ -52,7 +52,7 @@ use hh_model::{ColonyConfig, NoiseModel, Quality, QualitySpec};
 
 use crate::convergence::ConvergenceRule;
 use crate::error::SimError;
-use crate::executor::{Perturbations, RunOutcome, Simulation};
+use crate::executor::{EngineKind, Perturbations, RunOutcome, Simulation};
 use crate::runner::{run_trials_with_workers, TrialOutcome};
 use crate::scenario::ScenarioSpec;
 
@@ -487,6 +487,7 @@ pub struct Scenario {
     tags: Vec<Tag>,
     expect_convergence: bool,
     round_threads: usize,
+    engine: EngineKind,
 }
 
 impl Scenario {
@@ -521,6 +522,7 @@ impl Scenario {
             tags: Vec::new(),
             expect_convergence: true,
             round_threads: 1,
+            engine: EngineKind::default(),
         };
         scenario.tags = scenario.derived_tags();
         scenario
@@ -613,6 +615,23 @@ impl Scenario {
     #[must_use]
     pub fn intra_round_threads(&self) -> usize {
         self.round_threads
+    }
+
+    /// Selects the round engine every simulation this scenario builds
+    /// runs with (default [`EngineKind::Soa`]). The scalar engine is the
+    /// distribution-identity oracle — outcomes are bit-identical to the
+    /// SoA engine's for equal seeds, and `tests/soa_equivalence.rs`
+    /// holds the whole catalog to that contract.
+    #[must_use]
+    pub fn engine(mut self, engine: EngineKind) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// The configured round engine.
+    #[must_use]
+    pub fn engine_kind(&self) -> EngineKind {
+        self.engine
     }
 
     /// The scenario's registry name.
@@ -762,6 +781,7 @@ impl Scenario {
         Ok(self
             .spec_for(seed)
             .build_simulation(self.colony_for(seed))?
+            .with_engine(self.engine)
             .with_round_threads(self.round_threads))
     }
 

@@ -64,6 +64,7 @@ pub mod prelude {
         self, Algorithm, ColonyMix, FaultSchedule, QualityProfile, Scenario, Tag,
     };
     pub use hh_sim::{
-        ConvergenceRule, Perturbations, ScenarioSpec, SimError, Simulation, Solved, TrialOutcome,
+        ConvergenceRule, EngineKind, Perturbations, RoundSnapshot, RunOutcome, ScenarioSpec,
+        SeriesRecorder, SimError, Simulation, Solved, TrialOutcome,
     };
 }

@@ -83,6 +83,42 @@ fn large_scenarios_reproduce_bit_identically_across_worker_counts() {
 
 #[test]
 #[ignore = "release-mode CI job; run with -- --ignored"]
+fn large_scenarios_match_the_scalar_oracle() {
+    // The SoA engine against the scalar distribution-identity oracle at
+    // the colony sizes the SoA layout exists for: equal seeds must give
+    // bit-identical outcomes at n >= 1024 (including both n = 4096
+    // entries), serial and chunked alike.
+    const TRIALS: usize = 2;
+    for scenario in large_scenarios() {
+        let oracle = scenario
+            .clone()
+            .engine(EngineKind::Scalar)
+            .run_trials_with_workers(TRIALS, 2)
+            .unwrap_or_else(|e| panic!("{}: scalar trials failed: {e}", scenario.name()));
+        for threads in [1usize, 8] {
+            let soa = scenario
+                .clone()
+                .engine(EngineKind::Soa)
+                .round_threads(threads)
+                .run_trials_with_workers(TRIALS, 2)
+                .unwrap_or_else(|e| {
+                    panic!(
+                        "{}: SoA trials ({threads} round threads) failed: {e}",
+                        scenario.name()
+                    )
+                });
+            assert_eq!(
+                oracle,
+                soa,
+                "{}: SoA engine at {threads} round threads diverged from the scalar oracle",
+                scenario.name()
+            );
+        }
+    }
+}
+
+#[test]
+#[ignore = "release-mode CI job; run with -- --ignored"]
 fn large_scenarios_reproduce_bit_identically_across_round_threads() {
     // Intra-round parallelism at the sizes it exists for: the n >= 1024
     // catalog entries must be bit-identical between the serial engine

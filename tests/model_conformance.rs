@@ -157,10 +157,10 @@ fn noise_affects_observations_not_state() {
     // True state is exact.
     assert_eq!(env.count(NestId::candidate(1)), n);
     // Observations vary around the truth.
-    let counts: Vec<usize> = report.outcomes.iter().map(|o| o.count()).collect();
-    let distinct: std::collections::BTreeSet<usize> = counts.iter().copied().collect();
+    let counts: Vec<u32> = report.outcomes.iter().map(|o| o.count()).collect();
+    let distinct: std::collections::BTreeSet<u32> = counts.iter().copied().collect();
     assert!(distinct.len() > 1, "independent noise draws should differ");
-    let mean = counts.iter().sum::<usize>() as f64 / n as f64;
+    let mean = counts.iter().map(|&c| c as u64).sum::<u64>() as f64 / n as f64;
     assert!(
         (mean - n as f64).abs() / (n as f64) < 0.1,
         "unbiased around truth"

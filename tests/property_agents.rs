@@ -151,6 +151,78 @@ proptest! {
         )?;
     }
 
+    /// The colony's SoA snapshot columns never drift from the agents
+    /// they cache: after **every** executed round — under arbitrary
+    /// interleavings of the engine's entry points (materializing,
+    /// eliding, and multi-round stepping, which exercise the chunked
+    /// phases in all their modes) — each column row reassembles to
+    /// exactly the [`AgentSnapshot`] recomputed from the live agent, for
+    /// honest, idle, and Byzantine colony mixes alike.
+    #[test]
+    fn soa_columns_stay_in_sync_with_agent_snapshots(
+        n in 2usize..48,
+        seed in any::<u64>(),
+        mix_pick in 0usize..3,
+        threads in 1usize..9,
+        ops in proptest::collection::vec(0usize..3, 1..12),
+    ) {
+        use house_hunting::core::{AgentSnapshot, AnyAgent, BadNestRecruiter, OscillatorAnt};
+
+        let mut agents = colony::simple(n, seed);
+        match mix_pick {
+            1 => colony::plant_idlers(&mut agents, n / 4),
+            2 => colony::plant_adversaries(&mut agents, (n / 8).max(1), |slot| {
+                if slot % 2 == 0 {
+                    AnyAgent::from(BadNestRecruiter::new())
+                } else {
+                    AnyAgent::from(OscillatorAnt::new())
+                }
+            }),
+            _ => {}
+        }
+        let mut sim = ScenarioSpec::new(n, QualitySpec::good_prefix(3, 2))
+            .seed(seed)
+            .build_simulation(agents)
+            .unwrap()
+            .with_round_threads(threads);
+        for &op in &ops {
+            match op {
+                0 => { sim.step().unwrap(); }
+                1 => { sim.step_in_place().unwrap(); }
+                _ => {
+                    sim.run_to_convergence(ConvergenceRule::commitment(), 3).unwrap();
+                }
+            }
+            let columns = sim.colony().snapshot_columns();
+            prop_assert_eq!(columns.len(), n);
+            for (idx, agent) in sim.agents().iter().enumerate() {
+                let cached = columns.get(idx);
+                let live = AgentSnapshot::of(agent);
+                prop_assert_eq!(
+                    cached, live,
+                    "after round {}: column row {} drifted from its agent ({})",
+                    sim.round(), idx, agent.label()
+                );
+                // The single-column reads agree with the assembled row.
+                prop_assert_eq!(columns.role(idx), live.role);
+                prop_assert_eq!(columns.committed(idx), live.committed);
+                prop_assert_eq!(columns.honest(idx), live.honest);
+                prop_assert_eq!(columns.is_final(idx), live.is_final);
+                // A committed nest is always one the environment says the
+                // ant knows — the commitment column can only name rows of
+                // the ant's candidate set.
+                if live.honest {
+                    if let Some(nest) = live.committed {
+                        prop_assert!(
+                            sim.env().knows(AntId::new(idx), nest),
+                            "ant {} committed to unknown nest {}", idx, nest
+                        );
+                    }
+                }
+            }
+        }
+    }
+
     /// Same seeds ⇒ identical outcome through the whole stack, including
     /// the perturbed executor.
     #[test]

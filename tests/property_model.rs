@@ -105,16 +105,17 @@ proptest! {
                 let size = env.known_nests(ant).count();
                 prop_assert!(size >= known_sizes[i], "knowledge shrank");
                 known_sizes[i] = size;
-                // Outcome counts match the true state (no noise).
+                // Outcome counts match the true state (no noise); true
+                // counts are bounded by n, so the u32 narrowing is exact.
                 match (actions[i], &report.outcomes[i]) {
                     (Action::Go(nest), Outcome::Go { count, .. }) => {
-                        prop_assert_eq!(*count, env.count(nest));
+                        prop_assert_eq!(*count as usize, env.count(nest));
                     }
                     (Action::Recruit { .. }, Outcome::Recruit { home_count, .. }) => {
-                        prop_assert_eq!(*home_count, env.count(NestId::HOME));
+                        prop_assert_eq!(*home_count as usize, env.count(NestId::HOME));
                     }
                     (Action::Search, Outcome::Search { nest, count, .. }) => {
-                        prop_assert_eq!(*count, env.count(*nest));
+                        prop_assert_eq!(*count as usize, env.count(*nest));
                     }
                     (action, outcome) => {
                         prop_assert!(false, "mismatched {action:?} / {outcome:?}");

@@ -107,4 +107,83 @@ proptest! {
         prop_assert_eq!(serial.env().counts(), chunked_a.env().counts());
         prop_assert_eq!(serial.env().locations(), chunked_a.env().locations());
     }
+
+    /// The SoA `engine_split` survives *adversarial* chunk shapes, not
+    /// just the even division `with_round_threads` produces: width-1
+    /// bands, an `n − 1` cut, prime strides, and arbitrary random
+    /// boundary vectors (including empty chunks) must all merge their
+    /// column bands and census deltas to exactly the serial execution's
+    /// state, round for round.
+    #[test]
+    fn adversarial_chunk_bounds_never_change_round_results(
+        n in 4usize..96,
+        k in 2usize..5,
+        seed in any::<u64>(),
+        rounds in 1usize..24,
+        cuts in proptest::collection::vec(any::<usize>(), 0..15),
+    ) {
+        let build = || -> Result<Simulation, SimError> {
+            ScenarioSpec::new(n, QualitySpec::good_prefix(k, 1 + k / 2))
+                .seed(seed)
+                .build_simulation(colony::simple(n, seed))
+        };
+
+        // Adversarial fixed shapes plus one randomized boundary vector.
+        let mut prime = vec![0];
+        let mut at = 0;
+        while at + 7 < n && prime.len() < 15 {
+            at += 7;
+            prime.push(at);
+        }
+        prime.push(n);
+        let mut random = vec![0];
+        random.extend(cuts.iter().map(|cut| cut % (n + 1)));
+        random.push(n);
+        random.sort_unstable();
+        let bounds_sets: Vec<Vec<usize>> = vec![
+            vec![0, 1, n],          // width-1 head chunk
+            vec![0, n - 1, n],      // n−1 cut (width-1 tail chunk)
+            prime,                  // prime stride
+            random,                 // arbitrary, possibly empty chunks
+        ];
+
+        let mut serial = build().unwrap();
+        let mut chunked: Vec<(Vec<usize>, Simulation)> = bounds_sets
+            .into_iter()
+            .map(|bounds| (bounds.clone(), build().unwrap().with_chunk_bounds(bounds)))
+            .collect();
+        for round in 0..rounds {
+            let reference = serial.step().unwrap();
+            for (bounds, sim) in &mut chunked {
+                let report = sim.step().unwrap();
+                prop_assert_eq!(
+                    &reference, &report,
+                    "round {}: chunk bounds {:?} diverged from serial", round, bounds
+                );
+            }
+        }
+        for (bounds, sim) in &chunked {
+            prop_assert_eq!(
+                serial.env().counts(), sim.env().counts(),
+                "chunk bounds {:?}: final populations diverged", bounds
+            );
+            prop_assert_eq!(
+                serial.env().locations(), sim.env().locations(),
+                "chunk bounds {:?}: final locations diverged", bounds
+            );
+            // The census merged from per-band deltas matches the serial
+            // engine's — the SoA columns agree row for row.
+            prop_assert_eq!(
+                serial.role_census(), sim.role_census(),
+                "chunk bounds {:?}: role census diverged", bounds
+            );
+            for idx in 0..n {
+                prop_assert_eq!(
+                    serial.colony().snapshot(idx),
+                    sim.colony().snapshot(idx),
+                    "chunk bounds {:?}: column row {} diverged", bounds, idx
+                );
+            }
+        }
+    }
 }
