@@ -73,6 +73,7 @@ pub mod byzantine;
 pub mod colony;
 pub mod columns;
 pub mod problem;
+pub mod table;
 
 #[cfg(test)]
 pub(crate) mod testutil;
@@ -88,3 +89,4 @@ pub use optimal::OptimalAnt;
 pub use quality::QualityAnt;
 pub use simple::{LinearPolicy, RecruitPolicy, SimpleAnt, UrnAnt, UrnOptions};
 pub use spreader::{SpreadStrategy, SpreaderAnt};
+pub use table::{AgentColumns, AgentColumnsMut, UrnColumns, UrnColumnsMut};

@@ -57,8 +57,17 @@ pub trait RecruitPolicy: Send {
 pub struct LinearPolicy;
 
 impl RecruitPolicy for LinearPolicy {
+    /// `count / n`, sanitized at the rule boundary (mirroring the quorum
+    /// rule's sanitization in `hh-sim`): a degenerate `n = 0` colony
+    /// yields probability `0.0` — not the NaN a raw division would
+    /// produce — and `count > n` (expressible through the trait, even
+    /// though the environment never reports it) clamps to `1.0` instead
+    /// of leaking `p > 1` and relying on the call site to launder it.
     fn recruit_probability(&self, count: usize, n: usize, _round: u64) -> f64 {
-        count as f64 / n as f64
+        if n == 0 {
+            return 0.0;
+        }
+        (count as f64 / n as f64).min(1.0)
     }
 
     fn label(&self) -> &'static str {
@@ -95,7 +104,7 @@ impl UrnOptions {
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum State {
+pub(crate) enum State {
     /// Pre-search.
     Searching,
     /// Committed to a (believed) good nest; recruiting at even rounds.
@@ -104,6 +113,124 @@ enum State {
     Passive,
     /// Parked at the winning nest (settlement option).
     Settled,
+}
+
+/// Maps an urn state to its harness-observable [`AgentRole`].
+pub(crate) fn urn_role(state: State) -> AgentRole {
+    match state {
+        State::Searching => AgentRole::Searching,
+        State::Active => AgentRole::Active,
+        State::Passive => AgentRole::Passive,
+        State::Settled => AgentRole::Final,
+    }
+}
+
+/// The urn agents' commitment convention: [`NestId::HOME`] stands in for
+/// "no commitment" (ants never commit to the home nest).
+pub(crate) fn urn_committed(nest: NestId) -> Option<NestId> {
+    if nest.is_home() {
+        None
+    } else {
+        Some(nest)
+    }
+}
+
+/// A by-reference view of one urn ant's mutable state — the **single**
+/// implementation of the Algorithm 3 state machine, shared by the
+/// array-of-structs agent ([`UrnAnt`], whose [`Agent`] impl borrows its
+/// own fields into this view) and the struct-of-arrays agent-state table
+/// (`crate::table`, which borrows one row of its parallel columns).
+/// Bit-identity between the two layouts holds by construction: both call
+/// exactly this code over the same field values, including the same
+/// per-ant RNG state.
+pub(crate) struct UrnRefMut<'a, P> {
+    pub rng: &'a mut SmallRng,
+    pub count: &'a mut u32,
+    pub nest: &'a mut NestId,
+    pub state: &'a mut State,
+    pub pending_assessment: &'a mut bool,
+    pub n: u32,
+    pub policy: &'a P,
+    pub options: UrnOptions,
+}
+
+impl<P: RecruitPolicy> UrnRefMut<'_, P> {
+    pub(crate) fn choose(&mut self, round: u64) -> Action {
+        if round <= 1 {
+            return Action::Search;
+        }
+        let Some(nest) = urn_committed(*self.nest) else {
+            // Only reachable if the round-1 observation was lost to a
+            // perturbation: search again, the one always-legal call.
+            return Action::Search;
+        };
+        match *self.state {
+            State::Searching => Action::Search,
+            State::Settled => Action::Go(nest),
+            State::Active | State::Passive => {
+                if round.is_multiple_of(2) {
+                    // Recruitment round at home.
+                    let active = *self.state == State::Active && {
+                        let p = self
+                            .policy
+                            .recruit_probability(*self.count as usize, self.n as usize, round)
+                            .clamp(0.0, 1.0);
+                        p > 0.0 && self.rng.random_bool(p)
+                    };
+                    Action::Recruit { active, nest }
+                } else {
+                    // Assessment round at the nest.
+                    Action::Go(nest)
+                }
+            }
+        }
+    }
+
+    pub(crate) fn observe(&mut self, outcome: &Outcome) {
+        match outcome {
+            Outcome::Search {
+                nest,
+                quality,
+                count,
+            } => {
+                *self.nest = *nest;
+                *self.count = *count;
+                *self.state = if quality.is_good() {
+                    State::Active
+                } else {
+                    State::Passive
+                };
+            }
+            Outcome::Recruit { nest, .. } => {
+                if *nest != *self.nest {
+                    // Recruited to a different nest: commit and (re)activate
+                    // (Algorithm 3 lines 7 and 11–13).
+                    *self.nest = *nest;
+                    *self.state = State::Active;
+                    *self.pending_assessment = self.options.reassess_on_arrival;
+                }
+            }
+            Outcome::Go { count, quality } => {
+                *self.count = *count;
+                if *self.pending_assessment {
+                    *self.pending_assessment = false;
+                    if let Some(q) = quality {
+                        if !q.is_good() {
+                            // Hardening: carried to a bad nest — refuse to
+                            // amplify it.
+                            *self.state = State::Passive;
+                        }
+                    }
+                }
+                if self.options.settle_at_full_count
+                    && *self.state == State::Active
+                    && *count >= self.n
+                {
+                    *self.state = State::Settled;
+                }
+            }
+        }
+    }
 }
 
 /// The urn-style agent skeleton shared by the simple algorithm and its
@@ -124,16 +251,18 @@ pub struct UrnAnt<P> {
     // Field widths are deliberately compact: colonies stream every agent
     // through choose/observe every round, so agent size is engine memory
     // bandwidth. `NestId::HOME` stands in for "no commitment" (ants never
-    // commit to the home nest).
-    rng: SmallRng,
-    n: u32,
-    count: u32,
-    nest: NestId,
-    policy: P,
-    options: UrnOptions,
-    state: State,
+    // commit to the home nest). Fields are pub(crate) so `crate::table`
+    // can gather them into (and scatter them back out of) parallel
+    // columns without widening the public API.
+    pub(crate) rng: SmallRng,
+    pub(crate) n: u32,
+    pub(crate) count: u32,
+    pub(crate) nest: NestId,
+    pub(crate) policy: P,
+    pub(crate) options: UrnOptions,
+    pub(crate) state: State,
     /// Verify the new nest's quality at the next assessment round.
-    pending_assessment: bool,
+    pub(crate) pending_assessment: bool,
 }
 
 impl<P: RecruitPolicy> UrnAnt<P> {
@@ -166,17 +295,22 @@ impl<P: RecruitPolicy> UrnAnt<P> {
     }
 
     fn committed(&self) -> Option<NestId> {
-        if self.nest.is_home() {
-            None
-        } else {
-            Some(self.nest)
-        }
+        urn_committed(self.nest)
     }
 
-    /// Stores a count observation. Outcomes already narrow counts into
-    /// `u32` (saturating), so this is a plain move.
-    fn remember_count(&mut self, count: u32) {
-        self.count = count;
+    /// Borrows every mutable field into the shared [`UrnRefMut`] state
+    /// machine; the [`Agent`] impl is a thin shim over this view.
+    pub(crate) fn as_ref_mut(&mut self) -> UrnRefMut<'_, P> {
+        UrnRefMut {
+            rng: &mut self.rng,
+            count: &mut self.count,
+            nest: &mut self.nest,
+            state: &mut self.state,
+            pending_assessment: &mut self.pending_assessment,
+            n: self.n,
+            policy: &self.policy,
+            options: self.options,
+        }
     }
 }
 
@@ -199,81 +333,12 @@ impl SimpleAnt {
 
 impl<P: RecruitPolicy> Agent for UrnAnt<P> {
     fn choose(&mut self, round: u64) -> Action {
-        if round <= 1 {
-            return Action::Search;
-        }
-        let Some(nest) = self.committed() else {
-            // Only reachable if the round-1 observation was lost to a
-            // perturbation: search again, the one always-legal call.
-            return Action::Search;
-        };
-        match self.state {
-            State::Searching => Action::Search,
-            State::Settled => Action::Go(nest),
-            State::Active | State::Passive => {
-                if round.is_multiple_of(2) {
-                    // Recruitment round at home.
-                    let active = self.state == State::Active && {
-                        let p = self
-                            .policy
-                            .recruit_probability(self.count as usize, self.n as usize, round)
-                            .clamp(0.0, 1.0);
-                        p > 0.0 && self.rng.random_bool(p)
-                    };
-                    Action::Recruit { active, nest }
-                } else {
-                    // Assessment round at the nest.
-                    Action::Go(nest)
-                }
-            }
-        }
+        self.as_ref_mut().choose(round)
     }
 
     fn observe(&mut self, round: u64, outcome: &Outcome) {
-        match outcome {
-            Outcome::Search {
-                nest,
-                quality,
-                count,
-            } => {
-                self.nest = *nest;
-                self.remember_count(*count);
-                self.state = if quality.is_good() {
-                    State::Active
-                } else {
-                    State::Passive
-                };
-            }
-            Outcome::Recruit { nest, .. } => {
-                if *nest != self.nest {
-                    // Recruited to a different nest: commit and (re)activate
-                    // (Algorithm 3 lines 7 and 11–13).
-                    self.nest = *nest;
-                    self.state = State::Active;
-                    self.pending_assessment = self.options.reassess_on_arrival;
-                }
-            }
-            Outcome::Go { count, quality } => {
-                self.remember_count(*count);
-                if self.pending_assessment {
-                    self.pending_assessment = false;
-                    if let Some(q) = quality {
-                        if !q.is_good() {
-                            // Hardening: carried to a bad nest — refuse to
-                            // amplify it.
-                            self.state = State::Passive;
-                        }
-                    }
-                }
-                if self.options.settle_at_full_count
-                    && self.state == State::Active
-                    && *count >= self.n
-                {
-                    self.state = State::Settled;
-                }
-            }
-        }
         let _ = round;
+        self.as_ref_mut().observe(outcome);
     }
 
     fn committed_nest(&self) -> Option<NestId> {
@@ -289,12 +354,7 @@ impl<P: RecruitPolicy> Agent for UrnAnt<P> {
     }
 
     fn role(&self) -> AgentRole {
-        match self.state {
-            State::Searching => AgentRole::Searching,
-            State::Active => AgentRole::Active,
-            State::Passive => AgentRole::Passive,
-            State::Settled => AgentRole::Final,
-        }
+        urn_role(self.state)
     }
 }
 
@@ -305,6 +365,24 @@ mod tests {
         boxed_colony, drive_to_consensus, make_env, make_env_revealing, step_once,
     };
     use hh_model::{Quality, QualitySpec};
+
+    /// S1 regression (pre-fix: `0 / 0` returned NaN, which the call-site
+    /// `clamp` passed straight through).
+    #[test]
+    fn linear_policy_zero_n_yields_zero_not_nan() {
+        let p = LinearPolicy.recruit_probability(0, 0, 2);
+        assert_eq!(p, 0.0, "n = 0 must sanitize to 0.0, got {p}");
+        let p = LinearPolicy.recruit_probability(7, 0, 2);
+        assert_eq!(p, 0.0, "count > 0 with n = 0 must still be 0.0, got {p}");
+    }
+
+    /// S1 regression (pre-fix: `15 / 10` returned 1.5 and relied on the
+    /// call site to launder it back into `[0, 1]`).
+    #[test]
+    fn linear_policy_count_above_n_clamps_to_one() {
+        let p = LinearPolicy.recruit_probability(15, 10, 2);
+        assert_eq!(p, 1.0, "count > n must clamp to 1.0 at the rule, got {p}");
+    }
 
     #[test]
     fn searches_first() {

@@ -23,15 +23,21 @@ pub const ENGINE_PREFIXES: [&str; 3] = ["crates/model/src/", "crates/core/src/",
 pub const CHUNK_PHASE_FILES: [&str; 1] = ["crates/sim/src/executor.rs"];
 
 /// Types whose `impl` blocks are chunk-phase code wherever they live:
-/// the per-chunk round views workers iterate in parallel, plus the SoA
-/// snapshot-column bands the executor splits across workers (their
-/// impls hold no RNG today, but any draw added to them would run under
-/// the pool and must come from a per-ant stream).
-pub const CHUNK_PHASE_TYPES: [&str; 4] = [
+/// the per-chunk round views workers iterate in parallel, the SoA
+/// snapshot-column bands the executor splits across workers, and the
+/// per-algorithm agent-state tables (`hh_core::table`) whose bands run
+/// the batched choose/observe passes under the pool. Their impls must
+/// draw only from per-ant streams (the agent tables carry one `SmallRng`
+/// per row precisely so chunk splits cannot reorder draws).
+pub const CHUNK_PHASE_TYPES: [&str; 8] = [
     "RelocationChunk",
     "OutcomeChunk",
     "ColumnsMut",
     "SnapshotColumns",
+    "AgentColumns",
+    "AgentColumnsMut",
+    "UrnColumns",
+    "UrnColumnsMut",
 ];
 
 /// The only `StreamKind` variants chunk-phase code may draw from: one

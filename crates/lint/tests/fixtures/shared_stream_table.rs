@@ -1,0 +1,21 @@
+// Fixture: a shared-stream draw inside an agent-state-table impl. The
+// `UrnColumnsMut` band below runs the batched choose/observe passes
+// under the worker pool, so its `StreamKind::Noise` draw (line 13) is
+// order-dependent and must be flagged; the per-row draw (line 14) and
+// the gather helper's shared draw outside any table impl (line 20)
+// must not.
+pub struct UrnColumnsMut<'a> {
+    pub rows: &'a [u64],
+}
+
+impl<'a> UrnColumnsMut<'a> {
+    pub fn choose(&mut self, base: u64, row: u64) -> (u64, u64) {
+        let shared = derive_seed(base, StreamKind::Noise, 0);
+        let per_row = derive_seed(base, StreamKind::AgentNoise, row);
+        (shared, per_row)
+    }
+}
+
+pub fn gather(base: u64) -> u64 {
+    derive_seed(base, StreamKind::Noise, 0)
+}

@@ -93,6 +93,17 @@ fn every_shared_stream_is_flagged_in_chunk_phase_files() {
 }
 
 #[test]
+fn shared_stream_draws_in_agent_table_impls_are_flagged() {
+    // The per-algorithm agent-state tables (`hh_core::table`) are
+    // chunk-phase types: their bands run the batched choose/observe
+    // passes under the worker pool, so a shared-stream draw inside one
+    // of their impls is order-dependent even though the file lives in
+    // hh-core, outside `CHUNK_PHASE_FILES`.
+    let diags = lint_fixture("shared_stream_table.rs", "crates/core/src/table.rs");
+    assert_eq!(diags, vec![("shared-stream".to_string(), 13)]);
+}
+
+#[test]
 fn unlisted_ordering_is_flagged_despite_justification() {
     let diags = lint_fixture("unlisted_ordering.rs", "crates/sim/src/pool.rs");
     assert_eq!(diags, vec![("atomic-ordering".to_string(), 8)]);

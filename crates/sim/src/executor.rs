@@ -48,7 +48,10 @@ use std::sync::Mutex;
 
 use hh_core::colony::AgentSnapshot;
 use hh_core::columns::ColumnsMut;
-use hh_core::{Agent, AnyAgent, CensusDelta, Colony};
+use hh_core::{
+    Agent, AgentColumns, AgentColumnsMut, AnyAgent, CensusDelta, Colony, RecruitPolicy,
+    UrnColumnsMut,
+};
 use hh_model::faults::{noop_action, CrashPlan, CrashStyle, DelayPlan};
 use hh_model::recruitment::RecruitCall;
 use hh_model::{
@@ -405,6 +408,18 @@ pub struct Simulation {
     worker_scratch: Vec<WorkerScratch>,
     /// The persistent pool (`round_threads > 1`, unperturbed only).
     pool: Option<WorkerPool>,
+    /// The colony is homogeneous modulo idlers (checked once at
+    /// construction): unperturbed SoA convergence runs batch it through
+    /// per-algorithm state columns. See
+    /// [`uses_agent_columns`](Simulation::uses_agent_columns).
+    table_eligible: bool,
+    /// The gathered agent-state table, kept across runs so repeated
+    /// short convergence calls (the benches' run-one-round pattern)
+    /// don't pay a full gather per call.
+    table: Option<AgentColumns>,
+    /// `true` while `table` mirrors the agent vector bit-exactly; any
+    /// round stepped on the `AnyAgent` path invalidates it.
+    table_synced: bool,
 }
 
 impl std::fmt::Debug for Simulation {
@@ -461,6 +476,7 @@ impl Simulation {
         }
         let perturbations = perturbations.unwrap_or_else(|| Perturbations::none(n));
         let unperturbed = perturbations.is_none();
+        let table_eligible = AgentColumns::eligible(&colony);
         Ok(Self {
             env,
             colony,
@@ -477,6 +493,9 @@ impl Simulation {
             chunk_bounds: vec![0, n],
             worker_scratch: vec![WorkerScratch::default()],
             pool: None,
+            table_eligible,
+            table: None,
+            table_synced: false,
         })
     }
 
@@ -491,8 +510,12 @@ impl Simulation {
     /// and per-worker deltas merge in chunk order. The registry
     /// conformance suite enforces this across the whole catalog.
     ///
-    /// Perturbed simulations keep executing serially regardless of the
-    /// setting; the contract holds trivially there.
+    /// **Perturbed simulations ignore this setting at execution time**:
+    /// their rounds always run serially (the per-ant crash/delay
+    /// bookkeeping is not worth parallelizing), no pool is spawned, and
+    /// the outcomes are bit-identical to the serial run by construction
+    /// — the setting is remembered but inert. The same applies to
+    /// `Scenario::round_threads` in the registry.
     #[must_use]
     pub fn with_round_threads(mut self, threads: usize) -> Self {
         let threads = threads.clamp(1, MAX_ROUND_THREADS);
@@ -501,8 +524,7 @@ impl Simulation {
         self.chunk_bounds = (0..=threads).map(|part| part * n / threads).collect();
         self.worker_scratch
             .resize_with(threads, WorkerScratch::default);
-        self.pool = (threads > 1 && self.unperturbed && self.engine == EngineKind::Soa)
-            .then(|| WorkerPool::new(threads - 1));
+        self.rebuild_pool();
         self
     }
 
@@ -542,8 +564,7 @@ impl Simulation {
         self.chunk_bounds = bounds;
         self.worker_scratch
             .resize_with(threads, WorkerScratch::default);
-        self.pool = (threads > 1 && self.unperturbed && self.engine == EngineKind::Soa)
-            .then(|| WorkerPool::new(threads - 1));
+        self.rebuild_pool();
         self
     }
 
@@ -552,19 +573,58 @@ impl Simulation {
     ///
     /// The scalar engine always runs serially, so choosing it releases
     /// any worker pool; switching back to SoA re-applies the configured
-    /// `round_threads`.
+    /// `round_threads`. The builders commute: any order of
+    /// `with_round_threads` / `with_engine` / `with_chunk_bounds` calls
+    /// ends at the same configuration, thread count included (pinned by
+    /// `builder_order_never_drops_threads`).
     #[must_use]
     pub fn with_engine(mut self, engine: EngineKind) -> Self {
         self.engine = engine;
-        self.pool = (self.round_threads > 1 && self.unperturbed && engine == EngineKind::Soa)
-            .then(|| WorkerPool::new(self.round_threads - 1));
+        self.rebuild_pool();
         self
+    }
+
+    /// Reconciles the worker pool with the current configuration — the
+    /// single pool gate shared by every builder, so no call order can
+    /// drop the requested thread count. An already-matching pool is kept
+    /// (no thread churn when e.g. toggling the engine away and back).
+    fn rebuild_pool(&mut self) {
+        let wanted = (self.round_threads > 1 && self.unperturbed && self.engine == EngineKind::Soa)
+            .then_some(self.round_threads - 1);
+        match (wanted, &self.pool) {
+            (Some(workers), Some(pool)) if pool.workers() == workers => {}
+            (Some(workers), _) => self.pool = Some(WorkerPool::new(workers)),
+            (None, _) => self.pool = None,
+        }
     }
 
     /// The engine driving unperturbed rounds.
     #[must_use]
     pub fn engine(&self) -> EngineKind {
         self.engine
+    }
+
+    /// Minimum `max_rounds` at which
+    /// [`run_to_convergence`](Self::run_to_convergence) batches rounds
+    /// through the agent-state table. Gathering the colony into columns
+    /// and scattering it back each cost a full pass over the agent
+    /// vector — measured at roughly a tenth of one round-time apiece at
+    /// n ≥ 4096 — so runs shorter than this would pay the round trip as
+    /// pure overhead and stay on the `AnyAgent` path instead.
+    pub const TABLE_MIN_ROUNDS: u64 = 4;
+
+    /// `true` if [`run_to_convergence`](Self::run_to_convergence) will
+    /// batch rounds through per-algorithm agent-state columns
+    /// ([`hh_core::AgentColumns`]) once `max_rounds` reaches
+    /// [`TABLE_MIN_ROUNDS`](Self::TABLE_MIN_ROUNDS): the colony is
+    /// homogeneous modulo idlers, the simulation is unperturbed, and the
+    /// SoA engine is selected. Heterogeneous mixes, `Custom` agents,
+    /// non-urn algorithms, perturbed runs, and the scalar oracle all
+    /// take the `AnyAgent` path instead — bit-identically, by the
+    /// engine contract.
+    #[must_use]
+    pub fn uses_agent_columns(&self) -> bool {
+        self.table_eligible && self.unperturbed && self.engine == EngineKind::Soa
     }
 
     /// The configured number of intra-round parts.
@@ -653,12 +713,12 @@ impl Simulation {
     /// skipped ant must not advance its state machine — cannot occur
     /// here by definition.
     fn step_round_fast(&mut self, materialize: bool) -> Result<(), SimError> {
+        // This path mutates the agent vector directly, so any cached
+        // agent-state table stops mirroring it.
+        self.table_synced = false;
         let n = self.env.n();
-        let k1 = self.env.k() + 1;
         let round = self.env.round() + 1;
-        let threads = self.round_threads;
         let prechosen = std::mem::replace(&mut self.prechosen, true);
-
         let Self {
             env,
             colony,
@@ -670,255 +730,140 @@ impl Simulation {
             illegal_actions,
             ..
         } = self;
-
-        let bounds = chunk_bounds.as_slice();
-
-        // Round 1 only: the dedicated choose pass that primes the
-        // pre-chosen pipeline.
         if !prechosen {
             scratch.next_actions.clear();
             scratch.next_actions.resize(n, Action::Search);
-            struct ChoosePart<'a> {
-                agents: &'a mut [AnyAgent],
-                next: &'a mut [Action],
-            }
-            let slots: [Mutex<Option<ChoosePart>>; MAX_ROUND_THREADS] =
-                std::array::from_fn(|_| Mutex::new(None));
-            let (mut rest_agents, _) = colony.engine_split();
-            let mut rest_next = scratch.next_actions.as_mut_slice();
-            for (part, slot) in slots.iter().take(threads).enumerate() {
-                let len = bounds[part + 1] - bounds[part];
-                let (agents, tail) = std::mem::take(&mut rest_agents).split_at_mut(len);
-                rest_agents = tail;
-                let (next, tail) = std::mem::take(&mut rest_next).split_at_mut(len);
-                rest_next = tail;
-                *slot.lock().expect("slot") = Some(ChoosePart { agents, next });
-            }
-            scatter(pool.as_mut(), threads, &slots, |_, part: ChoosePart<'_>| {
-                for (agent, next) in part.agents.iter_mut().zip(part.next) {
-                    *next = agent.choose(round);
-                }
-            });
-        }
-        std::mem::swap(&mut scratch.actions, &mut scratch.next_actions);
-        // Both buffers are written slot-by-slot for every ant (phase 1
-        // fills `ran`, phase 2 fills `next_actions`), so at steady state
-        // they only need their length established — refilling defaults
-        // every round would be two redundant full-colony write passes.
-        if scratch.next_actions.len() != n {
-            scratch.next_actions.resize(n, Action::Search);
-        }
-        if scratch.ran.len() != n {
-            scratch.ran.resize(n, true);
-        }
-
-        // ── Phase 1 (chunked): validate + sandbox, relocate, tally
-        // populations, collect recruit calls.
-        {
-            struct RelocPart<'a> {
-                chunk: RelocationChunk<'a>,
-                actions: &'a mut [Action],
-                ran: &'a mut [bool],
-                scratch: &'a mut WorkerScratch,
-            }
-            let slots: [Mutex<Option<RelocPart>>; MAX_ROUND_THREADS] =
-                std::array::from_fn(|_| Mutex::new(None));
-            let mut rest_chunk = Some(env.relocation_view());
-            let mut rest_actions = scratch.actions.as_mut_slice();
-            let mut rest_ran = scratch.ran.as_mut_slice();
-            let mut scratch_iter = worker_scratch.iter_mut();
-            for (part, slot) in slots.iter().take(threads).enumerate() {
-                let len = bounds[part + 1] - bounds[part];
-                let chunk = if part + 1 == threads {
-                    rest_chunk.take().expect("chunk remainder")
-                } else {
-                    let (head, tail) = rest_chunk
-                        .take()
-                        .expect("chunk remainder")
-                        .split_at(bounds[part + 1]);
-                    rest_chunk = Some(tail);
-                    head
-                };
-                let (actions, tail) = std::mem::take(&mut rest_actions).split_at_mut(len);
-                rest_actions = tail;
-                let (ran, tail) = std::mem::take(&mut rest_ran).split_at_mut(len);
-                rest_ran = tail;
-                *slot.lock().expect("slot") = Some(RelocPart {
-                    chunk,
-                    actions,
-                    ran,
-                    scratch: scratch_iter.next().expect("worker scratch"),
-                });
-            }
-            scatter(pool.as_mut(), threads, &slots, |_, part: RelocPart<'_>| {
-                let RelocPart {
-                    mut chunk,
-                    actions,
-                    ran,
-                    scratch,
-                } = part;
-                scratch.counts.clear();
-                scratch.counts.resize(k1, 0);
-                scratch.calls.clear();
-                scratch.illegal = 0;
-                let start = chunk.start();
-                // Validate + sandbox first, so the relocation pass below
-                // sees only legal actions and can batch its per-ant RNG
-                // draws over the chunk's flat stream column.
-                for (local, action) in actions.iter_mut().enumerate() {
-                    let idx = start + local;
-                    let legal = chunk.check_action(idx, action).is_ok();
-                    ran[local] = legal;
-                    if !legal {
-                        scratch.illegal += 1;
-                        *action = chunk.noop_in_place(idx);
-                    }
-                }
-                chunk.apply_all(actions, &mut scratch.counts, &mut scratch.calls);
-            });
-        }
-
-        // ── Serial middle: merge the per-chunk tallies and calls (chunk
-        // order reproduces ant order), then run Algorithm 1.
-        for ws in worker_scratch.iter() {
-            *illegal_actions += ws.illegal;
-        }
-        env.merge_counts(worker_scratch.iter().map(|ws| ws.counts.as_slice()));
-        let calls = &mut scratch.report.recruitment.calls;
-        calls.clear();
-        for ws in worker_scratch.iter() {
-            calls.extend_from_slice(&ws.calls);
-        }
-        env.pair_round(calls);
-
-        // ── Phase 2 (chunked): the single agent pass — compute the
-        // outcome, observe round `round`, choose round `round + 1`,
-        // refresh the (cache-hot) snapshot — one dispatch per ant
-        // (`AnyAgent::observe_choose`) — and accumulate census/tally
-        // deltas per worker. In the eliding mode each outcome lives only
-        // for the instant its agent consumes it; materializing adds a
-        // copy into the report's persistent buffer.
-        scratch.report.outcomes.clear();
-        if materialize {
-            scratch.report.outcomes.resize(
-                n,
-                Outcome::Go {
-                    count: 0,
-                    quality: None,
-                },
-            );
-        }
-        {
-            struct OutcomePart<'a> {
-                chunk: OutcomeChunk<'a>,
-                agents: &'a mut [AnyAgent],
-                snapshots: ColumnsMut<'a>,
-                next: &'a mut [Action],
-                outcomes: Option<&'a mut [Outcome]>,
-                scratch: &'a mut WorkerScratch,
-                /// This chunk's first recruiter rank (call cursor start).
-                cursor: usize,
-            }
-            let slots: [Mutex<Option<OutcomePart>>; MAX_ROUND_THREADS] =
-                std::array::from_fn(|_| Mutex::new(None));
-            let (full_chunk, ctx) = env.outcome_view();
-            let (mut rest_agents, full_columns) = colony.engine_split();
-            let mut rest_snapshots = Some(full_columns);
-            let mut rest_chunk = Some(full_chunk);
-            let mut rest_next = scratch.next_actions.as_mut_slice();
-            let mut rest_outcomes = materialize.then_some(scratch.report.outcomes.as_mut_slice());
-            let mut scratch_iter = worker_scratch.iter_mut();
-            let mut cursor = 0usize;
-            for (part, slot) in slots.iter().take(threads).enumerate() {
-                let len = bounds[part + 1] - bounds[part];
-                let chunk = if part + 1 == threads {
-                    rest_chunk.take().expect("chunk remainder")
-                } else {
-                    let (head, tail) = rest_chunk
-                        .take()
-                        .expect("chunk remainder")
-                        .split_at(bounds[part + 1]);
-                    rest_chunk = Some(tail);
-                    head
-                };
-                let (agents, tail) = std::mem::take(&mut rest_agents).split_at_mut(len);
-                rest_agents = tail;
-                let snapshots = if part + 1 == threads {
-                    rest_snapshots.take().expect("columns remainder")
-                } else {
-                    let (head, tail) = rest_snapshots
-                        .take()
-                        .expect("columns remainder")
-                        .split_at_mut(len);
-                    rest_snapshots = Some(tail);
-                    head
-                };
-                let (next, tail) = std::mem::take(&mut rest_next).split_at_mut(len);
-                rest_next = tail;
-                let outcomes = rest_outcomes.take().map(|rest| {
-                    let (head, tail) = rest.split_at_mut(len);
-                    rest_outcomes = Some(tail);
-                    head
-                });
-                let ws = scratch_iter.next().expect("worker scratch");
-                let part_cursor = cursor;
-                cursor += ws.calls.len();
-                *slot.lock().expect("slot") = Some(OutcomePart {
-                    chunk,
-                    agents,
-                    snapshots,
-                    next,
-                    outcomes,
-                    scratch: ws,
-                    cursor: part_cursor,
-                });
-            }
-            let actions = scratch.actions.as_slice();
-            let ran = scratch.ran.as_slice();
-            scatter(
+            let (agents, _) = colony.engine_split();
+            prime_choose_pass(
+                agents,
+                &mut scratch.next_actions,
                 pool.as_mut(),
-                threads,
-                &slots,
-                |_, part: OutcomePart<'_>| {
-                    let OutcomePart {
-                        mut chunk,
-                        agents,
-                        mut snapshots,
-                        next,
-                        mut outcomes,
-                        scratch,
-                        mut cursor,
-                    } = part;
-                    scratch.census.clear();
-                    scratch.tally.clear();
-                    let start = chunk.start();
-                    for (local, agent) in agents.iter_mut().enumerate() {
-                        let idx = start + local;
-                        let outcome = chunk.outcome(&ctx, idx, actions[idx], &mut cursor);
-                        if let Some(out) = outcomes.as_deref_mut() {
-                            out[local] = outcome;
-                        }
-                        let observed = ran[idx].then_some(&outcome);
-                        let (next_action, new) = agent.observe_choose(round, observed);
-                        next[local] = next_action;
-                        let old = snapshots.get(local);
-                        if new != old {
-                            scratch.census.record(&old, &new);
-                            scratch.tally.apply(&old, &new);
-                            snapshots.set(local, new);
-                        }
-                    }
-                },
+                chunk_bounds,
+                round,
             );
         }
-
-        // ── Round barrier: fold the per-chunk deltas, in chunk order.
-        for ws in worker_scratch.iter() {
-            colony.apply_census_delta(&ws.census);
-            live.apply_delta(&ws.tally);
-        }
-        env.export_pairs(&mut scratch.report);
+        let (agents, snapshots) = colony.engine_split();
+        run_batched_round(
+            env,
+            agents,
+            snapshots,
+            scratch,
+            worker_scratch,
+            pool.as_mut(),
+            chunk_bounds,
+            illegal_actions,
+            round,
+            materialize,
+        );
+        finish_round(env, colony, scratch, worker_scratch, live);
         Ok(())
+    }
+
+    /// The tentpole batched path: the same round as
+    /// [`step_round_fast`](Self::step_round_fast), but the agent pass
+    /// streams the gathered [`AgentColumns`] state table — per-algorithm
+    /// parallel columns dispatched once per round — instead of the
+    /// 88-byte-stride `AnyAgent` vector. Snapshot columns, role census,
+    /// and live tally are maintained identically (detectors read the
+    /// same state), and the shared `run_batched_round` body guarantees
+    /// the phase structure cannot drift between the two paths.
+    ///
+    /// Only [`run_to_convergence`](Self::run_to_convergence) calls this,
+    /// between [`gather_table`](Self::gather_table) and
+    /// [`scatter_table`](Self::scatter_table); the agent vector is stale
+    /// while the loop runs and authoritative again after the scatter.
+    fn step_round_table(&mut self, materialize: bool) -> Result<(), SimError> {
+        let n = self.env.n();
+        let round = self.env.round() + 1;
+        let prechosen = std::mem::replace(&mut self.prechosen, true);
+        let Self {
+            env,
+            colony,
+            scratch,
+            worker_scratch,
+            live,
+            pool,
+            chunk_bounds,
+            illegal_actions,
+            table,
+            ..
+        } = self;
+        let table = table.as_mut().expect("gather_table precedes table rounds");
+        if !prechosen {
+            scratch.next_actions.clear();
+            scratch.next_actions.resize(n, Action::Search);
+            match table.as_band_mut() {
+                AgentColumnsMut::Simple(band) => prime_choose_pass(
+                    band,
+                    &mut scratch.next_actions,
+                    pool.as_mut(),
+                    chunk_bounds,
+                    round,
+                ),
+                AgentColumnsMut::Adaptive(band) => prime_choose_pass(
+                    band,
+                    &mut scratch.next_actions,
+                    pool.as_mut(),
+                    chunk_bounds,
+                    round,
+                ),
+            }
+        }
+        let (_, snapshots) = colony.engine_split();
+        match table.as_band_mut() {
+            AgentColumnsMut::Simple(band) => run_batched_round(
+                env,
+                band,
+                snapshots,
+                scratch,
+                worker_scratch,
+                pool.as_mut(),
+                chunk_bounds,
+                illegal_actions,
+                round,
+                materialize,
+            ),
+            AgentColumnsMut::Adaptive(band) => run_batched_round(
+                env,
+                band,
+                snapshots,
+                scratch,
+                worker_scratch,
+                pool.as_mut(),
+                chunk_bounds,
+                illegal_actions,
+                round,
+                materialize,
+            ),
+        }
+        finish_round(env, colony, scratch, worker_scratch, live);
+        Ok(())
+    }
+
+    /// Gathers the colony into the agent-state table. Skipped when the
+    /// cached table is still synced from a previous run — repeated short
+    /// convergence calls (the benches' run-one-round pattern) pay the
+    /// column copy only once.
+    fn gather_table(&mut self) {
+        if self.table_synced && self.table.is_some() {
+            return;
+        }
+        self.table = Some(
+            AgentColumns::gather(&self.colony).expect("eligibility was checked at construction"),
+        );
+        self.table_synced = true;
+    }
+
+    /// Writes the table's rows — RNG streams included — back into the
+    /// agent vector, making the scalar representation authoritative
+    /// again. The table is kept for the next gather to reuse.
+    fn scatter_table(&mut self) {
+        let Self { colony, table, .. } = self;
+        if let Some(table) = table.as_ref() {
+            let (agents, _) = colony.engine_split();
+            table.scatter_into(agents);
+        }
+        self.table_synced = true;
     }
 
     /// The scalar path: one match-per-ant pass per phase, always serial
@@ -940,8 +885,22 @@ impl Simulation {
     ///   runs. `tests/soa_equivalence.rs` enforces exactly that across
     ///   the registry catalog.
     fn step_round_scalar(&mut self, materialize: bool) -> Result<(), SimError> {
+        // Mutates the agent vector directly: any cached agent-state
+        // table stops mirroring it.
+        self.table_synced = false;
         let round = self.env.round() + 1;
         let n = self.env.n();
+        // If the previous round ran on the pre-chosen pipeline (the SoA
+        // engine fuses `choose(round + 1)` into its agent pass), the
+        // agents have *already* made this round's choices and their RNG
+        // streams have advanced past them. Calling `choose` again would
+        // draw fresh randomness and double-advance the streams — the
+        // mid-run `with_engine(Scalar)` switch bug pinned by
+        // `mid_run_engine_switch_matches_pure_scalar`. Consume the
+        // buffered actions instead. Pre-chosen rounds are always
+        // unperturbed (the fast path requires it), so the fault checks
+        // below are vacuous in that case.
+        let prechosen = std::mem::replace(&mut self.prechosen, false);
         let scratch = &mut self.scratch;
         scratch.actions.clear();
         scratch.ran.clear();
@@ -971,7 +930,11 @@ impl Simulation {
                 self.replaced_actions += 1;
                 continue;
             }
-            let action = self.colony.choose(idx, round);
+            let action = if prechosen {
+                scratch.next_actions[idx]
+            } else {
+                self.colony.choose(idx, round)
+            };
             scratch.chose[idx] = true;
             if self.env.check_action(ant, &action).is_ok() {
                 scratch.ran[idx] = true;
@@ -1078,6 +1041,19 @@ impl Simulation {
     /// Runs until `rule` detects convergence or `max_rounds` rounds have
     /// executed (counted from the simulation's current round).
     ///
+    /// When [`uses_agent_columns`](Self::uses_agent_columns) holds — an
+    /// unperturbed SoA run over a homogeneous colony — and `max_rounds`
+    /// is at least [`TABLE_MIN_ROUNDS`](Self::TABLE_MIN_ROUNDS), the
+    /// loop gathers the agents into per-algorithm state columns,
+    /// executes every round on the batched table path, and scatters the
+    /// (bit-identical, RNG streams included) state back into the agent
+    /// vector before returning, errors included. Shorter runs and
+    /// everything else run the ordinary per-round engine: gather +
+    /// scatter cost roughly a fifth of one full round, so a
+    /// run-one-round caller would pay that as pure overhead on every
+    /// call. Both paths are bit-identical, so the cutoff is purely a
+    /// performance decision.
+    ///
     /// # Errors
     ///
     /// Propagates [`Self::step`] errors.
@@ -1089,11 +1065,29 @@ impl Simulation {
         let mut detector = Detector::new(rule);
         let start = self.env.round();
         let mut solved = None;
-        while self.env.round() - start < max_rounds {
-            self.step_round(false)?;
-            if let Some(found) = detector.check(self) {
-                solved = Some(found);
-                break;
+        if self.uses_agent_columns() && max_rounds >= Self::TABLE_MIN_ROUNDS {
+            self.gather_table();
+            let result = (|| -> Result<(), SimError> {
+                while self.env.round() - start < max_rounds {
+                    self.step_round_table(false)?;
+                    if let Some(found) = detector.check(self) {
+                        solved = Some(found);
+                        break;
+                    }
+                }
+                Ok(())
+            })();
+            // Scatter on the error path too: the agent vector must be
+            // authoritative again whenever the caller regains control.
+            self.scatter_table();
+            result?;
+        } else {
+            while self.env.round() - start < max_rounds {
+                self.step_round(false)?;
+                if let Some(found) = detector.check(self) {
+                    solved = Some(found);
+                    break;
+                }
             }
         }
         Ok(RunOutcome {
@@ -1167,6 +1161,366 @@ impl Simulation {
     pub(crate) fn is_live_honest(&self, idx: usize) -> bool {
         !self.crashed[idx] && self.colony.snapshot_columns().honest(idx)
     }
+}
+
+/// The agent side of a batched unperturbed round: either a band of the
+/// `AnyAgent` vector (the fast path) or a band of the gathered
+/// per-algorithm state table (the table path). `run_batched_round` is
+/// monomorphized per implementor, so the colony-wide dispatch happens
+/// once per round and the per-ant loops underneath are match-free.
+trait BatchAgents: Send {
+    /// Splits into disjoint `[0, mid)` / `[mid, len)` bands, mirroring
+    /// `slice::split_at_mut`.
+    fn split_band(self, mid: usize) -> (Self, Self)
+    where
+        Self: Sized;
+
+    /// Ant `local`'s action for `round` (round-1 priming pass only).
+    fn choose_one(&mut self, local: usize, round: u64) -> Action;
+
+    /// Ant `local`'s fused observe → snapshot → choose(`round + 1`)
+    /// transition; must match `AnyAgent::observe_choose` exactly.
+    fn observe_choose_one(
+        &mut self,
+        local: usize,
+        round: u64,
+        outcome: Option<&Outcome>,
+    ) -> (Action, AgentSnapshot);
+}
+
+impl BatchAgents for &mut [AnyAgent] {
+    fn split_band(self, mid: usize) -> (Self, Self) {
+        self.split_at_mut(mid)
+    }
+
+    #[inline]
+    fn choose_one(&mut self, local: usize, round: u64) -> Action {
+        self[local].choose(round)
+    }
+
+    #[inline]
+    fn observe_choose_one(
+        &mut self,
+        local: usize,
+        round: u64,
+        outcome: Option<&Outcome>,
+    ) -> (Action, AgentSnapshot) {
+        self[local].observe_choose(round, outcome)
+    }
+}
+
+impl<P: RecruitPolicy + Copy> BatchAgents for UrnColumnsMut<'_, P> {
+    fn split_band(self, mid: usize) -> (Self, Self) {
+        self.split_at_mut(mid)
+    }
+
+    #[inline]
+    fn choose_one(&mut self, local: usize, round: u64) -> Action {
+        self.choose(local, round)
+    }
+
+    #[inline]
+    fn observe_choose_one(
+        &mut self,
+        local: usize,
+        round: u64,
+        outcome: Option<&Outcome>,
+    ) -> (Action, AgentSnapshot) {
+        self.observe_choose(local, round, outcome)
+    }
+}
+
+/// Round 1 only: the dedicated choose pass that primes the pre-chosen
+/// pipeline, chunked over the same bounds as the main pass.
+fn prime_choose_pass<A: BatchAgents>(
+    full_agents: A,
+    next_actions: &mut [Action],
+    pool: Option<&mut WorkerPool>,
+    bounds: &[usize],
+    round: u64,
+) {
+    let threads = bounds.len() - 1;
+    struct ChoosePart<'a, A> {
+        agents: A,
+        next: &'a mut [Action],
+    }
+    let slots: [Mutex<Option<ChoosePart<'_, A>>>; MAX_ROUND_THREADS] =
+        std::array::from_fn(|_| Mutex::new(None));
+    let mut rest_agents = Some(full_agents);
+    let mut rest_next = next_actions;
+    for (part, slot) in slots.iter().take(threads).enumerate() {
+        let len = bounds[part + 1] - bounds[part];
+        let (agents, tail) = rest_agents
+            .take()
+            .expect("agents remainder")
+            .split_band(len);
+        rest_agents = Some(tail);
+        let (next, tail) = std::mem::take(&mut rest_next).split_at_mut(len);
+        rest_next = tail;
+        *slot.lock().expect("slot") = Some(ChoosePart { agents, next });
+    }
+    scatter(pool, threads, &slots, |_, part: ChoosePart<'_, A>| {
+        let ChoosePart { mut agents, next } = part;
+        for (local, next) in next.iter_mut().enumerate() {
+            *next = agents.choose_one(local, round);
+        }
+    });
+}
+
+/// The body shared by `step_round_fast` (agent vector) and
+/// `step_round_table` (per-algorithm state columns): one unperturbed
+/// round — phase 1 (validate/sandbox/relocate/tally), the serial
+/// pairing middle, phase 2 (outcome → observe → choose, snapshot
+/// refresh) — over any [`BatchAgents`] backing store. The caller folds
+/// the per-worker census/tally deltas afterwards ([`finish_round`]).
+#[allow(clippy::too_many_arguments)]
+fn run_batched_round<A: BatchAgents>(
+    env: &mut Environment,
+    full_agents: A,
+    full_snapshots: ColumnsMut<'_>,
+    scratch: &mut RoundScratch,
+    worker_scratch: &mut [WorkerScratch],
+    mut pool: Option<&mut WorkerPool>,
+    bounds: &[usize],
+    illegal_actions: &mut u64,
+    round: u64,
+    materialize: bool,
+) {
+    let n = env.n();
+    let k1 = env.k() + 1;
+    let threads = bounds.len() - 1;
+
+    std::mem::swap(&mut scratch.actions, &mut scratch.next_actions);
+    // Both buffers are written slot-by-slot for every ant (phase 1
+    // fills `ran`, phase 2 fills `next_actions`), so at steady state
+    // they only need their length established — refilling defaults
+    // every round would be two redundant full-colony write passes.
+    if scratch.next_actions.len() != n {
+        scratch.next_actions.resize(n, Action::Search);
+    }
+    if scratch.ran.len() != n {
+        scratch.ran.resize(n, true);
+    }
+
+    // ── Phase 1 (chunked): validate + sandbox, relocate, tally
+    // populations, collect recruit calls.
+    {
+        struct RelocPart<'a> {
+            chunk: RelocationChunk<'a>,
+            actions: &'a mut [Action],
+            ran: &'a mut [bool],
+            scratch: &'a mut WorkerScratch,
+        }
+        let slots: [Mutex<Option<RelocPart>>; MAX_ROUND_THREADS] =
+            std::array::from_fn(|_| Mutex::new(None));
+        let mut rest_chunk = Some(env.relocation_view());
+        let mut rest_actions = scratch.actions.as_mut_slice();
+        let mut rest_ran = scratch.ran.as_mut_slice();
+        let mut scratch_iter = worker_scratch.iter_mut();
+        for (part, slot) in slots.iter().take(threads).enumerate() {
+            let len = bounds[part + 1] - bounds[part];
+            let chunk = if part + 1 == threads {
+                rest_chunk.take().expect("chunk remainder")
+            } else {
+                let (head, tail) = rest_chunk
+                    .take()
+                    .expect("chunk remainder")
+                    .split_at(bounds[part + 1]);
+                rest_chunk = Some(tail);
+                head
+            };
+            let (actions, tail) = std::mem::take(&mut rest_actions).split_at_mut(len);
+            rest_actions = tail;
+            let (ran, tail) = std::mem::take(&mut rest_ran).split_at_mut(len);
+            rest_ran = tail;
+            *slot.lock().expect("slot") = Some(RelocPart {
+                chunk,
+                actions,
+                ran,
+                scratch: scratch_iter.next().expect("worker scratch"),
+            });
+        }
+        scatter(
+            pool.as_deref_mut(),
+            threads,
+            &slots,
+            |_, part: RelocPart<'_>| {
+                let RelocPart {
+                    mut chunk,
+                    actions,
+                    ran,
+                    scratch,
+                } = part;
+                scratch.counts.clear();
+                scratch.counts.resize(k1, 0);
+                scratch.calls.clear();
+                scratch.illegal = 0;
+                let start = chunk.start();
+                // Validate + sandbox first, so the relocation pass below
+                // sees only legal actions and can batch its per-ant RNG
+                // draws over the chunk's flat stream column.
+                for (local, action) in actions.iter_mut().enumerate() {
+                    let idx = start + local;
+                    let legal = chunk.check_action(idx, action).is_ok();
+                    ran[local] = legal;
+                    if !legal {
+                        scratch.illegal += 1;
+                        *action = chunk.noop_in_place(idx);
+                    }
+                }
+                chunk.apply_all(actions, &mut scratch.counts, &mut scratch.calls);
+            },
+        );
+    }
+
+    // ── Serial middle: merge the per-chunk tallies and calls (chunk
+    // order reproduces ant order), then run Algorithm 1.
+    for ws in worker_scratch.iter() {
+        *illegal_actions += ws.illegal;
+    }
+    env.merge_counts(worker_scratch.iter().map(|ws| ws.counts.as_slice()));
+    let calls = &mut scratch.report.recruitment.calls;
+    calls.clear();
+    for ws in worker_scratch.iter() {
+        calls.extend_from_slice(&ws.calls);
+    }
+    env.pair_round(calls);
+
+    // ── Phase 2 (chunked): the single agent pass — compute the
+    // outcome, observe round `round`, choose round `round + 1`,
+    // refresh the (cache-hot) snapshot — one `observe_choose_one` per
+    // ant — and accumulate census/tally deltas per worker. In the
+    // eliding mode each outcome lives only for the instant its agent
+    // consumes it; materializing adds a copy into the report's
+    // persistent buffer.
+    scratch.report.outcomes.clear();
+    if materialize {
+        scratch.report.outcomes.resize(
+            n,
+            Outcome::Go {
+                count: 0,
+                quality: None,
+            },
+        );
+    }
+    {
+        struct OutcomePart<'a, A> {
+            chunk: OutcomeChunk<'a>,
+            agents: A,
+            snapshots: ColumnsMut<'a>,
+            next: &'a mut [Action],
+            outcomes: Option<&'a mut [Outcome]>,
+            scratch: &'a mut WorkerScratch,
+            /// This chunk's first recruiter rank (call cursor start).
+            cursor: usize,
+        }
+        let slots: [Mutex<Option<OutcomePart<'_, A>>>; MAX_ROUND_THREADS] =
+            std::array::from_fn(|_| Mutex::new(None));
+        let (full_chunk, ctx) = env.outcome_view();
+        let mut rest_agents = Some(full_agents);
+        let mut rest_snapshots = Some(full_snapshots);
+        let mut rest_chunk = Some(full_chunk);
+        let mut rest_next = scratch.next_actions.as_mut_slice();
+        let mut rest_outcomes = materialize.then_some(scratch.report.outcomes.as_mut_slice());
+        let mut scratch_iter = worker_scratch.iter_mut();
+        let mut cursor = 0usize;
+        for (part, slot) in slots.iter().take(threads).enumerate() {
+            let len = bounds[part + 1] - bounds[part];
+            let chunk = if part + 1 == threads {
+                rest_chunk.take().expect("chunk remainder")
+            } else {
+                let (head, tail) = rest_chunk
+                    .take()
+                    .expect("chunk remainder")
+                    .split_at(bounds[part + 1]);
+                rest_chunk = Some(tail);
+                head
+            };
+            let (agents, tail) = rest_agents
+                .take()
+                .expect("agents remainder")
+                .split_band(len);
+            rest_agents = Some(tail);
+            let snapshots = if part + 1 == threads {
+                rest_snapshots.take().expect("columns remainder")
+            } else {
+                let (head, tail) = rest_snapshots
+                    .take()
+                    .expect("columns remainder")
+                    .split_at_mut(len);
+                rest_snapshots = Some(tail);
+                head
+            };
+            let (next, tail) = std::mem::take(&mut rest_next).split_at_mut(len);
+            rest_next = tail;
+            let outcomes = rest_outcomes.take().map(|rest| {
+                let (head, tail) = rest.split_at_mut(len);
+                rest_outcomes = Some(tail);
+                head
+            });
+            let ws = scratch_iter.next().expect("worker scratch");
+            let part_cursor = cursor;
+            cursor += ws.calls.len();
+            *slot.lock().expect("slot") = Some(OutcomePart {
+                chunk,
+                agents,
+                snapshots,
+                next,
+                outcomes,
+                scratch: ws,
+                cursor: part_cursor,
+            });
+        }
+        let actions = scratch.actions.as_slice();
+        let ran = scratch.ran.as_slice();
+        scatter(pool, threads, &slots, |_, part: OutcomePart<'_, A>| {
+            let OutcomePart {
+                mut chunk,
+                mut agents,
+                mut snapshots,
+                next,
+                mut outcomes,
+                scratch,
+                mut cursor,
+            } = part;
+            scratch.census.clear();
+            scratch.tally.clear();
+            let start = chunk.start();
+            for (local, next) in next.iter_mut().enumerate() {
+                let idx = start + local;
+                let outcome = chunk.outcome(&ctx, idx, actions[idx], &mut cursor);
+                if let Some(out) = outcomes.as_deref_mut() {
+                    out[local] = outcome;
+                }
+                let observed = ran[idx].then_some(&outcome);
+                let (next_action, new) = agents.observe_choose_one(local, round, observed);
+                *next = next_action;
+                let old = snapshots.get(local);
+                if new != old {
+                    scratch.census.record(&old, &new);
+                    scratch.tally.apply(&old, &new);
+                    snapshots.set(local, new);
+                }
+            }
+        });
+    }
+}
+
+/// The round barrier shared by the fast and table paths: fold the
+/// per-chunk census/tally deltas in chunk order, then export the
+/// recruitment pairs into the report.
+fn finish_round(
+    env: &mut Environment,
+    colony: &mut Colony,
+    scratch: &mut RoundScratch,
+    worker_scratch: &[WorkerScratch],
+    live: &mut LiveTally,
+) {
+    for ws in worker_scratch.iter() {
+        colony.apply_census_delta(&ws.census);
+        live.apply_delta(&ws.tally);
+    }
+    env.export_pairs(&mut scratch.report);
 }
 
 #[cfg(test)]
@@ -1457,5 +1811,192 @@ mod tests {
             );
             assert_eq!(rounds_with_outcomes, observed.rounds_run);
         }
+    }
+
+    #[test]
+    fn builder_order_never_drops_threads() {
+        // The pool gate depends on three builder-set fields; every call
+        // order must land on the same configuration, worker pool
+        // included. Before `rebuild_pool` centralized the gate, a
+        // `with_engine(Scalar)` → `with_engine(Soa)` round trip came
+        // back with `round_threads` remembered but no pool.
+        let pool_workers = |sim: &Simulation| sim.pool.as_ref().map_or(0, |pool| pool.workers());
+        let fresh = || Simulation::new(env(32, 2, 40), colony::simple(32, 40)).unwrap();
+
+        let direct = fresh().with_round_threads(8);
+        assert_eq!(direct.round_threads(), 8);
+        assert_eq!(pool_workers(&direct), 7, "8 threads = main + 7 workers");
+
+        let round_trip = fresh()
+            .with_round_threads(8)
+            .with_engine(EngineKind::Scalar)
+            .with_engine(EngineKind::Soa);
+        assert_eq!(round_trip.round_threads(), 8);
+        assert_eq!(
+            pool_workers(&round_trip),
+            7,
+            "engine round trip dropped the pool"
+        );
+
+        let threads_last = fresh()
+            .with_engine(EngineKind::Scalar)
+            .with_engine(EngineKind::Soa)
+            .with_round_threads(8);
+        assert_eq!(pool_workers(&threads_last), 7);
+
+        let bounds_between = fresh()
+            .with_round_threads(8)
+            .with_engine(EngineKind::Scalar)
+            .with_chunk_bounds(vec![0, 3, 32])
+            .with_engine(EngineKind::Soa);
+        assert_eq!(
+            pool_workers(&bounds_between),
+            1,
+            "2 chunks = main + 1 worker"
+        );
+
+        // The scalar engine never holds a pool, whatever the order.
+        let scalar = fresh()
+            .with_round_threads(8)
+            .with_engine(EngineKind::Scalar);
+        assert_eq!(pool_workers(&scalar), 0);
+        assert_eq!(
+            scalar.round_threads(),
+            8,
+            "the setting itself is remembered"
+        );
+    }
+
+    #[test]
+    fn mid_run_engine_switch_matches_pure_scalar() {
+        // The SoA fast path leaves the colony pre-chosen for the next
+        // round (fused `choose(round + 1)`). A mid-run switch to the
+        // scalar engine must consume those buffered actions instead of
+        // calling `choose` again, which would draw fresh randomness and
+        // double-advance the per-ant RNG streams.
+        // Switch after an odd number of rounds so the buffered choices
+        // are for an even (recruitment) round: that is where urn ants
+        // draw randomness in `choose`, making a second call observable.
+        let n = 64;
+        let mut switched = Simulation::new(env(n, 3, 52), colony::simple(n, 52)).unwrap();
+        let mut scalar = Simulation::new(env(n, 3, 52), colony::simple(n, 52))
+            .unwrap()
+            .with_engine(EngineKind::Scalar);
+        for _ in 0..9 {
+            switched.step().unwrap();
+            scalar.step().unwrap();
+        }
+        switched = switched.with_engine(EngineKind::Scalar);
+        for round in 9..30 {
+            assert_eq!(
+                switched.step().unwrap(),
+                scalar.step().unwrap(),
+                "diverged at round {round} after the engine switch"
+            );
+        }
+        assert_eq!(switched.role_census(), scalar.role_census());
+        // And back: the scalar path leaves no pre-chosen actions, so the
+        // fast path re-primes with a dedicated choose pass.
+        switched.step().unwrap();
+        scalar.step().unwrap();
+        switched = switched.with_engine(EngineKind::Soa);
+        let mut soa_oracle = Simulation::new(env(n, 3, 52), colony::simple(n, 52)).unwrap();
+        for _ in 0..31 {
+            soa_oracle.step().unwrap();
+        }
+        for round in 31..41 {
+            assert_eq!(
+                switched.step().unwrap(),
+                soa_oracle.step().unwrap(),
+                "diverged at round {round} after switching back to SoA"
+            );
+        }
+    }
+
+    #[test]
+    fn perturbed_round_threads_is_bit_identical_to_serial() {
+        // Perturbed simulations ignore `round_threads` at execution
+        // time: every round runs on the serial scalar path, so the
+        // setting must be observably inert (the documented contract on
+        // `with_round_threads` and `Scenario::round_threads`).
+        use hh_model::faults::{CrashPlan, CrashStyle};
+        let n = 96;
+        let build = |threads: usize| {
+            let perturbations = Perturbations {
+                crash: CrashPlan::fraction(n, 0.2, 5, CrashStyle::InPlace, 13),
+                delay: DelayPlan::new(0.1, 13),
+            };
+            Simulation::with_perturbations(
+                env(n, 3, 61),
+                colony::simple(n, 61),
+                Some(perturbations),
+            )
+            .unwrap()
+            .with_round_threads(threads)
+        };
+        let mut serial = build(1);
+        let mut threaded = build(8);
+        assert!(threaded.pool.is_none(), "perturbed runs never spawn a pool");
+        for round in 0..40 {
+            assert_eq!(
+                serial.step().unwrap(),
+                threaded.step().unwrap(),
+                "perturbed round {round} diverged under round_threads=8"
+            );
+        }
+        let rule = ConvergenceRule::stable_commitment(4);
+        assert_eq!(
+            serial.run_to_convergence(rule, 5_000).unwrap(),
+            threaded.run_to_convergence(rule, 5_000).unwrap()
+        );
+    }
+
+    #[test]
+    fn agent_columns_engage_exactly_for_uniform_unperturbed_soa() {
+        // Uniform SimpleAnt colony, default (SoA) engine: batched.
+        let sim = Simulation::new(env(32, 2, 70), colony::simple(32, 70)).unwrap();
+        assert!(sim.uses_agent_columns());
+        // Scalar oracle: never batched.
+        assert!(!sim.with_engine(EngineKind::Scalar).uses_agent_columns());
+        // Heterogeneous colony (optimal ants are not column-packed).
+        let sim = Simulation::new(env(32, 3, 70), colony::optimal(32)).unwrap();
+        assert!(!sim.uses_agent_columns());
+        // Perturbed runs stay on the per-round engine.
+        use hh_model::faults::{CrashPlan, CrashStyle};
+        let perturbations = Perturbations {
+            crash: CrashPlan::fraction(32, 0.1, 2, CrashStyle::InPlace, 70),
+            delay: DelayPlan::never(),
+        };
+        let sim = Simulation::with_perturbations(
+            env(32, 2, 70),
+            colony::simple(32, 70),
+            Some(perturbations),
+        )
+        .unwrap();
+        assert!(!sim.uses_agent_columns());
+    }
+
+    #[test]
+    fn table_runs_interleave_with_stepping_bit_identically() {
+        // Crossing the gather/scatter boundary repeatedly — convergence
+        // runs (table path) interleaved with single steps (agent-vector
+        // path) — must match an uninterrupted scalar-engine twin: the
+        // scatter restores agent state *and* RNG streams exactly.
+        let n = 128;
+        let rule = ConvergenceRule::stable_commitment(2);
+        let mut table = Simulation::new(env(n, 3, 83), colony::simple(n, 83)).unwrap();
+        let mut oracle = Simulation::new(env(n, 3, 83), colony::simple(n, 83))
+            .unwrap()
+            .with_engine(EngineKind::Scalar);
+        assert!(table.uses_agent_columns());
+        for _ in 0..4 {
+            let a = table.run_to_convergence(rule, 25).unwrap();
+            let b = oracle.run_to_convergence(rule, 25).unwrap();
+            assert_eq!(a, b);
+            assert_eq!(table.step().unwrap(), oracle.step().unwrap());
+        }
+        assert_eq!(table.role_census(), oracle.role_census());
+        assert_eq!(table.env().counts(), oracle.env().counts());
+        assert_eq!(table.env().locations(), oracle.env().locations());
     }
 }

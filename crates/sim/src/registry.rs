@@ -605,6 +605,12 @@ impl Scenario {
     /// [`Simulation::with_round_threads`] — so this is purely a
     /// performance knob; the conformance suite holds the whole catalog
     /// to that contract.
+    ///
+    /// **Perturbed scenarios ignore this setting at execution time**:
+    /// crash/delay rounds always run on the serial scalar path, so the
+    /// setting is remembered but inert — bit-identical to the serial run
+    /// by construction (pinned by
+    /// `perturbed_round_threads_is_bit_identical_to_serial`).
     #[must_use]
     pub fn round_threads(mut self, threads: usize) -> Self {
         self.round_threads = threads;

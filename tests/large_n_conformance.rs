@@ -119,6 +119,48 @@ fn large_scenarios_match_the_scalar_oracle() {
 
 #[test]
 #[ignore = "release-mode CI job; run with -- --ignored"]
+fn large_uniform_colony_agent_columns_match_the_scalar_oracle() {
+    // The n = 4096 catalog entries run optimal ants, which the batched
+    // agent-state table does not cover; this row holds the table path
+    // itself to the oracle at a size past every catalog colony.
+    let n = 8192;
+    let seed = 97;
+    let build = |engine: EngineKind, threads: usize| {
+        let config = ColonyConfig::new(n, QualitySpec::good_prefix(6, 3)).seed(seed);
+        let env = Environment::new(&config).expect("env builds");
+        Simulation::new(env, colony::simple(n, seed))
+            .expect("sim builds")
+            .with_engine(engine)
+            .with_round_threads(threads)
+    };
+    let rule = ConvergenceRule::stable_commitment(2);
+    let mut oracle = build(EngineKind::Scalar, 1);
+    let expected = oracle
+        .run_to_convergence(rule, 20_000)
+        .expect("oracle runs");
+    assert!(
+        expected.solved.is_some(),
+        "n = 8192 simple colony converges"
+    );
+    for threads in [1usize, 8] {
+        let mut soa = build(EngineKind::Soa, threads);
+        assert!(
+            soa.uses_agent_columns(),
+            "a uniform simple colony must engage the agent-state table"
+        );
+        let outcome = soa.run_to_convergence(rule, 20_000).expect("SoA runs");
+        assert_eq!(
+            expected, outcome,
+            "agent-column path diverged from the scalar oracle at \
+             {threads} round threads (n = {n})"
+        );
+        assert_eq!(oracle.role_census(), soa.role_census());
+        assert_eq!(oracle.env().counts(), soa.env().counts());
+    }
+}
+
+#[test]
+#[ignore = "release-mode CI job; run with -- --ignored"]
 fn large_scenarios_reproduce_bit_identically_across_round_threads() {
     // Intra-round parallelism at the sizes it exists for: the n >= 1024
     // catalog entries must be bit-identical between the serial engine
