@@ -89,4 +89,6 @@ pub use optimal::OptimalAnt;
 pub use quality::QualityAnt;
 pub use simple::{LinearPolicy, RecruitPolicy, SimpleAnt, UrnAnt, UrnOptions};
 pub use spreader::{SpreadStrategy, SpreaderAnt};
-pub use table::{AgentColumns, AgentColumnsMut, UrnColumns, UrnColumnsMut};
+pub use table::{
+    AgentColumns, AgentColumnsMut, DenseRows, DenseRowsMut, UrnColumns, UrnColumnsMut,
+};

@@ -155,7 +155,32 @@ pub(crate) struct UrnRefMut<'a, P> {
 }
 
 impl<P: RecruitPolicy> UrnRefMut<'_, P> {
+    /// The **single** RNG-draw site of the urn state machine: decides
+    /// whether a committed row recruits actively this round. Advances the
+    /// row's stream iff `state == Active` with a positive clamped
+    /// probability — callers that pre-fill draw planes (`crate::table`)
+    /// must invoke this in the same per-row order as the scalar path and
+    /// only for rows where [`choose`](Self::choose) would reach the draw
+    /// (committed, even round ≥ 2).
+    pub(crate) fn recruit_draw(&mut self, round: u64) -> bool {
+        *self.state == State::Active && {
+            let p = self
+                .policy
+                .recruit_probability(*self.count as usize, self.n as usize, round)
+                .clamp(0.0, 1.0);
+            p > 0.0 && self.rng.random_bool(p)
+        }
+    }
+
     pub(crate) fn choose(&mut self, round: u64) -> Action {
+        self.choose_with(round, None)
+    }
+
+    /// [`choose`](Self::choose) with an optional pre-computed recruit
+    /// draw. `None` draws inline (the scalar path); `Some(d)` consumes a
+    /// value produced earlier by [`recruit_draw`](Self::recruit_draw) on
+    /// this same row (the draw-plane path) and touches no RNG.
+    pub(crate) fn choose_with(&mut self, round: u64, draw: Option<bool>) -> Action {
         if round <= 1 {
             return Action::Search;
         }
@@ -170,12 +195,9 @@ impl<P: RecruitPolicy> UrnRefMut<'_, P> {
             State::Active | State::Passive => {
                 if round.is_multiple_of(2) {
                     // Recruitment round at home.
-                    let active = *self.state == State::Active && {
-                        let p = self
-                            .policy
-                            .recruit_probability(*self.count as usize, self.n as usize, round)
-                            .clamp(0.0, 1.0);
-                        p > 0.0 && self.rng.random_bool(p)
+                    let active = match draw {
+                        Some(d) => d,
+                        None => self.recruit_draw(round),
                     };
                     Action::Recruit { active, nest }
                 } else {

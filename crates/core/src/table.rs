@@ -24,7 +24,7 @@
 //! The table executes **the same code** over the same values as the
 //! array-of-structs path: urn rows borrow their column elements into the
 //! shared `UrnRefMut` state machine (the one implementation behind
-//! [`Agent`](crate::Agent) for [`UrnAnt`]), idler rows call the shared
+//! [`crate::Agent`] for [`UrnAnt`]), idler rows call the shared
 //! `idler_choose`/`idler_observe` helpers, and each ant's `SmallRng` —
 //! stream state and all — lives in a column of its own. Gather → rounds →
 //! scatter is therefore bit-identical to running the rounds on the
@@ -38,14 +38,17 @@ use rand::SeedableRng;
 use hh_model::{Action, NestId, Outcome};
 
 use crate::adaptive::AdaptivePolicy;
-use crate::agent::AgentRole;
+use crate::agent::{Agent, AgentRole};
 use crate::any::AnyAgent;
-use crate::colony::AgentSnapshot;
+use crate::colony::{snapshot_of, AgentSnapshot};
 use crate::columns::{decode_commitment, encode_commitment};
 use crate::idle::{idler_choose, idler_observe};
+use crate::optimal::OptimalAnt;
+use crate::quality::QualityAnt;
 use crate::simple::{
     urn_committed, urn_role, LinearPolicy, RecruitPolicy, State, UrnAnt, UrnOptions, UrnRefMut,
 };
+use crate::spreader::SpreaderAnt;
 
 /// What one table row holds: a batched urn ant or an interleaved idler.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -66,15 +69,33 @@ enum Plan {
         options: UrnOptions,
         n: u32,
     },
+    /// Uniform [`OptimalAnt`] colony, stored as dense self-contained rows
+    /// (the ants carry no shared parameters).
+    Optimal,
+    /// Uniform [`QualityAnt`] colony, dense rows (per-row parameters may
+    /// differ; each row is self-contained).
+    Quality,
+    /// Uniform [`SpreaderAnt`] colony, dense rows.
+    Spreader,
 }
 
 /// Classifies a colony: `Some(plan)` if every agent is one shared urn
-/// algorithm (equal policy/options/`n`) or an idler, `None` otherwise.
+/// algorithm (equal policy/options/`n`) or an idler, or a uniform
+/// dense-row algorithm (optimal/quality/spreader, **no** idler
+/// interleave), `None` otherwise.
 fn plan(agents: &[AnyAgent]) -> Option<Plan> {
     let mut plan: Option<Plan> = None;
+    let mut idler_seen = false;
     for agent in agents {
         match agent {
-            AnyAgent::Idler(_) => {}
+            AnyAgent::Idler(_) => {
+                // Idlers interleave with urn plans only; the dense-row
+                // plans keep one concrete agent type per row.
+                idler_seen = true;
+                if matches!(plan, Some(Plan::Optimal | Plan::Quality | Plan::Spreader)) {
+                    return None;
+                }
+            }
             AnyAgent::Simple(ant) => match &plan {
                 None => {
                     plan = Some(Plan::Simple {
@@ -95,6 +116,21 @@ fn plan(agents: &[AnyAgent]) -> Option<Plan> {
                 }
                 Some(Plan::Adaptive { policy, options, n })
                     if *policy == ant.policy && *options == ant.options && *n == ant.n => {}
+                _ => return None,
+            },
+            AnyAgent::Optimal(_) => match &plan {
+                None if !idler_seen => plan = Some(Plan::Optimal),
+                Some(Plan::Optimal) => {}
+                _ => return None,
+            },
+            AnyAgent::Quality(_) => match &plan {
+                None if !idler_seen => plan = Some(Plan::Quality),
+                Some(Plan::Quality) => {}
+                _ => return None,
+            },
+            AnyAgent::Spreader(_) => match &plan {
+                None if !idler_seen => plan = Some(Plan::Spreader),
+                Some(Plan::Spreader) => {}
                 _ => return None,
             },
             _ => return None,
@@ -355,7 +391,7 @@ impl<'a, P: RecruitPolicy + Copy> UrnColumnsMut<'a, P> {
     }
 
     /// Local row `index`'s action for `round` — the column counterpart of
-    /// [`Agent::choose`](crate::Agent::choose).
+    /// [`crate::Agent::choose`].
     ///
     /// # Panics
     ///
@@ -439,6 +475,280 @@ impl<'a, P: RecruitPolicy + Copy> UrnColumnsMut<'a, P> {
             }
         }
     }
+
+    /// Batched observe pass: applies `outcomes[i]` to every row `i` of
+    /// the band whose `ran[i]` flag is set, without touching any RNG
+    /// (urn observation is coin-free by construction; see
+    /// `UrnRefMut::observe`). One column sweep instead of a per-row
+    /// dispatch inside the executor's fused loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ran` or `outcomes` is shorter than the band.
+    pub fn observe_rows(&mut self, ran: &[bool], outcomes: &[Outcome]) {
+        for index in 0..self.len() {
+            if ran[index] {
+                self.observe_row(index, &outcomes[index]);
+            }
+        }
+    }
+
+    /// Applies `outcome` to local row `index` without touching any RNG —
+    /// the per-row body of [`observe_rows`](Self::observe_rows), exposed
+    /// so the executor can observe rows as it drains the chunk's
+    /// recruit-call cursor instead of materializing an outcome column
+    /// first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn observe_row(&mut self, index: usize, outcome: &Outcome) {
+        match self.kind[index] {
+            RowKind::Urn => self.urn_row(index).observe(outcome),
+            RowKind::Idler => {
+                let mut advocated = decode_commitment(self.advocated[index]);
+                let mut carried = decode_commitment(self.carried[index]);
+                idler_observe(&mut advocated, &mut carried, outcome);
+                self.advocated[index] = encode_commitment(advocated);
+                self.carried[index] = encode_commitment(carried);
+            }
+        }
+    }
+
+    /// Fills the band's **draw plane** for `round`: one dense pass over
+    /// the RNG column producing each row's recruit draw, advancing every
+    /// row's stream in exactly the per-row order (and under exactly the
+    /// conditions) the scalar `choose` path would. Rows that the scalar
+    /// path would not draw for — odd or pre-recruitment rounds, idlers,
+    /// uncommitted rows, and non-`Active` states — are left `false` with
+    /// their streams untouched, so bit-identity to the
+    /// `EngineKind::Scalar` oracle is preserved by construction.
+    ///
+    /// Whether `round` can draw recruit coins at all: the urn state
+    /// machine reaches its single RNG site only on even recruitment
+    /// rounds past round 1. On every other round the draw plane is
+    /// structurally all-`false`, so batched callers can skip the fill
+    /// and take the fused per-row pass instead — no stream is touched
+    /// either way.
+    #[must_use]
+    pub fn plane_round(round: u64) -> bool {
+        round > 1 && round.is_multiple_of(2)
+    }
+
+    /// Consume the plane with [`choose_with_draw`](Self::choose_with_draw),
+    /// which is then branch-free on the RNG.
+    pub fn fill_draw_plane(&mut self, round: u64, draws: &mut Vec<bool>) {
+        draws.clear();
+        draws.resize(self.len(), false);
+        if !Self::plane_round(round) {
+            return;
+        }
+        for index in 0..self.len() {
+            // The committed gate mirrors choose()'s early `Search` return:
+            // an uncommitted row never reaches the draw on the scalar
+            // path, so its stream must not advance here either. The
+            // `Active` gate hoists recruit_draw's own state check so
+            // non-drawing rows (the entire post-consensus steady state)
+            // cost a column scan, not a row borrow — recruit_draw leaves
+            // their streams untouched either way.
+            if self.kind[index] == RowKind::Urn
+                && self.state[index] == State::Active
+                && urn_committed(self.nest[index]).is_some()
+            {
+                draws[index] = self.urn_row(index).recruit_draw(round);
+            }
+        }
+    }
+
+    /// [`choose`](Self::choose) consuming a pre-computed draw-plane entry
+    /// instead of drawing inline: the urn state machine runs with
+    /// `Some(draw)` and touches no RNG.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn choose_with_draw(&mut self, index: usize, round: u64, draw: bool) -> Action {
+        match self.kind[index] {
+            RowKind::Urn => self.urn_row(index).choose_with(round, Some(draw)),
+            RowKind::Idler => idler_choose(decode_commitment(self.advocated[index])),
+        }
+    }
+
+    /// [`choose_with_draw`](Self::choose_with_draw) fused with
+    /// [`snapshot`](Self::snapshot) in one row dispatch, with the
+    /// snapshot read before the choose (the [`observe_choose`](Self::observe_choose)
+    /// ordering — for urn and idler rows choose mutates nothing
+    /// snapshot-visible, so the two orderings coincide; keeping the
+    /// scalar path's order makes that fact irrelevant).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn choose_snapshot_with_draw(
+        &mut self,
+        index: usize,
+        round: u64,
+        draw: bool,
+    ) -> (Action, AgentSnapshot) {
+        match self.kind[index] {
+            RowKind::Urn => {
+                let mut row = self.urn_row(index);
+                let snapshot = AgentSnapshot {
+                    honest: true,
+                    role: urn_role(*row.state),
+                    committed: urn_committed(*row.nest),
+                    is_final: *row.state == State::Settled,
+                };
+                let action = row.choose_with(round, Some(draw));
+                (action, snapshot)
+            }
+            RowKind::Idler => {
+                let carried = decode_commitment(self.carried[index]);
+                let snapshot = AgentSnapshot {
+                    honest: true,
+                    role: AgentRole::Passive,
+                    committed: carried,
+                    is_final: false,
+                };
+                let action = idler_choose(decode_commitment(self.advocated[index]));
+                (action, snapshot)
+            }
+        }
+    }
+}
+
+/// Dense rows over one uniform non-urn colony (optimal / quality /
+/// spreader): every row is the concrete agent type `A`, unboxed and
+/// contiguous, so the batched round loop monomorphizes on `A` and skips
+/// the per-ant [`AnyAgent`] variant dispatch and (for boxed variants)
+/// the pointer chase.
+///
+/// Unlike [`UrnColumns`] this is not a field-wise decomposition — these
+/// algorithms mutate state inside `choose` (e.g. [`OptimalAnt`]'s phase
+/// automaton), so their draws cannot be planed out — but it shares the
+/// gather → batched rounds → scatter contract and band-splitting shape.
+#[derive(Debug, Clone)]
+pub struct DenseRows<A> {
+    rows: Vec<A>,
+}
+
+impl<A: Agent + Clone> DenseRows<A> {
+    fn gather_with(agents: &[AnyAgent], mut extract: impl FnMut(&AnyAgent) -> Option<A>) -> Self {
+        Self {
+            rows: agents
+                .iter()
+                .map(|agent| extract(agent).expect("plan() admitted a foreign agent"))
+                .collect(),
+        }
+    }
+
+    fn scatter_into_with(&self, agents: &mut [AnyAgent], mut store: impl FnMut(&mut AnyAgent, &A)) {
+        assert_eq!(
+            agents.len(),
+            self.rows.len(),
+            "agent-state table and colony have diverged in length"
+        );
+        for (agent, row) in agents.iter_mut().zip(&self.rows) {
+            store(agent, row);
+        }
+    }
+
+    /// Number of rows (ants).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` if the table has no rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The whole table as one mutable band.
+    pub fn as_band_mut(&mut self) -> DenseRowsMut<'_, A> {
+        DenseRowsMut(&mut self.rows)
+    }
+}
+
+/// A mutable band over a contiguous row range of [`DenseRows`] —
+/// splittable into disjoint chunks exactly like [`UrnColumnsMut`], with
+/// local (`0..len()`) indices.
+#[derive(Debug)]
+pub struct DenseRowsMut<'a, A>(&'a mut [A]);
+
+impl<'a, A: Agent + Clone> DenseRowsMut<'a, A> {
+    /// Number of rows in the band.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// `true` if the band is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Splits the band into disjoint `[0, mid)` and `[mid, len)` halves,
+    /// mirroring `slice::split_at_mut`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mid > len`.
+    #[must_use]
+    pub fn split_at_mut(self, mid: usize) -> (DenseRowsMut<'a, A>, DenseRowsMut<'a, A>) {
+        let (left, right) = self.0.split_at_mut(mid);
+        (DenseRowsMut(left), DenseRowsMut(right))
+    }
+
+    /// Reborrows the band (so it can be split without consuming the
+    /// original lifetime).
+    pub fn reborrow(&mut self) -> DenseRowsMut<'_, A> {
+        DenseRowsMut(self.0)
+    }
+
+    /// Local row `index`'s action for `round` — the dense counterpart of
+    /// [`crate::Agent::choose`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn choose(&mut self, index: usize, round: u64) -> Action {
+        self.0[index].choose(round)
+    }
+
+    /// Local row `index`'s observable state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    #[must_use]
+    pub fn snapshot(&self, index: usize) -> AgentSnapshot {
+        snapshot_of!(&self.0[index])
+    }
+
+    /// Local row `index`'s fused round transition, with the identical
+    /// observe → snapshot → choose(`round + 1`) ordering as
+    /// [`AnyAgent::observe_choose`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn observe_choose(
+        &mut self,
+        index: usize,
+        round: u64,
+        outcome: Option<&Outcome>,
+    ) -> (Action, AgentSnapshot) {
+        let agent = &mut self.0[index];
+        if let Some(outcome) = outcome {
+            agent.observe(round, outcome);
+        }
+        let snapshot = snapshot_of!(agent);
+        let action = agent.choose(round + 1);
+        (action, snapshot)
+    }
 }
 
 /// A homogeneous colony's agent state as per-algorithm parallel columns,
@@ -452,6 +762,13 @@ pub enum AgentColumns {
     /// Every urn row runs [`AdaptiveAnt`](crate::AdaptiveAnt) with one
     /// shared [`AdaptivePolicy`].
     Adaptive(UrnColumns<AdaptivePolicy>),
+    /// Every row is an [`OptimalAnt`] (dense, no idler interleave).
+    Optimal(DenseRows<OptimalAnt>),
+    /// Every row is a [`QualityAnt`] (dense, unboxed from
+    /// [`AnyAgent::Quality`]'s `Box`, no idler interleave).
+    Quality(DenseRows<QualityAnt>),
+    /// Every row is a [`SpreaderAnt`] (dense, no idler interleave).
+    Spreader(DenseRows<SpreaderAnt>),
 }
 
 impl AgentColumns {
@@ -485,6 +802,24 @@ impl AgentColumns {
                     _ => None,
                 }),
             ),
+            Plan::Optimal => {
+                AgentColumns::Optimal(DenseRows::gather_with(agents, |agent| match agent {
+                    AnyAgent::Optimal(ant) => Some(ant.clone()),
+                    _ => None,
+                }))
+            }
+            Plan::Quality => {
+                AgentColumns::Quality(DenseRows::gather_with(agents, |agent| match agent {
+                    AnyAgent::Quality(ant) => Some((**ant).clone()),
+                    _ => None,
+                }))
+            }
+            Plan::Spreader => {
+                AgentColumns::Spreader(DenseRows::gather_with(agents, |agent| match agent {
+                    AnyAgent::Spreader(ant) => Some(ant.clone()),
+                    _ => None,
+                }))
+            }
         })
     }
 
@@ -510,6 +845,30 @@ impl AgentColumns {
                     _ => None,
                 });
             }
+            AgentColumns::Optimal(table) => {
+                table.scatter_into_with(agents, |agent, row| {
+                    let AnyAgent::Optimal(ant) = agent else {
+                        panic!("agent-state table and colony have diverged in shape");
+                    };
+                    *ant = row.clone();
+                });
+            }
+            AgentColumns::Quality(table) => {
+                table.scatter_into_with(agents, |agent, row| {
+                    let AnyAgent::Quality(ant) = agent else {
+                        panic!("agent-state table and colony have diverged in shape");
+                    };
+                    **ant = row.clone();
+                });
+            }
+            AgentColumns::Spreader(table) => {
+                table.scatter_into_with(agents, |agent, row| {
+                    let AnyAgent::Spreader(ant) = agent else {
+                        panic!("agent-state table and colony have diverged in shape");
+                    };
+                    *ant = row.clone();
+                });
+            }
         }
     }
 
@@ -519,6 +878,9 @@ impl AgentColumns {
         match self {
             AgentColumns::Simple(table) => table.len(),
             AgentColumns::Adaptive(table) => table.len(),
+            AgentColumns::Optimal(table) => table.len(),
+            AgentColumns::Quality(table) => table.len(),
+            AgentColumns::Spreader(table) => table.len(),
         }
     }
 
@@ -534,6 +896,9 @@ impl AgentColumns {
         match self {
             AgentColumns::Simple(table) => AgentColumnsMut::Simple(table.as_band_mut()),
             AgentColumns::Adaptive(table) => AgentColumnsMut::Adaptive(table.as_band_mut()),
+            AgentColumns::Optimal(table) => AgentColumnsMut::Optimal(table.as_band_mut()),
+            AgentColumns::Quality(table) => AgentColumnsMut::Quality(table.as_band_mut()),
+            AgentColumns::Spreader(table) => AgentColumnsMut::Spreader(table.as_band_mut()),
         }
     }
 }
@@ -547,6 +912,12 @@ pub enum AgentColumnsMut<'a> {
     Simple(UrnColumnsMut<'a, LinearPolicy>),
     /// Band over a [`AgentColumns::Adaptive`] table.
     Adaptive(UrnColumnsMut<'a, AdaptivePolicy>),
+    /// Band over a [`AgentColumns::Optimal`] table.
+    Optimal(DenseRowsMut<'a, OptimalAnt>),
+    /// Band over a [`AgentColumns::Quality`] table.
+    Quality(DenseRowsMut<'a, QualityAnt>),
+    /// Band over a [`AgentColumns::Spreader`] table.
+    Spreader(DenseRowsMut<'a, SpreaderAnt>),
 }
 
 impl<'a> AgentColumnsMut<'a> {
@@ -556,6 +927,9 @@ impl<'a> AgentColumnsMut<'a> {
         match self {
             AgentColumnsMut::Simple(band) => band.len(),
             AgentColumnsMut::Adaptive(band) => band.len(),
+            AgentColumnsMut::Optimal(band) => band.len(),
+            AgentColumnsMut::Quality(band) => band.len(),
+            AgentColumnsMut::Spreader(band) => band.len(),
         }
     }
 
@@ -588,6 +962,27 @@ impl<'a> AgentColumnsMut<'a> {
                     AgentColumnsMut::Adaptive(right),
                 )
             }
+            AgentColumnsMut::Optimal(band) => {
+                let (left, right) = band.split_at_mut(mid);
+                (
+                    AgentColumnsMut::Optimal(left),
+                    AgentColumnsMut::Optimal(right),
+                )
+            }
+            AgentColumnsMut::Quality(band) => {
+                let (left, right) = band.split_at_mut(mid);
+                (
+                    AgentColumnsMut::Quality(left),
+                    AgentColumnsMut::Quality(right),
+                )
+            }
+            AgentColumnsMut::Spreader(band) => {
+                let (left, right) = band.split_at_mut(mid);
+                (
+                    AgentColumnsMut::Spreader(left),
+                    AgentColumnsMut::Spreader(right),
+                )
+            }
         }
     }
 
@@ -597,6 +992,9 @@ impl<'a> AgentColumnsMut<'a> {
         match self {
             AgentColumnsMut::Simple(band) => AgentColumnsMut::Simple(band.reborrow()),
             AgentColumnsMut::Adaptive(band) => AgentColumnsMut::Adaptive(band.reborrow()),
+            AgentColumnsMut::Optimal(band) => AgentColumnsMut::Optimal(band.reborrow()),
+            AgentColumnsMut::Quality(band) => AgentColumnsMut::Quality(band.reborrow()),
+            AgentColumnsMut::Spreader(band) => AgentColumnsMut::Spreader(band.reborrow()),
         }
     }
 }
@@ -605,10 +1003,9 @@ impl<'a> AgentColumnsMut<'a> {
 mod tests {
     use super::*;
     use crate::adaptive::AdaptiveAnt;
-    use crate::agent::Agent;
     use crate::idle::IdlerAnt;
-    use crate::optimal::OptimalAnt;
     use crate::simple::SimpleAnt;
+    use crate::spreader::SpreadStrategy;
     use hh_model::Quality;
 
     fn simple_mixed(n: usize) -> Vec<AnyAgent> {
@@ -658,6 +1055,30 @@ mod tests {
         assert!(AgentColumns::eligible(&uniform_adaptive));
         let all_idlers: Vec<AnyAgent> = (0..n).map(|_| IdlerAnt::new().into()).collect();
         assert!(AgentColumns::eligible(&all_idlers));
+
+        // Uniform dense-row colonies are eligible too (per-row parameters
+        // may differ; the rows are self-contained).
+        let uniform_optimal: Vec<AnyAgent> = (0..n).map(|_| OptimalAnt::new().into()).collect();
+        assert!(AgentColumns::eligible(&uniform_optimal));
+        let uniform_quality: Vec<AnyAgent> = (0..n)
+            .map(|i| QualityAnt::new(n, i as u64, 2.0).into())
+            .collect();
+        assert!(AgentColumns::eligible(&uniform_quality));
+        let uniform_spreaders: Vec<AnyAgent> = (0..n)
+            .map(|i| SpreaderAnt::new(SpreadStrategy::WaitAtHome, i as u64).into())
+            .collect();
+        assert!(AgentColumns::eligible(&uniform_spreaders));
+
+        // ... but dense plans reject idler interleaves, in either order.
+        let mut dense_then_idler: Vec<AnyAgent> =
+            (0..n).map(|_| OptimalAnt::new().into()).collect();
+        dense_then_idler[n - 1] = IdlerAnt::new().into();
+        assert!(!AgentColumns::eligible(&dense_then_idler));
+        let mut idler_then_dense: Vec<AnyAgent> = (0..n)
+            .map(|i| QualityAnt::new(n, i as u64, 2.0).into())
+            .collect();
+        idler_then_dense[0] = IdlerAnt::new().into();
+        assert!(!AgentColumns::eligible(&idler_then_dense));
 
         // Mixed algorithms, non-urn agents, custom boxes, and differing
         // options all fall back to the AnyAgent path.
@@ -738,6 +1159,136 @@ mod tests {
         let (mid, tail) = right.split_at_mut(4);
         assert_eq!(mid.len(), 4);
         assert_eq!(tail.len(), 3);
+    }
+
+    /// Runs a gathered colony and its scalar twin in lockstep through
+    /// synthetic rounds, scatters, and keeps going on the agent path —
+    /// the dense-row analogue of `table_rounds_match_the_agent_vector_exactly`.
+    fn dense_lockstep(mut scalar: Vec<AnyAgent>, mut tabled: Vec<AnyAgent>, tag: &str) {
+        macro_rules! with_band {
+            ($band:expr, |$b:ident| $body:expr) => {
+                match $band {
+                    AgentColumnsMut::Simple(mut $b) => $body,
+                    AgentColumnsMut::Adaptive(mut $b) => $body,
+                    AgentColumnsMut::Optimal(mut $b) => $body,
+                    AgentColumnsMut::Quality(mut $b) => $body,
+                    AgentColumnsMut::Spreader(mut $b) => $body,
+                }
+            };
+        }
+        let mut table =
+            AgentColumns::gather(&tabled).unwrap_or_else(|| panic!("{tag}: eligible colony"));
+        for round in 1..=6u64 {
+            with_band!(table.as_band_mut(), |band| {
+                for (index, agent) in scalar.iter_mut().enumerate() {
+                    let outcome = synthetic_outcome(round, index);
+                    let expected = agent.observe_choose(round, Some(&outcome));
+                    let got = band.observe_choose(index, round, Some(&outcome));
+                    assert_eq!(expected, got, "{tag}: ant {index}, round {round}");
+                    assert_eq!(band.snapshot(index), agent.snapshot(), "{tag}: ant {index}");
+                }
+            });
+        }
+        table.scatter_into(&mut tabled);
+        for round in 7..=10u64 {
+            for (index, (a, b)) in scalar.iter_mut().zip(tabled.iter_mut()).enumerate() {
+                let outcome = synthetic_outcome(round, index);
+                assert_eq!(
+                    a.observe_choose(round, Some(&outcome)),
+                    b.observe_choose(round, Some(&outcome)),
+                    "{tag}: ant {index}, round {round} after scatter"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dense_optimal_rows_match_the_agent_vector_exactly() {
+        let make = || (0..16).map(|_| OptimalAnt::new().into()).collect();
+        dense_lockstep(make(), make(), "optimal");
+    }
+
+    #[test]
+    fn dense_quality_rows_match_the_agent_vector_exactly() {
+        let make = || {
+            (0..16)
+                .map(|i| QualityAnt::new(16, 300 + i, 2.0).into())
+                .collect()
+        };
+        dense_lockstep(make(), make(), "quality");
+    }
+
+    #[test]
+    fn dense_spreader_rows_match_the_agent_vector_exactly() {
+        let make = |strategy| {
+            move || {
+                (0..16u64)
+                    .map(|i| SpreaderAnt::new(strategy, 500 + i).into())
+                    .collect()
+            }
+        };
+        for strategy in [
+            SpreadStrategy::WaitAtHome,
+            SpreadStrategy::SearchForever,
+            SpreadStrategy::Hybrid {
+                search_probability: 0.5,
+            },
+        ] {
+            let make = make(strategy);
+            dense_lockstep(make(), make(), strategy.label());
+        }
+    }
+
+    /// One batched round via the split passes (`observe_rows` →
+    /// `fill_draw_plane` → `choose_with_draw`) is bit-identical to the
+    /// fused per-row `observe_choose`, RNG streams included.
+    #[test]
+    fn draw_plane_matches_fused_transition_exactly() {
+        let n = 24;
+        let mut fused_agents = simple_mixed(n);
+        let mut planed_agents = simple_mixed(n);
+        let mut fused = AgentColumns::gather(&fused_agents).expect("eligible colony");
+        let mut planed = AgentColumns::gather(&planed_agents).expect("eligible colony");
+        let mut draws = Vec::new();
+        for round in 1..=8u64 {
+            let AgentColumnsMut::Simple(mut a) = fused.as_band_mut() else {
+                panic!("simple colony must gather into a Simple table");
+            };
+            let AgentColumnsMut::Simple(mut b) = planed.as_band_mut() else {
+                panic!("simple colony must gather into a Simple table");
+            };
+            let outcomes: Vec<Outcome> = (0..n).map(|i| synthetic_outcome(round, i)).collect();
+            // Rows 0 and 13 miss their outcome this round (as if skipped
+            // by the harness): observe_rows must leave them untouched.
+            let ran: Vec<bool> = (0..n).map(|i| i != 0 && i != 13).collect();
+            b.observe_rows(&ran, &outcomes);
+            b.fill_draw_plane(round + 1, &mut draws);
+            for index in 0..n {
+                let observed = ran[index].then_some(&outcomes[index]);
+                let expected = a.observe_choose(index, round, observed);
+                let action = b.choose_with_draw(index, round + 1, draws[index]);
+                let snapshot = b.snapshot(index);
+                assert_eq!(expected, (action, snapshot), "ant {index}, round {round}");
+            }
+        }
+        // The RNG columns must agree too: scatter back and keep running
+        // on the plain agent path in lockstep.
+        fused.scatter_into(&mut fused_agents);
+        planed.scatter_into(&mut planed_agents);
+        for round in 9..=12u64 {
+            for (index, (a, b)) in fused_agents
+                .iter_mut()
+                .zip(planed_agents.iter_mut())
+                .enumerate()
+            {
+                let outcome = synthetic_outcome(round, index);
+                assert_eq!(
+                    a.observe_choose(round, Some(&outcome)),
+                    b.observe_choose(round, Some(&outcome)),
+                    "ant {index}, round {round} after scatter"
+                );
+            }
+        }
     }
 
     #[test]

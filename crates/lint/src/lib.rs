@@ -34,22 +34,31 @@
 //!    shared-stream draw there would make outcomes depend on ant
 //!    processing order, which is exactly what `round_threads`
 //!    determinism (PR 5) forbids.
-//! 6. **Audited atomics** (`atomic-ordering`): every `Ordering::` use
+//! 6. **Plane-confined row draws** (`raw-row-draw`): batched round
+//!    bodies — the agent-state table impls and the executor — never
+//!    advance a per-row RNG stream inline. Every draw a table round
+//!    consumes goes through the shared urn state machine
+//!    (`UrnRefMut::recruit_draw`, the oracle's own draw site) or the
+//!    designated plane fill pass (`fill_draw_plane`), which advances
+//!    rows under exactly the scalar oracle's conditions; an inline
+//!    `.random_bool(...)` elsewhere would desynchronize a row's stream
+//!    from the oracle's.
+//! 7. **Audited atomics** (`atomic-ordering`): every `Ordering::` use
 //!    in the pool and the lock-free trial runner sits on an explicit
 //!    per-file allowlist and carries a `// ordering:` justification
 //!    comment, so the memory-ordering protocol stays reviewable.
-//! 7. **Conformant crate roots** (`lint-header`): crate roots carry the
+//! 8. **Conformant crate roots** (`lint-header`): crate roots carry the
 //!    agreed preamble (`#![forbid(unsafe_code)]`,
 //!    `#![warn(missing_docs)]`,
 //!    `#![warn(missing_debug_implementations)]`).
-//! 8. **No doc drift** (`docs-drift`, behind `--docs`): the generated
+//! 9. **No doc drift** (`docs-drift`, behind `--docs`): the generated
 //!    experiment index in `EXPERIMENTS.md` matches the registry
 //!    declared in `hh-bench` — doc drift and source drift report
 //!    through this one tool.
 //!
-//! Rules 2–5 accept an explicit, reviewable waiver: a comment
+//! Rules 2–6 accept an explicit, reviewable waiver: a comment
 //! `// hh-lint: allow(<rule>) — <reason>` on the flagged line or the
-//! comment block directly above it. Rules 1, 6, and 7 are unwaivable;
+//! comment block directly above it. Rules 1, 7, and 8 are unwaivable;
 //! changing them means editing the policy tables in [`rules`].
 //!
 //! The analyzer is deliberately zero-dependency and lexical: a small

@@ -2,7 +2,7 @@
 //! contract each rule encodes; this module is the machine-checkable
 //! half of that contract.
 
-use crate::lexer::{cfg_test_regions, impl_regions, lex, Lexed, TokenKind};
+use crate::lexer::{cfg_test_regions, fn_regions, impl_regions, lex, Lexed, TokenKind};
 use crate::report::Diagnostic;
 
 /// The one file allowed to contain the `unsafe` keyword.
@@ -29,7 +29,7 @@ pub const CHUNK_PHASE_FILES: [&str; 1] = ["crates/sim/src/executor.rs"];
 /// the batched choose/observe passes under the pool. Their impls must
 /// draw only from per-ant streams (the agent tables carry one `SmallRng`
 /// per row precisely so chunk splits cannot reorder draws).
-pub const CHUNK_PHASE_TYPES: [&str; 8] = [
+pub const CHUNK_PHASE_TYPES: [&str; 10] = [
     "RelocationChunk",
     "OutcomeChunk",
     "ColumnsMut",
@@ -38,7 +38,43 @@ pub const CHUNK_PHASE_TYPES: [&str; 8] = [
     "AgentColumnsMut",
     "UrnColumns",
     "UrnColumnsMut",
+    "DenseRows",
+    "DenseRowsMut",
 ];
+
+/// Types whose impls form the *batched round bodies* of the
+/// per-algorithm agent-state tables: since the round-level draw planes,
+/// every RNG draw a batched round consumes must be advanced by the
+/// designated plane-fill pass, never inline. (The environment's chunk
+/// views — `RelocationChunk`, `OutcomeChunk` — draw their per-ant
+/// streams in place by design and are deliberately not listed.)
+pub const BATCHED_ROUND_TYPES: [&str; 6] = [
+    "AgentColumns",
+    "AgentColumnsMut",
+    "UrnColumns",
+    "UrnColumnsMut",
+    "DenseRows",
+    "DenseRowsMut",
+];
+
+/// Method names that advance an RNG stream on their receiver. A call to
+/// one of these inside a batched round body (outside the designated
+/// fill pass) is raw per-row RNG access.
+pub const RAW_DRAW_METHODS: [&str; 6] = [
+    "random_bool",
+    "random_range",
+    "random_ratio",
+    "next_u32",
+    "next_u64",
+    "fill_bytes",
+];
+
+/// The designated plane-fill passes: the only functions in which
+/// batched round bodies may advance per-row RNG streams. The fill pass
+/// walks rows in exactly the per-row order the scalar oracle uses, so
+/// confining draws to it is what makes the draw planes bit-identical by
+/// construction.
+pub const DRAW_PLANE_FILL_FNS: [&str; 1] = ["fill_draw_plane"];
 
 /// The only `StreamKind` variants chunk-phase code may draw from: one
 /// stream per ant, so outcomes cannot depend on ant processing order.
@@ -67,11 +103,12 @@ pub const ORDERING_ALLOWLIST: [(&str, &[&str]); 2] = [
 /// (unsafe confinement, ordering audit, headers) are deliberately
 /// unwaivable: changing those is a policy edit in this file, reviewed
 /// as such.
-pub const WAIVABLE_RULES: [&str; 4] = [
+pub const WAIVABLE_RULES: [&str; 5] = [
     "hash-container",
     "wall-clock",
     "ambient-randomness",
     "shared-stream",
+    "raw-row-draw",
 ];
 
 /// Lints one file's source as if it lived at repo-relative `path`
@@ -94,6 +131,7 @@ pub fn lint_source(path: &str, source: &str) -> Vec<Diagnostic> {
     if is_engine {
         determinism(path, &lexed, &in_test, &waived, &mut diags);
         shared_stream(path, &lexed, &in_test, &waived, &mut diags);
+        raw_row_draw(path, &lexed, &in_test, &waived, &mut diags);
     }
     ordering_audit(path, &lexed, &in_test, &mut diags);
     diags
@@ -280,6 +318,61 @@ fn shared_stream(
                     "`StreamKind::{variant}` is a shared stream; chunk-phase code running \
                      under the worker pool may draw only from the per-ant streams \
                      (`StreamKind::AgentEnvironment`, `StreamKind::AgentNoise`)"
+                ),
+            ));
+        }
+    }
+}
+
+/// Rule `raw-row-draw`: batched round bodies (the whole body of
+/// [`CHUNK_PHASE_FILES`], and `impl` blocks of [`BATCHED_ROUND_TYPES`]
+/// anywhere in the engine) must not advance per-row RNG streams inline.
+/// Since the round-level draw planes, every draw a batched round
+/// consumes is materialized by the designated fill pass
+/// ([`DRAW_PLANE_FILL_FNS`]), which walks rows in exactly the scalar
+/// oracle's per-row order; an inline `.random_bool(...)`-style call
+/// anywhere else in those bodies desynchronizes a row's stream from the
+/// plane (or double-draws it) the moment the pass is split across
+/// workers.
+fn raw_row_draw(
+    path: &str,
+    lexed: &Lexed,
+    in_test: &dyn Fn(u32) -> bool,
+    waived: &dyn Fn(&str, u32) -> bool,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let whole_file = CHUNK_PHASE_FILES.contains(&path);
+    let impl_spans = impl_regions(lexed, &BATCHED_ROUND_TYPES);
+    let fill_spans = fn_regions(lexed, &DRAW_PLANE_FILL_FNS);
+    let in_round_body =
+        |line: u32| whole_file || impl_spans.iter().any(|&(a, b)| a <= line && line <= b);
+    let in_fill_pass = |line: u32| fill_spans.iter().any(|&(a, b)| a <= line && line <= b);
+
+    let toks = &lexed.tokens;
+    for w in toks.windows(2) {
+        let is_draw_call = w[0].kind == TokenKind::Punct
+            && w[0].text == "."
+            && w[1].kind == TokenKind::Ident
+            && RAW_DRAW_METHODS.contains(&w[1].text.as_str());
+        if !is_draw_call {
+            continue;
+        }
+        let line = w[1].line;
+        if !in_round_body(line) || in_fill_pass(line) || in_test(line) {
+            continue;
+        }
+        if !waived("raw-row-draw", line) {
+            diags.push(Diagnostic::new(
+                "raw-row-draw",
+                path,
+                line,
+                format!(
+                    "`.{}(...)` advances an RNG stream inline inside a batched round \
+                     body; draws consumed by batched rounds must be materialized by the \
+                     designated fill pass ({}) so every row's stream advances in the \
+                     scalar oracle's order",
+                    w[1].text,
+                    DRAW_PLANE_FILL_FNS.join(", ")
                 ),
             ));
         }

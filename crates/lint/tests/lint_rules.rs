@@ -104,6 +104,31 @@ fn shared_stream_draws_in_agent_table_impls_are_flagged() {
 }
 
 #[test]
+fn raw_row_draws_in_batched_round_bodies_are_flagged() {
+    // Since the round-level draw planes, a batched round body may only
+    // advance per-row RNG streams inside the designated fill pass: the
+    // inline draw in `choose` is flagged, the fill-pass draw and the
+    // free helper are not.
+    let diags = lint_fixture("raw_row_draw_table.rs", "crates/core/src/table.rs");
+    assert_eq!(diags, vec![("raw-row-draw".to_string(), 19)]);
+}
+
+#[test]
+fn every_raw_row_draw_is_flagged_in_chunk_phase_files() {
+    // As executor.rs the whole file is a batched round body: the free
+    // helper's draw on line 24 is now also in scope; the fill pass
+    // stays exempt.
+    let diags = lint_fixture("raw_row_draw_table.rs", "crates/sim/src/executor.rs");
+    assert_eq!(
+        diags,
+        vec![
+            ("raw-row-draw".to_string(), 19),
+            ("raw-row-draw".to_string(), 24),
+        ]
+    );
+}
+
+#[test]
 fn unlisted_ordering_is_flagged_despite_justification() {
     let diags = lint_fixture("unlisted_ordering.rs", "crates/sim/src/pool.rs");
     assert_eq!(diags, vec![("atomic-ordering".to_string(), 8)]);

@@ -49,8 +49,8 @@ use std::sync::Mutex;
 use hh_core::colony::AgentSnapshot;
 use hh_core::columns::ColumnsMut;
 use hh_core::{
-    Agent, AgentColumns, AgentColumnsMut, AnyAgent, CensusDelta, Colony, RecruitPolicy,
-    UrnColumnsMut,
+    Agent, AgentColumns, AgentColumnsMut, AnyAgent, CensusDelta, Colony, DenseRowsMut,
+    RecruitPolicy, UrnColumnsMut,
 };
 use hh_model::faults::{noop_action, CrashPlan, CrashStyle, DelayPlan};
 use hh_model::recruitment::RecruitCall;
@@ -344,6 +344,20 @@ impl TallyDelta {
     }
 }
 
+/// Phase-2 batched-pass buffer (per worker, persistent): the chunk's
+/// recruit **draw plane** — the dense per-row pre-drawn coins consumed
+/// branchlessly by `UrnColumnsMut::choose_with_draw` (see
+/// [`BatchAgents::observe_choose_all`]).
+#[derive(Debug, Default)]
+struct PlaneScratch {
+    /// Whether the backing store should take the plane passes at all —
+    /// [`Simulation::with_draw_planes`], threaded down per round.
+    enabled: bool,
+    /// One recruit draw per chunk row (`false` for rows the scalar path
+    /// would not draw for).
+    draws: Vec<bool>,
+}
+
 /// Per-worker round state: everything a chunk writes besides its
 /// disjoint slots, merged serially in chunk order at the barriers so
 /// results never depend on the thread count. Buffers persist across
@@ -360,6 +374,24 @@ struct WorkerScratch {
     census: CensusDelta,
     /// Phase 2: this chunk's live-tally delta.
     tally: TallyDelta,
+    /// Phase 2: this chunk's outcome/draw-plane buffers.
+    plane: PlaneScratch,
+}
+
+/// Which representation of the colony's agent state is currently
+/// authoritative — the state machine behind the **lazy scatter-on-read**
+/// seam. The batched table path no longer scatters on loop exit; the
+/// table stays authoritative until a scalar consumer (a scalar-path
+/// round, or [`Simulation::agents`]/[`Simulation::colony`]) actually
+/// needs the `Vec<AnyAgent>`, at which point the scatter runs once.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TableAuthority {
+    /// The `Vec<AnyAgent>` is authoritative; any cached table is stale.
+    Agents,
+    /// Both representations hold the same state bit-exactly.
+    Synced,
+    /// The gathered table is authoritative; the agent vector is stale.
+    Table,
 }
 
 /// One synchronous execution: environment + colony + perturbations.
@@ -417,9 +449,19 @@ pub struct Simulation {
     /// short convergence calls (the benches' run-one-round pattern)
     /// don't pay a full gather per call.
     table: Option<AgentColumns>,
-    /// `true` while `table` mirrors the agent vector bit-exactly; any
-    /// round stepped on the `AnyAgent` path invalidates it.
-    table_synced: bool,
+    /// Which representation (`table` or the agent vector) is currently
+    /// authoritative; drives the lazy scatter-on-read seam.
+    authority: TableAuthority,
+    /// The [`run_to_convergence`](Simulation::run_to_convergence) table
+    /// gate, defaulting to [`TABLE_MIN_ROUNDS`](Simulation::TABLE_MIN_ROUNDS)
+    /// (or the `HH_TABLE_MIN_ROUNDS` environment variable when set).
+    table_min_rounds: u64,
+    /// Whether table rounds consume the round-level recruit **draw
+    /// plane** instead of drawing inline in the fused per-row pass. Both
+    /// are bit-identical (per-row streams are independent); see
+    /// [`with_draw_planes`](Simulation::with_draw_planes) for why the
+    /// fused pass is currently the default.
+    draw_planes: bool,
 }
 
 impl std::fmt::Debug for Simulation {
@@ -495,8 +537,52 @@ impl Simulation {
             pool: None,
             table_eligible,
             table: None,
-            table_synced: false,
+            authority: TableAuthority::Agents,
+            table_min_rounds: std::env::var("HH_TABLE_MIN_ROUNDS")
+                .ok()
+                .and_then(|raw| raw.parse().ok())
+                .unwrap_or(Self::TABLE_MIN_ROUNDS),
+            draw_planes: std::env::var("HH_DRAW_PLANES")
+                .ok()
+                .is_some_and(|raw| raw == "1" || raw.eq_ignore_ascii_case("true")),
         })
+    }
+
+    /// Overrides the minimum `max_rounds` at which
+    /// [`run_to_convergence`](Self::run_to_convergence) batches rounds
+    /// through the agent-state table (default:
+    /// [`TABLE_MIN_ROUNDS`](Self::TABLE_MIN_ROUNDS), or the
+    /// `HH_TABLE_MIN_ROUNDS` environment variable when set at
+    /// construction). Both engine paths are bit-identical, so this is
+    /// purely a performance/benchmarking knob: `1` forces every eligible
+    /// convergence run onto the table path, `u64::MAX` disables it.
+    #[must_use]
+    pub fn with_table_min_rounds(mut self, min_rounds: u64) -> Self {
+        self.table_min_rounds = min_rounds;
+        self
+    }
+
+    /// Makes table rounds consume the round-level recruit **draw plane**
+    /// (`UrnColumnsMut::fill_draw_plane` + `choose_with_draw`) instead of
+    /// drawing inline in the fused per-row pass. Defaults to `false`, or
+    /// the `HH_DRAW_PLANES` environment variable (`1`/`true`) when set at
+    /// construction.
+    ///
+    /// Both paths are bit-identical by construction — per-row RNG
+    /// streams are independent, so each row's draws depend only on that
+    /// row's stream position, which the fill pass advances under exactly
+    /// the scalar conditions — making this a pure performance/audit
+    /// knob. The fused pass is the default because today's per-row
+    /// sequential generators give the plane fill nothing to batch: the
+    /// split passes measurably cost throughput in draw-heavy regimes
+    /// (see `BENCH_BASELINE.md`). The plane becomes the profitable
+    /// default once per-row draws are counter-based and the fill
+    /// vectorizes; the CI thread matrix keeps the plane path pinned to
+    /// the oracle in the meantime.
+    #[must_use]
+    pub fn with_draw_planes(mut self, enabled: bool) -> Self {
+        self.draw_planes = enabled;
+        self
     }
 
     /// Sets the number of intra-round parts and spawns the persistent
@@ -604,24 +690,30 @@ impl Simulation {
         self.engine
     }
 
-    /// Minimum `max_rounds` at which
+    /// Default minimum `max_rounds` at which
     /// [`run_to_convergence`](Self::run_to_convergence) batches rounds
     /// through the agent-state table. Gathering the colony into columns
-    /// and scattering it back each cost a full pass over the agent
-    /// vector — measured at roughly a tenth of one round-time apiece at
-    /// n ≥ 4096 — so runs shorter than this would pay the round trip as
-    /// pure overhead and stay on the `AnyAgent` path instead.
-    pub const TABLE_MIN_ROUNDS: u64 = 4;
+    /// costs a full pass over the agent vector — roughly a tenth of one
+    /// round-time at n ≥ 4096 — and since the scatter back became lazy
+    /// (paid only when a scalar view is actually read, not per run) the
+    /// break-even sits near two rounds; shorter runs stay on the
+    /// `AnyAgent` path. Override per simulation with
+    /// [`with_table_min_rounds`](Self::with_table_min_rounds) or
+    /// process-wide with the `HH_TABLE_MIN_ROUNDS` environment variable
+    /// (read at construction); CI forces `1` in the thread-matrix job so
+    /// the table path is exercised by every suite.
+    pub const TABLE_MIN_ROUNDS: u64 = 2;
 
     /// `true` if [`run_to_convergence`](Self::run_to_convergence) will
     /// batch rounds through per-algorithm agent-state columns
-    /// ([`hh_core::AgentColumns`]) once `max_rounds` reaches
-    /// [`TABLE_MIN_ROUNDS`](Self::TABLE_MIN_ROUNDS): the colony is
-    /// homogeneous modulo idlers, the simulation is unperturbed, and the
-    /// SoA engine is selected. Heterogeneous mixes, `Custom` agents,
-    /// non-urn algorithms, perturbed runs, and the scalar oracle all
-    /// take the `AnyAgent` path instead — bit-identically, by the
-    /// engine contract.
+    /// ([`hh_core::AgentColumns`]) once `max_rounds` reaches the table
+    /// gate ([`with_table_min_rounds`](Self::with_table_min_rounds)):
+    /// the colony is homogeneous (urn colonies modulo idlers; optimal,
+    /// quality, and spreader colonies uniformly), the simulation is
+    /// unperturbed, and the SoA engine is selected. Heterogeneous
+    /// mixes, `Custom` agents, adversaries, perturbed runs, and the
+    /// scalar oracle all take the `AnyAgent` path instead —
+    /// bit-identically, by the engine contract.
     #[must_use]
     pub fn uses_agent_columns(&self) -> bool {
         self.table_eligible && self.unperturbed && self.engine == EngineKind::Soa
@@ -639,16 +731,41 @@ impl Simulation {
         &self.env
     }
 
-    /// The colony (read-only).
+    /// The colony (read-only view; `&mut self` because reading the
+    /// scalar agents is the **lazy scatter** point — if the batched
+    /// table currently holds the authoritative state, it is scattered
+    /// back into the agent vector here, once, before the borrow is
+    /// handed out).
     #[must_use]
-    pub fn agents(&self) -> &[AnyAgent] {
+    pub fn agents(&mut self) -> &[AnyAgent] {
+        self.sync_agents();
         &self.colony
     }
 
-    /// The colony with its cached census (read-only).
+    /// The colony with its cached census (read-only view; `&mut self`
+    /// for the same lazy-scatter reason as [`agents`](Self::agents)).
     #[must_use]
-    pub fn colony(&self) -> &Colony {
+    pub fn colony(&mut self) -> &Colony {
+        self.sync_agents();
         &self.colony
+    }
+
+    /// Every agent's observable state, in ant order — served from the
+    /// colony's snapshot columns, which both engines keep current every
+    /// round, so this needs **no** scatter and is valid whichever
+    /// representation (agent vector or batched table) is authoritative.
+    pub fn iter_snapshots(&self) -> impl Iterator<Item = AgentSnapshot> + '_ {
+        self.colony.iter_snapshots()
+    }
+
+    /// Makes the agent vector authoritative again (scatters the batched
+    /// table if it holds newer state) — the single seam behind
+    /// [`agents`](Self::agents)/[`colony`](Self::colony) and the
+    /// scalar-path rounds.
+    fn sync_agents(&mut self) {
+        if self.authority == TableAuthority::Table {
+            self.scatter_table();
+        }
     }
 
     /// Completed rounds.
@@ -713,9 +830,10 @@ impl Simulation {
     /// skipped ant must not advance its state machine — cannot occur
     /// here by definition.
     fn step_round_fast(&mut self, materialize: bool) -> Result<(), SimError> {
-        // This path mutates the agent vector directly, so any cached
-        // agent-state table stops mirroring it.
-        self.table_synced = false;
+        // This path mutates the agent vector directly: scatter first if
+        // the table holds newer state, then mark any cached table stale.
+        self.sync_agents();
+        self.authority = TableAuthority::Agents;
         let n = self.env.n();
         let round = self.env.round() + 1;
         let prechosen = std::mem::replace(&mut self.prechosen, true);
@@ -754,6 +872,7 @@ impl Simulation {
             illegal_actions,
             round,
             materialize,
+            false, // the AnyAgent store has no plane override to enable
         );
         finish_round(env, colony, scratch, worker_scratch, live);
         Ok(())
@@ -769,13 +888,16 @@ impl Simulation {
     /// the phase structure cannot drift between the two paths.
     ///
     /// Only [`run_to_convergence`](Self::run_to_convergence) calls this,
-    /// between [`gather_table`](Self::gather_table) and
-    /// [`scatter_table`](Self::scatter_table); the agent vector is stale
-    /// while the loop runs and authoritative again after the scatter.
+    /// after [`gather_table`](Self::gather_table); the table is
+    /// authoritative afterwards and the agent vector stays stale until a
+    /// scalar consumer triggers the lazy scatter
+    /// ([`sync_agents`](Self::sync_agents)).
     fn step_round_table(&mut self, materialize: bool) -> Result<(), SimError> {
         let n = self.env.n();
         let round = self.env.round() + 1;
         let prechosen = std::mem::replace(&mut self.prechosen, true);
+        let draw_planes = self.draw_planes;
+        self.authority = TableAuthority::Table;
         let Self {
             env,
             colony,
@@ -789,81 +911,73 @@ impl Simulation {
             ..
         } = self;
         let table = table.as_mut().expect("gather_table precedes table rounds");
+        // One five-variant dispatch per pass, outside the per-ant loops.
+        macro_rules! dispatch_band {
+            ($table:expr, |$band:ident| $body:expr) => {
+                match $table {
+                    AgentColumnsMut::Simple($band) => $body,
+                    AgentColumnsMut::Adaptive($band) => $body,
+                    AgentColumnsMut::Optimal($band) => $body,
+                    AgentColumnsMut::Quality($band) => $body,
+                    AgentColumnsMut::Spreader($band) => $body,
+                }
+            };
+        }
         if !prechosen {
             scratch.next_actions.clear();
             scratch.next_actions.resize(n, Action::Search);
-            match table.as_band_mut() {
-                AgentColumnsMut::Simple(band) => prime_choose_pass(
-                    band,
-                    &mut scratch.next_actions,
-                    pool.as_mut(),
-                    chunk_bounds,
-                    round,
-                ),
-                AgentColumnsMut::Adaptive(band) => prime_choose_pass(
-                    band,
-                    &mut scratch.next_actions,
-                    pool.as_mut(),
-                    chunk_bounds,
-                    round,
-                ),
-            }
+            dispatch_band!(table.as_band_mut(), |band| prime_choose_pass(
+                band,
+                &mut scratch.next_actions,
+                pool.as_mut(),
+                chunk_bounds,
+                round,
+            ));
         }
         let (_, snapshots) = colony.engine_split();
-        match table.as_band_mut() {
-            AgentColumnsMut::Simple(band) => run_batched_round(
-                env,
-                band,
-                snapshots,
-                scratch,
-                worker_scratch,
-                pool.as_mut(),
-                chunk_bounds,
-                illegal_actions,
-                round,
-                materialize,
-            ),
-            AgentColumnsMut::Adaptive(band) => run_batched_round(
-                env,
-                band,
-                snapshots,
-                scratch,
-                worker_scratch,
-                pool.as_mut(),
-                chunk_bounds,
-                illegal_actions,
-                round,
-                materialize,
-            ),
-        }
+        dispatch_band!(table.as_band_mut(), |band| run_batched_round(
+            env,
+            band,
+            snapshots,
+            scratch,
+            worker_scratch,
+            pool.as_mut(),
+            chunk_bounds,
+            illegal_actions,
+            round,
+            materialize,
+            draw_planes,
+        ));
         finish_round(env, colony, scratch, worker_scratch, live);
         Ok(())
     }
 
     /// Gathers the colony into the agent-state table. Skipped when the
-    /// cached table is still synced from a previous run — repeated short
-    /// convergence calls (the benches' run-one-round pattern) pay the
-    /// column copy only once.
+    /// cached table is already current (`Synced` after a scatter, or
+    /// still `Table`-authoritative from a previous run that no scalar
+    /// consumer touched) — repeated convergence calls pay the column
+    /// copy only once, and back-to-back table runs pay **neither**
+    /// gather nor scatter.
     fn gather_table(&mut self) {
-        if self.table_synced && self.table.is_some() {
+        if self.authority != TableAuthority::Agents && self.table.is_some() {
             return;
         }
         self.table = Some(
             AgentColumns::gather(&self.colony).expect("eligibility was checked at construction"),
         );
-        self.table_synced = true;
+        self.authority = TableAuthority::Synced;
     }
 
     /// Writes the table's rows — RNG streams included — back into the
-    /// agent vector, making the scalar representation authoritative
-    /// again. The table is kept for the next gather to reuse.
+    /// agent vector, making the scalar representation current again.
+    /// The table is kept for the next gather to reuse.
     fn scatter_table(&mut self) {
         let Self { colony, table, .. } = self;
         if let Some(table) = table.as_ref() {
             let (agents, _) = colony.engine_split();
             table.scatter_into(agents);
         }
-        self.table_synced = true;
+        self.authority = TableAuthority::Synced;
     }
 
     /// The scalar path: one match-per-ant pass per phase, always serial
@@ -885,9 +999,10 @@ impl Simulation {
     ///   runs. `tests/soa_equivalence.rs` enforces exactly that across
     ///   the registry catalog.
     fn step_round_scalar(&mut self, materialize: bool) -> Result<(), SimError> {
-        // Mutates the agent vector directly: any cached agent-state
-        // table stops mirroring it.
-        self.table_synced = false;
+        // Mutates the agent vector directly: scatter first if the table
+        // holds newer state, then mark any cached table stale.
+        self.sync_agents();
+        self.authority = TableAuthority::Agents;
         let round = self.env.round() + 1;
         let n = self.env.n();
         // If the previous round ran on the pre-chosen pipeline (the SoA
@@ -1043,16 +1158,18 @@ impl Simulation {
     ///
     /// When [`uses_agent_columns`](Self::uses_agent_columns) holds — an
     /// unperturbed SoA run over a homogeneous colony — and `max_rounds`
-    /// is at least [`TABLE_MIN_ROUNDS`](Self::TABLE_MIN_ROUNDS), the
-    /// loop gathers the agents into per-algorithm state columns,
-    /// executes every round on the batched table path, and scatters the
-    /// (bit-identical, RNG streams included) state back into the agent
-    /// vector before returning, errors included. Shorter runs and
-    /// everything else run the ordinary per-round engine: gather +
-    /// scatter cost roughly a fifth of one full round, so a
-    /// run-one-round caller would pay that as pure overhead on every
-    /// call. Both paths are bit-identical, so the cutoff is purely a
-    /// performance decision.
+    /// is at least the table gate
+    /// ([`with_table_min_rounds`](Self::with_table_min_rounds), default
+    /// [`TABLE_MIN_ROUNDS`](Self::TABLE_MIN_ROUNDS)), the loop gathers
+    /// the agents into per-algorithm state columns and executes every
+    /// round on the batched table path. The table stays authoritative
+    /// after the loop returns (errors included): the bit-identical
+    /// scatter back into the agent vector — RNG streams included — is
+    /// **lazy**, performed once when a scalar consumer
+    /// ([`agents`](Self::agents), [`colony`](Self::colony), or a
+    /// scalar-path round) next needs it, so back-to-back convergence
+    /// calls pay no per-call round trip. Both paths are bit-identical,
+    /// so the cutoff is purely a performance decision.
     ///
     /// # Errors
     ///
@@ -1065,22 +1182,20 @@ impl Simulation {
         let mut detector = Detector::new(rule);
         let start = self.env.round();
         let mut solved = None;
-        if self.uses_agent_columns() && max_rounds >= Self::TABLE_MIN_ROUNDS {
+        if self.uses_agent_columns() && max_rounds >= self.table_min_rounds {
             self.gather_table();
-            let result = (|| -> Result<(), SimError> {
-                while self.env.round() - start < max_rounds {
-                    self.step_round_table(false)?;
-                    if let Some(found) = detector.check(self) {
-                        solved = Some(found);
-                        break;
-                    }
+            // No scatter on exit (success or error): the table stays
+            // authoritative and the write-back happens lazily at the
+            // next scalar read (`sync_agents`). Detectors need no
+            // scatter — they read the snapshot columns and live tally,
+            // which the table path maintains every round.
+            while self.env.round() - start < max_rounds {
+                self.step_round_table(false)?;
+                if let Some(found) = detector.check(self) {
+                    solved = Some(found);
+                    break;
                 }
-                Ok(())
-            })();
-            // Scatter on the error path too: the agent vector must be
-            // authoritative again whenever the caller regains control.
-            self.scatter_table();
-            result?;
+            }
         } else {
             while self.env.round() - start < max_rounds {
                 self.step_round(false)?;
@@ -1186,6 +1301,37 @@ trait BatchAgents: Send {
         round: u64,
         outcome: Option<&Outcome>,
     ) -> (Action, AgentSnapshot);
+
+    /// The whole band's phase-2 agent pass. Contract: `outcome_of(local)`
+    /// MUST be called exactly once for **every** `local` in `0..ran.len()`,
+    /// in ascending order (it advances the chunk's recruit-call cursor),
+    /// and `sink(local, action, snapshot)` must be called once per row
+    /// with the same `(action, snapshot)` that `observe_choose_one`
+    /// would return — row `local` observes iff `ran[local]`.
+    ///
+    /// The default runs the fused per-row loop. Backing stores whose
+    /// state machines permit it (the urn columns) override this with
+    /// split column passes — drain the cursor and observe row by row,
+    /// fill the round's **draw plane** in one dense sweep over the RNG
+    /// column, then assemble actions branch-free on the RNG — which is
+    /// bit-identical because per-ant streams are independent, observe
+    /// never draws, and the plane fill advances each row's stream under
+    /// exactly the scalar path's conditions.
+    fn observe_choose_all(
+        &mut self,
+        round: u64,
+        ran: &[bool],
+        outcome_of: &mut impl FnMut(usize) -> Outcome,
+        sink: &mut impl FnMut(usize, Action, AgentSnapshot),
+        _plane: &mut PlaneScratch,
+    ) {
+        for local in 0..ran.len() {
+            let outcome = outcome_of(local);
+            let observed = ran[local].then_some(&outcome);
+            let (action, snapshot) = self.observe_choose_one(local, round, observed);
+            sink(local, action, snapshot);
+        }
+    }
 }
 
 impl BatchAgents for &mut [AnyAgent] {
@@ -1228,6 +1374,81 @@ impl<P: RecruitPolicy + Copy> BatchAgents for UrnColumnsMut<'_, P> {
     ) -> (Action, AgentSnapshot) {
         self.observe_choose(local, round, outcome)
     }
+
+    /// The tentpole: split column passes instead of the fused per-row
+    /// loop. Bit-identity to the default holds by construction — observe
+    /// is coin-free, the draw plane advances each row's independent
+    /// stream under exactly the scalar `choose` conditions
+    /// (`UrnColumnsMut::fill_draw_plane`), and `choose_with_draw`
+    /// consumes the plane without touching any RNG.
+    fn observe_choose_all(
+        &mut self,
+        round: u64,
+        ran: &[bool],
+        outcome_of: &mut impl FnMut(usize) -> Outcome,
+        sink: &mut impl FnMut(usize, Action, AgentSnapshot),
+        plane: &mut PlaneScratch,
+    ) {
+        if !plane.enabled || !UrnColumnsMut::<P>::plane_round(round + 1) {
+            // Plane consumption is opt-in (`Simulation::with_draw_planes`;
+            // see its docs for why the fused pass currently wins), and
+            // assessment (odd) / pre-recruitment rounds draw no coins at
+            // all, so the plane would be structurally all-false either
+            // way: take the single fused sweep and skip two passes.
+            for local in 0..ran.len() {
+                let outcome = outcome_of(local);
+                let observed = ran[local].then_some(&outcome);
+                let (action, snapshot) = self.observe_choose_one(local, round, observed);
+                sink(local, action, snapshot);
+            }
+            return;
+        }
+        // Pass A: drain the chunk's recruit-call cursor (every row, in
+        // order, per the trait contract) and observe each row in place —
+        // observation is coin-free, so no outcome column needs
+        // materializing.
+        for local in 0..ran.len() {
+            let outcome = outcome_of(local);
+            if ran[local] {
+                self.observe_row(local, &outcome);
+            }
+        }
+        // Pass B: fill the next round's draw plane — one dense sweep
+        // over the RNG column.
+        self.fill_draw_plane(round + 1, &mut plane.draws);
+        // Pass C: assemble actions branch-free on the RNG and refresh —
+        // snapshot and choose fused into one row dispatch.
+        for local in 0..ran.len() {
+            let (action, snapshot) =
+                self.choose_snapshot_with_draw(local, round + 1, plane.draws[local]);
+            sink(local, action, snapshot);
+        }
+    }
+}
+
+impl<A: Agent + Clone + Send> BatchAgents for DenseRowsMut<'_, A> {
+    fn split_band(self, mid: usize) -> (Self, Self) {
+        self.split_at_mut(mid)
+    }
+
+    #[inline]
+    fn choose_one(&mut self, local: usize, round: u64) -> Action {
+        self.choose(local, round)
+    }
+
+    #[inline]
+    fn observe_choose_one(
+        &mut self,
+        local: usize,
+        round: u64,
+        outcome: Option<&Outcome>,
+    ) -> (Action, AgentSnapshot) {
+        self.observe_choose(local, round, outcome)
+    }
+
+    // Dense rows keep the default fused `observe_choose_all`: these
+    // algorithms draw (and mutate state) inside `choose`, so their
+    // coins cannot be planed out ahead of the per-row transition.
 }
 
 /// Round 1 only: the dedicated choose pass that primes the pre-chosen
@@ -1285,6 +1506,7 @@ fn run_batched_round<A: BatchAgents>(
     illegal_actions: &mut u64,
     round: u64,
     materialize: bool,
+    draw_planes: bool,
 ) {
     let n = env.n();
     let k1 = env.k() + 1;
@@ -1483,25 +1705,38 @@ fn run_batched_round<A: BatchAgents>(
                 scratch,
                 mut cursor,
             } = part;
-            scratch.census.clear();
-            scratch.tally.clear();
+            // Disjoint borrows: the outcome closure owns the chunk +
+            // cursor, the sink owns the snapshot/census/tally side, and
+            // the plane buffers go to the backing store's batched pass.
+            let WorkerScratch {
+                census,
+                tally,
+                plane,
+                ..
+            } = scratch;
+            census.clear();
+            tally.clear();
+            plane.enabled = draw_planes;
             let start = chunk.start();
-            for (local, next) in next.iter_mut().enumerate() {
+            let ran = &ran[start..start + next.len()];
+            let mut outcome_of = |local: usize| {
                 let idx = start + local;
                 let outcome = chunk.outcome(&ctx, idx, actions[idx], &mut cursor);
                 if let Some(out) = outcomes.as_deref_mut() {
                     out[local] = outcome;
                 }
-                let observed = ran[idx].then_some(&outcome);
-                let (next_action, new) = agents.observe_choose_one(local, round, observed);
-                *next = next_action;
+                outcome
+            };
+            let mut sink = |local: usize, action: Action, new: AgentSnapshot| {
+                next[local] = action;
                 let old = snapshots.get(local);
                 if new != old {
-                    scratch.census.record(&old, &new);
-                    scratch.tally.apply(&old, &new);
+                    census.record(&old, &new);
+                    tally.apply(&old, &new);
                     snapshots.set(local, new);
                 }
-            }
+            };
+            agents.observe_choose_all(round, ran, &mut outcome_of, &mut sink, plane);
         });
     }
 }
@@ -1958,8 +2193,13 @@ mod tests {
         assert!(sim.uses_agent_columns());
         // Scalar oracle: never batched.
         assert!(!sim.with_engine(EngineKind::Scalar).uses_agent_columns());
-        // Heterogeneous colony (optimal ants are not column-packed).
+        // Uniform optimal colony: dense rows, batched.
         let sim = Simulation::new(env(32, 3, 70), colony::optimal(32)).unwrap();
+        assert!(sim.uses_agent_columns());
+        // Heterogeneous colony (two algorithms): never batched.
+        let mut mixed = colony::simple(32, 70);
+        mixed.replace(0, hh_core::OptimalAnt::new());
+        let sim = Simulation::new(env(32, 2, 70), mixed).unwrap();
         assert!(!sim.uses_agent_columns());
         // Perturbed runs stay on the per-round engine.
         use hh_model::faults::{CrashPlan, CrashStyle};

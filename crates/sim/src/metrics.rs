@@ -34,7 +34,7 @@ impl RoundSnapshot {
         let k = sim.env().k();
         let mut committed = vec![0usize; k];
         let mut active_committed = vec![0usize; k];
-        for snapshot in sim.colony().iter_snapshots() {
+        for snapshot in sim.iter_snapshots() {
             if !snapshot.honest {
                 continue;
             }

@@ -45,7 +45,7 @@
 //! # Ok::<(), hh_sim::SimError>(())
 //! ```
 
-use hh_core::{colony, Colony};
+use hh_core::{colony, Colony, SpreadStrategy};
 use hh_model::faults::{CrashPlan, CrashStyle, DelayPlan};
 use hh_model::seeding::{derive_seed, StreamKind};
 use hh_model::{ColonyConfig, NoiseModel, Quality, QualitySpec};
@@ -78,6 +78,12 @@ pub enum Algorithm {
         /// Selectivity exponent `γ` of the `(count/n)·qᵞ` rule.
         gamma: f64,
     },
+    /// The Section 3 lower-bound spreading process: no quality sensing,
+    /// pure rumor spreading under one of the [`SpreadStrategy`] regimes.
+    Spreader {
+        /// How ignorant spreaders behave while uninformed.
+        strategy: SpreadStrategy,
+    },
 }
 
 impl Algorithm {
@@ -91,6 +97,7 @@ impl Algorithm {
             Algorithm::Simple | Algorithm::HardenedSimple => "simple",
             Algorithm::Adaptive => "adaptive",
             Algorithm::Quality { .. } => "quality",
+            Algorithm::Spreader { strategy } => strategy.label(),
         }
     }
 
@@ -110,6 +117,7 @@ impl Algorithm {
             ),
             Algorithm::Adaptive => colony::adaptive(n, seed),
             Algorithm::Quality { gamma } => colony::quality(n, seed, *gamma),
+            Algorithm::Spreader { strategy } => colony::spreaders(n, seed, *strategy),
         }
     }
 
@@ -927,6 +935,19 @@ pub fn all_scenarios() -> Vec<Scenario> {
         .summary("non-binary qualities: two 0.9 rivals and two 0.45 decoys")
         .max_rounds(40_000)
         .tags_declared(&[Tag::Small, Tag::Tie, Tag::Clean, Tag::Uniform]),
+        Scenario::custom(
+            "spreader-rumor-512",
+            512,
+            QualityProfile::SingleGood { k: 4, good: 2 },
+            FaultSchedule::None,
+            ColonyMix::Uniform(Algorithm::Spreader {
+                strategy: SpreadStrategy::WaitAtHome,
+            }),
+        )
+        .summary("the Section 3 rumor-spreading process: 512 wait-at-home spreaders")
+        .rule(ConvergenceRule::all_final())
+        .max_rounds(20_000)
+        .tags_declared(&[Tag::Medium, Tag::SingleGood, Tag::Clean, Tag::Uniform]),
         Scenario::custom(
             "crash-quarter-128",
             128,

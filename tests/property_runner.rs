@@ -162,7 +162,7 @@ proptest! {
                 );
             }
         }
-        for (bounds, sim) in &chunked {
+        for (bounds, sim) in &mut chunked {
             prop_assert_eq!(
                 serial.env().counts(), sim.env().counts(),
                 "chunk bounds {:?}: final populations diverged", bounds
@@ -185,5 +185,100 @@ proptest! {
                 );
             }
         }
+    }
+
+    /// The round-level draw planes are bit-identical to the scalar
+    /// oracle by construction: forcing the batched agent-state table
+    /// from round 1 (`with_table_min_rounds(1)`) with plane consumption
+    /// on (`with_draw_planes(true)` — it is opt-in) under adversarial
+    /// chunk bounds and every covered thread count must reproduce the
+    /// oracle exactly — across every colony family on the column path (simple,
+    /// optimal, quality, spreader), with `agents()` reads interleaved
+    /// mid-run so the lazy table → agent scatter is exercised at
+    /// arbitrary step/run/read boundaries, not just run exits.
+    #[test]
+    fn forced_draw_planes_match_the_oracle_across_interleaved_reads(
+        n in 4usize..72,
+        k in 2usize..5,
+        seed in any::<u64>(),
+        family in 0usize..4,
+        cuts in proptest::collection::vec(any::<usize>(), 0..12),
+        threads_pick in 0usize..3,
+        ops in proptest::collection::vec(0usize..3, 1..10),
+    ) {
+        use house_hunting::core::{AgentSnapshot, SpreadStrategy};
+
+        let threads = [1usize, 2, 8][threads_pick];
+        let colony_of = || match family {
+            0 => colony::simple(n, seed),
+            1 => colony::optimal(n),
+            2 => colony::quality(n, seed, 2.0),
+            _ => colony::spreaders(n, seed, SpreadStrategy::Hybrid {
+                search_probability: 0.5,
+            }),
+        };
+        let build = |engine: EngineKind| -> Result<Simulation, SimError> {
+            let mut spec = ScenarioSpec::new(n, QualitySpec::good_prefix(k, 1 + k / 2))
+                .seed(seed);
+            if family == 2 {
+                spec = spec.reveal_quality_on_go();
+            }
+            Ok(spec.build_simulation(colony_of())?.with_engine(engine))
+        };
+        let mut bounds = vec![0];
+        bounds.extend(cuts.iter().map(|cut| cut % (n + 1)));
+        bounds.push(n);
+        bounds.sort_unstable();
+
+        let mut oracle = build(EngineKind::Scalar).unwrap();
+        let mut soa = build(EngineKind::Soa)
+            .unwrap()
+            .with_round_threads(threads)
+            .with_chunk_bounds(bounds)
+            .with_table_min_rounds(1)
+            .with_draw_planes(true);
+        prop_assert!(
+            soa.uses_agent_columns(),
+            "family {} must ride the batched agent-state table", family
+        );
+        let rule = ConvergenceRule::commitment();
+        let snapshots = |sim: &mut Simulation| -> Vec<AgentSnapshot> {
+            // `agents()` forces the lazy table → agent scatter.
+            sim.agents().iter().map(AgentSnapshot::of).collect()
+        };
+        for (at, &op) in ops.iter().enumerate() {
+            match op {
+                0 => {
+                    let reference = oracle.step().unwrap();
+                    let report = soa.step().unwrap();
+                    prop_assert_eq!(
+                        reference, report,
+                        "op {}: step reports diverged", at
+                    );
+                }
+                1 => {
+                    let reference = oracle.run_to_convergence(rule, 5).unwrap();
+                    let outcome = soa.run_to_convergence(rule, 5).unwrap();
+                    prop_assert_eq!(
+                        reference, outcome,
+                        "op {}: run outcomes diverged", at
+                    );
+                }
+                _ => {
+                    prop_assert_eq!(
+                        snapshots(&mut oracle), snapshots(&mut soa),
+                        "op {}: scattered agents diverged from the oracle", at
+                    );
+                }
+            }
+            prop_assert_eq!(oracle.round(), soa.round());
+            prop_assert_eq!(oracle.env().counts(), soa.env().counts());
+            prop_assert_eq!(oracle.env().locations(), soa.env().locations());
+            prop_assert_eq!(oracle.role_census(), soa.role_census());
+        }
+        prop_assert_eq!(
+            snapshots(&mut oracle), snapshots(&mut soa),
+            "final scatter diverged from the oracle"
+        );
     }
 }

@@ -240,15 +240,19 @@ fn adversarial_chunk_bounds_match_the_scalar_oracle() {
 }
 
 /// The batched agent-state table engages exactly for homogeneous
-/// colonies: uniform simple/adaptive mixes (idlers included) qualify;
-/// optimal ants and heterogeneous mixes fall back to the `AnyAgent`
-/// path.
+/// colonies: uniform simple/adaptive mixes (idlers included) and — since
+/// the dense-row extension — uniform optimal/quality/spreader colonies
+/// qualify; heterogeneous and Byzantine mixes fall back to the
+/// `AnyAgent` path.
 #[test]
 fn agent_columns_engage_for_homogeneous_catalog_entries() {
     let expectations = [
         ("baseline-128", true),
         ("idle-quarter-128", true),
-        ("optimal-1024", false),
+        ("optimal-1024", true),
+        ("mega-colony-4096", true),
+        ("quality-tie-128", true),
+        ("spreader-rumor-512", true),
         ("hetero-simple-adaptive-256", false),
         ("byzantine-handful-96", false),
     ];
