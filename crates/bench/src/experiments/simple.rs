@@ -85,7 +85,14 @@ pub fn run_f5(mode: Mode) -> ExperimentReport {
 /// Runs experiment F6 (linear scaling in `k`).
 #[must_use]
 pub fn run_f6(mode: Mode) -> ExperimentReport {
-    let trials = mode.trials(6, 24);
+    // The per-doubling-increment finding compares differences of cell
+    // means, which is far noisier than the fit it rides alongside: at 6
+    // quick trials the last-vs-first margin sat within one seed batch's
+    // sampling noise (the counter-draw migration's realization change
+    // flipped it without touching the distribution). The sweep is cheap
+    // at quick-mode n, so quick runs the full trial count and only the
+    // n/k axes shrink.
+    let trials = mode.trials(24, 24);
     let n = match mode {
         Mode::Quick => 512,
         Mode::Full => 2_048,

@@ -27,9 +27,10 @@ use hh_model::{Action, NestId, Outcome};
 /// One ant's algorithm: the decision side of the Section 2 state machine.
 ///
 /// Implementations own whatever private randomness they need (the built-in
-/// agents hold a seeded `SmallRng`), so a colony of agents plus an
-/// [`Environment`](hh_model::Environment) is fully deterministic given the
-/// construction seeds.
+/// agents hold a seeded [`DrawKey`](hh_model::seeding::DrawKey) and draw
+/// each round's coin as a pure keyed hash of the round number), so a
+/// colony of agents plus an [`Environment`](hh_model::Environment) is
+/// fully deterministic given the construction seeds.
 pub trait Agent {
     /// Chooses the single model call for round `round` (1-based; the first
     /// call of an execution has `round == 1`).

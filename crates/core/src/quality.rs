@@ -32,9 +32,7 @@
 //!
 //! [`ColonyConfig::reveal_quality_on_go`]: hh_model::ColonyConfig::reveal_quality_on_go
 
-use rand::rngs::SmallRng;
-use rand::{RngExt, SeedableRng};
-
+use hh_model::seeding::DrawKey;
 use hh_model::{Action, NestId, Outcome};
 
 use crate::agent::{Agent, AgentRole};
@@ -55,7 +53,7 @@ use crate::agent::{Agent, AgentRole};
 #[derive(Debug, Clone)]
 pub struct QualityAnt {
     n: usize,
-    rng: SmallRng,
+    key: DrawKey,
     gamma: f64,
     /// Reject recruitments that downgrade quality by more than this.
     rejection_tolerance: Option<f64>,
@@ -86,7 +84,7 @@ impl QualityAnt {
         );
         Self {
             n,
-            rng: SmallRng::seed_from_u64(seed),
+            key: DrawKey::from_seed(seed),
             gamma,
             rejection_tolerance: None,
             nest: None,
@@ -134,7 +132,7 @@ impl Agent for QualityAnt {
         };
         if round.is_multiple_of(2) {
             let p = self.recruit_probability();
-            let active = p > 0.0 && self.rng.random_bool(p);
+            let active = p > 0.0 && self.key.coin(round, p);
             Action::Recruit { active, nest }
         } else {
             Action::Go(nest)

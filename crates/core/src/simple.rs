@@ -31,9 +31,7 @@
 //!   literally satisfies the problem statement's `ℓ(a, r) = i` for all
 //!   `r ≥ T`.
 
-use rand::rngs::SmallRng;
-use rand::{RngExt, SeedableRng};
-
+use hh_model::seeding::DrawKey;
 use hh_model::{Action, NestId, Outcome};
 
 use crate::agent::{Agent, AgentRole};
@@ -142,9 +140,9 @@ pub(crate) fn urn_committed(nest: NestId) -> Option<NestId> {
 /// (`crate::table`, which borrows one row of its parallel columns).
 /// Bit-identity between the two layouts holds by construction: both call
 /// exactly this code over the same field values, including the same
-/// per-ant RNG state.
+/// per-ant draw key.
 pub(crate) struct UrnRefMut<'a, P> {
-    pub rng: &'a mut SmallRng,
+    pub key: DrawKey,
     pub count: &'a mut u32,
     pub nest: &'a mut NestId,
     pub state: &'a mut State,
@@ -155,20 +153,19 @@ pub(crate) struct UrnRefMut<'a, P> {
 }
 
 impl<P: RecruitPolicy> UrnRefMut<'_, P> {
-    /// The **single** RNG-draw site of the urn state machine: decides
-    /// whether a committed row recruits actively this round. Advances the
-    /// row's stream iff `state == Active` with a positive clamped
-    /// probability — callers that pre-fill draw planes (`crate::table`)
-    /// must invoke this in the same per-row order as the scalar path and
-    /// only for rows where [`choose`](Self::choose) would reach the draw
-    /// (committed, even round ≥ 2).
-    pub(crate) fn recruit_draw(&mut self, round: u64) -> bool {
+    /// The **single** coin-draw site of the urn state machine: decides
+    /// whether a committed row recruits actively this round. The draw is
+    /// a pure keyed function of `(key, round)` — no stream state advances
+    /// — so callers that pre-fill draw planes (`crate::table`) may
+    /// evaluate it for any subset of rows in any order and still agree
+    /// bit for bit with the scalar path.
+    pub(crate) fn recruit_draw(&self, round: u64) -> bool {
         *self.state == State::Active && {
             let p = self
                 .policy
                 .recruit_probability(*self.count as usize, self.n as usize, round)
                 .clamp(0.0, 1.0);
-            p > 0.0 && self.rng.random_bool(p)
+            p > 0.0 && self.key.coin(round, p)
         }
     }
 
@@ -179,7 +176,8 @@ impl<P: RecruitPolicy> UrnRefMut<'_, P> {
     /// [`choose`](Self::choose) with an optional pre-computed recruit
     /// draw. `None` draws inline (the scalar path); `Some(d)` consumes a
     /// value produced earlier by [`recruit_draw`](Self::recruit_draw) on
-    /// this same row (the draw-plane path) and touches no RNG.
+    /// this same row (the draw-plane path). Because the draw is a pure
+    /// function of `(key, round)`, both forms return the same action.
     pub(crate) fn choose_with(&mut self, round: u64, draw: Option<bool>) -> Action {
         if round <= 1 {
             return Action::Search;
@@ -276,7 +274,7 @@ pub struct UrnAnt<P> {
     // commit to the home nest). Fields are pub(crate) so `crate::table`
     // can gather them into (and scatter them back out of) parallel
     // columns without widening the public API.
-    pub(crate) rng: SmallRng,
+    pub(crate) key: DrawKey,
     pub(crate) n: u32,
     pub(crate) count: u32,
     pub(crate) nest: NestId,
@@ -293,7 +291,7 @@ impl<P: RecruitPolicy> UrnAnt<P> {
     #[must_use]
     pub fn with_policy(n: usize, seed: u64, policy: P, options: UrnOptions) -> Self {
         Self {
-            rng: SmallRng::seed_from_u64(seed),
+            key: DrawKey::from_seed(seed),
             n: n.try_into().expect("colony size fits u32"),
             count: 0,
             nest: NestId::HOME,
@@ -324,7 +322,7 @@ impl<P: RecruitPolicy> UrnAnt<P> {
     /// machine; the [`Agent`] impl is a thin shim over this view.
     pub(crate) fn as_ref_mut(&mut self) -> UrnRefMut<'_, P> {
         UrnRefMut {
-            rng: &mut self.rng,
+            key: self.key,
             count: &mut self.count,
             nest: &mut self.nest,
             state: &mut self.state,

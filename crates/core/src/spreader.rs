@@ -20,9 +20,7 @@
 //! or by being recruited (only informed ants recruit, so any recruitment
 //! communicates `w`).
 
-use rand::rngs::SmallRng;
-use rand::{RngExt, SeedableRng};
-
+use hh_model::seeding::DrawKey;
 use hh_model::{Action, NestId, Outcome};
 
 use crate::agent::{Agent, AgentRole};
@@ -73,7 +71,7 @@ impl SpreadStrategy {
 #[derive(Debug, Clone)]
 pub struct SpreaderAnt {
     strategy: SpreadStrategy,
-    rng: SmallRng,
+    key: DrawKey,
     /// `Some(w)` once informed of the winning nest.
     informed: Option<NestId>,
     /// A known (bad) nest used as the argument of waiting `recruit(0, ·)`
@@ -87,7 +85,7 @@ impl SpreaderAnt {
     pub fn new(strategy: SpreadStrategy, seed: u64) -> Self {
         Self {
             strategy,
-            rng: SmallRng::seed_from_u64(seed),
+            key: DrawKey::from_seed(seed),
             informed: None,
             anchor: None,
         }
@@ -124,7 +122,7 @@ impl Agent for SpreaderAnt {
             SpreadStrategy::SearchForever => Action::Search,
             SpreadStrategy::Hybrid { search_probability } => {
                 let p = search_probability.clamp(0.0, 1.0);
-                if p > 0.0 && self.rng.random_bool(p) {
+                if p > 0.0 && self.key.coin(round, p) {
                     Action::Search
                 } else {
                     wait(self.anchor)

@@ -25,16 +25,15 @@
 //! array-of-structs path: urn rows borrow their column elements into the
 //! shared `UrnRefMut` state machine (the one implementation behind
 //! [`crate::Agent`] for [`UrnAnt`]), idler rows call the shared
-//! `idler_choose`/`idler_observe` helpers, and each ant's `SmallRng` —
-//! stream state and all — lives in a column of its own. Gather → rounds →
-//! scatter is therefore bit-identical to running the rounds on the
-//! `Vec<AnyAgent>` directly; `tests/soa_equivalence.rs` holds the whole
-//! scenario catalog to that contract against the `EngineKind::Scalar`
-//! oracle.
+//! `idler_choose`/`idler_observe` helpers, and each ant's
+//! [`DrawKey`] lives in a column of its own. Because every coin is a
+//! pure keyed function of `(key, round)` — no per-row stream state —
+//! gather → rounds → scatter is bit-identical to running the rounds on
+//! the `Vec<AnyAgent>` directly *regardless of row order*;
+//! `tests/soa_equivalence.rs` holds the whole scenario catalog to that
+//! contract against the `EngineKind::Scalar` oracle.
 
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
-
+use hh_model::seeding::DrawKey;
 use hh_model::{Action, NestId, Outcome};
 
 use crate::adaptive::AdaptivePolicy;
@@ -154,7 +153,7 @@ pub struct UrnColumns<P> {
     policy: P,
     options: UrnOptions,
     kind: Vec<RowKind>,
-    rng: Vec<SmallRng>,
+    key: Vec<DrawKey>,
     count: Vec<u32>,
     nest: Vec<NestId>,
     state: Vec<State>,
@@ -178,7 +177,7 @@ impl<P: RecruitPolicy + Copy> UrnColumns<P> {
             policy,
             options,
             kind: Vec::with_capacity(agents.len()),
-            rng: Vec::with_capacity(agents.len()),
+            key: Vec::with_capacity(agents.len()),
             count: Vec::with_capacity(agents.len()),
             nest: Vec::with_capacity(agents.len()),
             state: Vec::with_capacity(agents.len()),
@@ -189,7 +188,7 @@ impl<P: RecruitPolicy + Copy> UrnColumns<P> {
         for agent in agents {
             if let Some(ant) = as_urn(agent) {
                 table.kind.push(RowKind::Urn);
-                table.rng.push(ant.rng.clone());
+                table.key.push(ant.key);
                 table.count.push(ant.count);
                 table.nest.push(ant.nest);
                 table.state.push(ant.state);
@@ -201,10 +200,10 @@ impl<P: RecruitPolicy + Copy> UrnColumns<P> {
                     unreachable!("plan() admitted a non-urn, non-idler agent");
                 };
                 table.kind.push(RowKind::Idler);
-                // Idlers are coin-free; the row still needs an RNG slot so
-                // the columns stay parallel. The dummy stream is never
-                // advanced.
-                table.rng.push(SmallRng::seed_from_u64(0));
+                // Idlers are coin-free; the row still needs a key slot so
+                // the columns stay parallel. The dummy key is never drawn
+                // from (the `kind` mask excludes idler rows).
+                table.key.push(DrawKey::from_seed(0));
                 table.count.push(0);
                 table.nest.push(NestId::HOME);
                 table.state.push(State::Searching);
@@ -231,7 +230,7 @@ impl<P: RecruitPolicy + Copy> UrnColumns<P> {
                 RowKind::Urn => {
                     let ant =
                         as_urn(agent).expect("agent-state table and colony have diverged in shape");
-                    ant.rng = self.rng[index].clone();
+                    ant.key = self.key[index];
                     ant.count = self.count[index];
                     ant.nest = self.nest[index];
                     ant.state = self.state[index];
@@ -267,7 +266,7 @@ impl<P: RecruitPolicy + Copy> UrnColumns<P> {
             policy: self.policy,
             options: self.options,
             kind: &self.kind,
-            rng: &mut self.rng,
+            key: &self.key,
             count: &mut self.count,
             nest: &mut self.nest,
             state: &mut self.state,
@@ -288,7 +287,7 @@ pub struct UrnColumnsMut<'a, P> {
     policy: P,
     options: UrnOptions,
     kind: &'a [RowKind],
-    rng: &'a mut [SmallRng],
+    key: &'a [DrawKey],
     count: &'a mut [u32],
     nest: &'a mut [NestId],
     state: &'a mut [State],
@@ -319,7 +318,7 @@ impl<'a, P: RecruitPolicy + Copy> UrnColumnsMut<'a, P> {
     #[must_use]
     pub fn split_at_mut(self, mid: usize) -> (UrnColumnsMut<'a, P>, UrnColumnsMut<'a, P>) {
         let (kind_l, kind_r) = self.kind.split_at(mid);
-        let (rng_l, rng_r) = self.rng.split_at_mut(mid);
+        let (key_l, key_r) = self.key.split_at(mid);
         let (count_l, count_r) = self.count.split_at_mut(mid);
         let (nest_l, nest_r) = self.nest.split_at_mut(mid);
         let (state_l, state_r) = self.state.split_at_mut(mid);
@@ -332,7 +331,7 @@ impl<'a, P: RecruitPolicy + Copy> UrnColumnsMut<'a, P> {
                 policy: self.policy,
                 options: self.options,
                 kind: kind_l,
-                rng: rng_l,
+                key: key_l,
                 count: count_l,
                 nest: nest_l,
                 state: state_l,
@@ -345,7 +344,7 @@ impl<'a, P: RecruitPolicy + Copy> UrnColumnsMut<'a, P> {
                 policy: self.policy,
                 options: self.options,
                 kind: kind_r,
-                rng: rng_r,
+                key: key_r,
                 count: count_r,
                 nest: nest_r,
                 state: state_r,
@@ -364,7 +363,7 @@ impl<'a, P: RecruitPolicy + Copy> UrnColumnsMut<'a, P> {
             policy: self.policy,
             options: self.options,
             kind: self.kind,
-            rng: self.rng,
+            key: self.key,
             count: self.count,
             nest: self.nest,
             state: self.state,
@@ -379,7 +378,7 @@ impl<'a, P: RecruitPolicy + Copy> UrnColumnsMut<'a, P> {
     /// Only valid for urn rows; the callers below check `kind` first.
     fn urn_row(&mut self, index: usize) -> UrnRefMut<'_, P> {
         UrnRefMut {
-            rng: &mut self.rng[index],
+            key: self.key[index],
             count: &mut self.count[index],
             nest: &mut self.nest[index],
             state: &mut self.state[index],
@@ -515,54 +514,57 @@ impl<'a, P: RecruitPolicy + Copy> UrnColumnsMut<'a, P> {
         }
     }
 
-    /// Fills the band's **draw plane** for `round`: one dense pass over
-    /// the RNG column producing each row's recruit draw, advancing every
-    /// row's stream in exactly the per-row order (and under exactly the
-    /// conditions) the scalar `choose` path would. Rows that the scalar
-    /// path would not draw for — odd or pre-recruitment rounds, idlers,
-    /// uncommitted rows, and non-`Active` states — are left `false` with
-    /// their streams untouched, so bit-identity to the
-    /// `EngineKind::Scalar` oracle is preserved by construction.
-    ///
     /// Whether `round` can draw recruit coins at all: the urn state
-    /// machine reaches its single RNG site only on even recruitment
+    /// machine reaches its single coin site only on even recruitment
     /// rounds past round 1. On every other round the draw plane is
     /// structurally all-`false`, so batched callers can skip the fill
-    /// and take the fused per-row pass instead — no stream is touched
-    /// either way.
+    /// and take the fused per-row pass instead — the keyed draws make
+    /// either choice bit-identical.
     #[must_use]
     pub fn plane_round(round: u64) -> bool {
         round > 1 && round.is_multiple_of(2)
     }
 
-    /// Consume the plane with [`choose_with_draw`](Self::choose_with_draw),
-    /// which is then branch-free on the RNG.
-    pub fn fill_draw_plane(&mut self, round: u64, draws: &mut Vec<bool>) {
+    /// Fills the band's **draw plane** for `round`: one dense pass over
+    /// the key/count/state columns producing each row's recruit draw as
+    /// the pure keyed coin `hash(key, round)` — no per-row stream state,
+    /// so the loop is branch-free (masking with non-short-circuit `&`)
+    /// and the compiler can batch the hash across rows. Rows whose draw
+    /// the scalar path would never consume — idlers and non-`Active`
+    /// states, which includes the committed-`Passive` rows that *do*
+    /// consume a plane entry but always recruit passively — come out
+    /// `false` exactly as `recruit_draw` would return for them, so
+    /// bit-identity to the `EngineKind::Scalar` oracle is preserved by
+    /// construction.
+    ///
+    /// Consume the plane with [`choose_with_draw`](Self::choose_with_draw).
+    pub fn fill_draw_plane(&self, round: u64, draws: &mut Vec<bool>) {
         draws.clear();
         draws.resize(self.len(), false);
         if !Self::plane_round(round) {
             return;
         }
         for index in 0..self.len() {
-            // The committed gate mirrors choose()'s early `Search` return:
-            // an uncommitted row never reaches the draw on the scalar
-            // path, so its stream must not advance here either. The
-            // `Active` gate hoists recruit_draw's own state check so
-            // non-drawing rows (the entire post-consensus steady state)
-            // cost a column scan, not a row borrow — recruit_draw leaves
-            // their streams untouched either way.
-            if self.kind[index] == RowKind::Urn
-                && self.state[index] == State::Active
-                && urn_committed(self.nest[index]).is_some()
-            {
-                draws[index] = self.urn_row(index).recruit_draw(round);
-            }
+            // Mirrors `recruit_draw` per row: probability and coin are
+            // computed unconditionally (idler rows hold count = 0 and a
+            // dummy key; degenerate p, including NaN from pathological
+            // policies, fails both the `p > 0.0` mask and the coin), and
+            // the masks are bitwise so the whole body is one straight-line
+            // expression per row.
+            let p = self
+                .policy
+                .recruit_probability(self.count[index] as usize, self.n as usize, round)
+                .clamp(0.0, 1.0);
+            draws[index] = (self.kind[index] == RowKind::Urn)
+                & (self.state[index] == State::Active)
+                & (p > 0.0)
+                & self.key[index].coin(round, p);
         }
     }
 
     /// [`choose`](Self::choose) consuming a pre-computed draw-plane entry
-    /// instead of drawing inline: the urn state machine runs with
-    /// `Some(draw)` and touches no RNG.
+    /// instead of evaluating the keyed coin inline: the urn state machine
+    /// runs with `Some(draw)`.
     ///
     /// # Panics
     ///
@@ -625,8 +627,10 @@ impl<'a, P: RecruitPolicy + Copy> UrnColumnsMut<'a, P> {
 ///
 /// Unlike [`UrnColumns`] this is not a field-wise decomposition — these
 /// algorithms mutate state inside `choose` (e.g. [`OptimalAnt`]'s phase
-/// automaton), so their draws cannot be planed out — but it shares the
-/// gather → batched rounds → scatter contract and band-splitting shape.
+/// automaton), so there is no separate plane pass; their coin draws are
+/// issued inline (keyed and order-independent, like every per-row draw
+/// since the counter-based migration) — but it shares the gather →
+/// batched rounds → scatter contract and band-splitting shape.
 #[derive(Debug, Clone)]
 pub struct DenseRows<A> {
     rows: Vec<A>,
@@ -824,7 +828,7 @@ impl AgentColumns {
     }
 
     /// Writes every row's state back into the source `Vec<AnyAgent>`
-    /// (including each ant's RNG stream), making the scalar
+    /// (including each ant's draw key), making the scalar
     /// representation current again.
     ///
     /// # Panics
@@ -1097,7 +1101,7 @@ mod tests {
     }
 
     /// Gather → batched rounds → scatter is bit-identical to running the
-    /// same rounds on the `Vec<AnyAgent>` directly, RNG streams included.
+    /// same rounds on the `Vec<AnyAgent>` directly, draw keys included.
     #[test]
     fn table_rounds_match_the_agent_vector_exactly() {
         let n = 24;
@@ -1130,7 +1134,7 @@ mod tests {
         }
 
         // Scatter back and keep going on the plain agent path: the
-        // restored ants (streams included) must stay in lockstep.
+        // restored ants (draw keys included) must stay in lockstep.
         table.scatter_into(&mut tabled);
         for round in 7..=10u64 {
             for (index, (a, b)) in scalar.iter_mut().zip(tabled.iter_mut()).enumerate() {
@@ -1241,7 +1245,7 @@ mod tests {
 
     /// One batched round via the split passes (`observe_rows` →
     /// `fill_draw_plane` → `choose_with_draw`) is bit-identical to the
-    /// fused per-row `observe_choose`, RNG streams included.
+    /// fused per-row `observe_choose`, draw keys included.
     #[test]
     fn draw_plane_matches_fused_transition_exactly() {
         let n = 24;
@@ -1271,7 +1275,7 @@ mod tests {
                 assert_eq!(expected, (action, snapshot), "ant {index}, round {round}");
             }
         }
-        // The RNG columns must agree too: scatter back and keep running
+        // The key columns must agree too: scatter back and keep running
         // on the plain agent path in lockstep.
         fused.scatter_into(&mut fused_agents);
         planed.scatter_into(&mut planed_agents);

@@ -27,8 +27,9 @@ pub const CHUNK_PHASE_FILES: [&str; 1] = ["crates/sim/src/executor.rs"];
 /// snapshot-column bands the executor splits across workers, and the
 /// per-algorithm agent-state tables (`hh_core::table`) whose bands run
 /// the batched choose/observe passes under the pool. Their impls must
-/// draw only from per-ant streams (the agent tables carry one `SmallRng`
-/// per row precisely so chunk splits cannot reorder draws).
+/// draw only from per-ant randomness (the agent tables carry one
+/// `DrawKey` per row; keyed draws are pure functions of `(key, round)`,
+/// so chunk splits cannot reorder them).
 pub const CHUNK_PHASE_TYPES: [&str; 10] = [
     "RelocationChunk",
     "OutcomeChunk",
@@ -44,10 +45,11 @@ pub const CHUNK_PHASE_TYPES: [&str; 10] = [
 
 /// Types whose impls form the *batched round bodies* of the
 /// per-algorithm agent-state tables: since the round-level draw planes,
-/// every RNG draw a batched round consumes must be advanced by the
-/// designated plane-fill pass, never inline. (The environment's chunk
-/// views — `RelocationChunk`, `OutcomeChunk` — draw their per-ant
-/// streams in place by design and are deliberately not listed.)
+/// every coin a batched round consumes must come from the designated
+/// plane-fill pass or the shared scalar state machine, never an inline
+/// draw call. (The environment's chunk views — `RelocationChunk`,
+/// `OutcomeChunk` — draw their per-ant streams in place by design and
+/// are deliberately not listed.)
 pub const BATCHED_ROUND_TYPES: [&str; 6] = [
     "AgentColumns",
     "AgentColumnsMut",
@@ -59,7 +61,8 @@ pub const BATCHED_ROUND_TYPES: [&str; 6] = [
 
 /// Method names that advance an RNG stream on their receiver. A call to
 /// one of these inside a batched round body (outside the designated
-/// fill pass) is raw per-row RNG access.
+/// fill pass) is raw per-row RNG access: it desynchronizes the row's
+/// stream from the scalar oracle's.
 pub const RAW_DRAW_METHODS: [&str; 6] = [
     "random_bool",
     "random_range",
@@ -69,10 +72,20 @@ pub const RAW_DRAW_METHODS: [&str; 6] = [
     "fill_bytes",
 ];
 
+/// Method names of the counter-based `DrawKey` API
+/// (`hh_model::seeding::DrawKey::coin`/`word`). Keyed draws are pure —
+/// they cannot desynchronize a stream — but an ad-hoc call inside a
+/// batched round body duplicates the designated draw site's logic
+/// (probability clamp, round-as-counter convention) and diverges from
+/// the scalar oracle the first time either copy changes, so they are
+/// confined to the same designated sites as the stateful draws.
+pub const KEYED_DRAW_METHODS: [&str; 2] = ["coin", "word"];
+
 /// The designated plane-fill passes: the only functions in which
-/// batched round bodies may advance per-row RNG streams. The fill pass
-/// walks rows in exactly the per-row order the scalar oracle uses, so
-/// confining draws to it is what makes the draw planes bit-identical by
+/// batched round bodies may evaluate per-row draws. The fill pass
+/// mirrors the scalar oracle's single draw site
+/// (`UrnRefMut::recruit_draw`) row by row, so confining draws to it is
+/// what keeps the draw planes bit-identical to the oracle by
 /// construction.
 pub const DRAW_PLANE_FILL_FNS: [&str; 1] = ["fill_draw_plane"];
 
@@ -326,14 +339,15 @@ fn shared_stream(
 
 /// Rule `raw-row-draw`: batched round bodies (the whole body of
 /// [`CHUNK_PHASE_FILES`], and `impl` blocks of [`BATCHED_ROUND_TYPES`]
-/// anywhere in the engine) must not advance per-row RNG streams inline.
-/// Since the round-level draw planes, every draw a batched round
-/// consumes is materialized by the designated fill pass
-/// ([`DRAW_PLANE_FILL_FNS`]), which walks rows in exactly the scalar
-/// oracle's per-row order; an inline `.random_bool(...)`-style call
-/// anywhere else in those bodies desynchronizes a row's stream from the
-/// plane (or double-draws it) the moment the pass is split across
-/// workers.
+/// anywhere in the engine) must not evaluate per-row draws inline.
+/// Every draw a batched round consumes is materialized by the
+/// designated fill pass ([`DRAW_PLANE_FILL_FNS`]) or the shared scalar
+/// state machine it mirrors. Two hazard classes, one confinement: a
+/// stateful [`RAW_DRAW_METHODS`] call desynchronizes a row's stream
+/// from the plane (or double-draws it) the moment the pass is split
+/// across workers, and an ad-hoc keyed [`KEYED_DRAW_METHODS`] call
+/// forks the draw-site logic (probability clamp, round-as-counter
+/// convention) away from the scalar oracle's single implementation.
 fn raw_row_draw(
     path: &str,
     lexed: &Lexed,
@@ -350,11 +364,12 @@ fn raw_row_draw(
 
     let toks = &lexed.tokens;
     for w in toks.windows(2) {
-        let is_draw_call = w[0].kind == TokenKind::Punct
-            && w[0].text == "."
-            && w[1].kind == TokenKind::Ident
-            && RAW_DRAW_METHODS.contains(&w[1].text.as_str());
-        if !is_draw_call {
+        if w[0].kind != TokenKind::Punct || w[0].text != "." || w[1].kind != TokenKind::Ident {
+            continue;
+        }
+        let method = w[1].text.as_str();
+        let stateful = RAW_DRAW_METHODS.contains(&method);
+        if !stateful && !KEYED_DRAW_METHODS.contains(&method) {
             continue;
         }
         let line = w[1].line;
@@ -362,19 +377,24 @@ fn raw_row_draw(
             continue;
         }
         if !waived("raw-row-draw", line) {
-            diags.push(Diagnostic::new(
-                "raw-row-draw",
-                path,
-                line,
+            let message = if stateful {
                 format!(
-                    "`.{}(...)` advances an RNG stream inline inside a batched round \
+                    "`.{method}(...)` advances an RNG stream inline inside a batched round \
                      body; draws consumed by batched rounds must be materialized by the \
                      designated fill pass ({}) so every row's stream advances in the \
                      scalar oracle's order",
-                    w[1].text,
                     DRAW_PLANE_FILL_FNS.join(", ")
-                ),
-            ));
+                )
+            } else {
+                format!(
+                    "`.{method}(...)` evaluates a keyed draw inline inside a batched round \
+                     body; counter draws are confined to the designated fill pass ({}) and \
+                     the shared scalar state machine so the draw-site logic (probability \
+                     clamp, round-as-counter convention) has exactly one implementation",
+                    DRAW_PLANE_FILL_FNS.join(", ")
+                )
+            };
+            diags.push(Diagnostic::new("raw-row-draw", path, line, message));
         }
     }
 }

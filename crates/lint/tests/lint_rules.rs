@@ -129,6 +129,39 @@ fn every_raw_row_draw_is_flagged_in_chunk_phase_files() {
 }
 
 #[test]
+fn keyed_row_draws_in_batched_round_bodies_are_flagged() {
+    // The counter migration adds a second hazard class: an ad-hoc keyed
+    // `.coin`/`.word` call inside a batched round body forks the
+    // draw-site logic away from the scalar oracle. Both inline sites in
+    // the table impl are flagged; the designated fill pass and the free
+    // helper are not.
+    let diags = lint_fixture("keyed_row_draw_table.rs", "crates/core/src/table.rs");
+    assert_eq!(
+        diags,
+        vec![
+            ("raw-row-draw".to_string(), 20),
+            ("raw-row-draw".to_string(), 24),
+        ]
+    );
+}
+
+#[test]
+fn every_keyed_row_draw_is_flagged_in_chunk_phase_files() {
+    // As executor.rs the whole file is a batched round body: the free
+    // helper's keyed draw on line 29 is now also in scope; the fill
+    // pass stays exempt.
+    let diags = lint_fixture("keyed_row_draw_table.rs", "crates/sim/src/executor.rs");
+    assert_eq!(
+        diags,
+        vec![
+            ("raw-row-draw".to_string(), 20),
+            ("raw-row-draw".to_string(), 24),
+            ("raw-row-draw".to_string(), 29),
+        ]
+    );
+}
+
+#[test]
 fn unlisted_ordering_is_flagged_despite_justification() {
     let diags = lint_fixture("unlisted_ordering.rs", "crates/sim/src/pool.rs");
     assert_eq!(diags, vec![("atomic-ordering".to_string(), 8)]);

@@ -113,6 +113,76 @@ pub fn derive_seed(base: u64, kind: StreamKind, index: u64) -> u64 {
     splitmix64(b ^ index.wrapping_mul(GOLDEN_GAMMA))
 }
 
+/// A per-row key for counter-based draws.
+///
+/// Where [`derive_seed`] feeds *stateful* generators (one xoshiro stream
+/// per component), a `DrawKey` feeds the stateless keyed hash
+/// ([`rand::rngs::CounterRng::hash`]): every draw is a pure function of
+/// `(key, counter)`, with the round number as the counter. That makes
+/// per-row draws order-independent — a dense column sweep, a chunked
+/// parallel pass, and the scalar match-per-ant oracle all issue the same
+/// words by construction — and lets a whole column of draws compile down
+/// to a branch-free vectorizable loop.
+///
+/// Keys are `Copy` values, not streams: cloning an agent clones its key,
+/// and two agents with the same key make identical draws forever. Derive
+/// one key per ant via [`DrawKey::derive`].
+///
+/// # Examples
+///
+/// ```
+/// use hh_model::seeding::{DrawKey, StreamKind};
+///
+/// let key = DrawKey::derive(42, StreamKind::Agent, 3);
+/// // Draws are pure: the same (key, round) pair always agrees.
+/// assert_eq!(key.coin(10, 0.5), key.coin(10, 0.5));
+/// // Monotone in p: a draw that passes at p keeps passing at higher p.
+/// if key.coin(10, 0.25) {
+///     assert!(key.coin(10, 0.75));
+/// }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DrawKey(u64);
+
+impl DrawKey {
+    /// Builds a key directly from an already-mixed stream seed.
+    ///
+    /// The seed is passed through one extra [`splitmix64`] round so that
+    /// callers holding *sequential* raw seeds (tests, ad-hoc tooling)
+    /// still get decorrelated keys.
+    #[must_use]
+    pub fn from_seed(seed: u64) -> Self {
+        Self(splitmix64(seed))
+    }
+
+    /// Derives the key for stream `(kind, index)` from a base trial seed,
+    /// mirroring [`derive_seed`].
+    #[must_use]
+    pub fn derive(base: u64, kind: StreamKind, index: u64) -> Self {
+        Self::from_seed(derive_seed(base, kind, index))
+    }
+
+    /// Returns the raw 64-bit word for draw `counter` under this key.
+    #[inline]
+    #[must_use]
+    pub fn word(self, counter: u64) -> u64 {
+        rand::rngs::CounterRng::hash(self.0, counter)
+    }
+
+    /// Returns a Bernoulli(`p`) draw for `counter` under this key.
+    ///
+    /// Uses the same word→unit-interval mapping as
+    /// [`rand::RngExt::random_bool`] (top 53 bits), so a keyed draw and a
+    /// stream draw from the same word agree bit for bit. `p <= 0.0` (and
+    /// NaN) always yields `false`; `p >= 1.0` always yields `true`.
+    #[inline]
+    #[must_use]
+    pub fn coin(self, counter: u64, p: f64) -> bool {
+        let unit = (self.word(counter) >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        unit < p
+    }
+}
+
 /// An open-ended sequence of derived seeds.
 ///
 /// Useful when a component needs an unbounded number of sub-streams (for
@@ -193,6 +263,76 @@ mod tests {
         let mut b = SeedSequence::new(5);
         for _ in 0..10 {
             assert_eq!(a.next_seed(), b.next_seed());
+        }
+    }
+
+    #[test]
+    fn draw_key_matches_the_counter_hash() {
+        // `word` is exactly the vendored keyed hash over the mixed seed —
+        // the bit-identity bridge between scalar agents (which call
+        // `coin`) and the dense plane fill (which may batch `word`s).
+        let key = DrawKey::from_seed(12345);
+        for round in 0..32 {
+            assert_eq!(
+                key.word(round),
+                rand::rngs::CounterRng::hash(splitmix64(12345), round)
+            );
+        }
+    }
+
+    #[test]
+    fn draw_key_coin_matches_a_stream_draw_from_the_same_word() {
+        use rand::{RngExt, SeedableRng};
+        // A CounterRng seeded with the key's internal word replays the
+        // same hash sequence, so `random_bool` through the shim and
+        // `coin` through the key must agree on every round.
+        let key = DrawKey::from_seed(777);
+        let mut rng = rand::rngs::CounterRng::seed_from_u64(splitmix64(777));
+        for round in 0..256 {
+            assert_eq!(
+                key.coin(round, 0.37),
+                rng.random_bool(0.37),
+                "round {round}"
+            );
+        }
+    }
+
+    #[test]
+    fn draw_key_coin_handles_degenerate_probabilities() {
+        let key = DrawKey::from_seed(9);
+        for round in 0..64 {
+            assert!(!key.coin(round, 0.0));
+            assert!(!key.coin(round, -1.0));
+            assert!(!key.coin(round, f64::NAN));
+            assert!(key.coin(round, 1.0));
+        }
+    }
+
+    #[test]
+    fn sequential_seeds_give_decorrelated_keys() {
+        // Tests seed agents with consecutive integers; the extra mix in
+        // `from_seed` must keep their coin flips independent-looking.
+        let heads: Vec<usize> = (0..4u64)
+            .map(|seed| {
+                let key = DrawKey::from_seed(seed);
+                (0..2_000).filter(|&round| key.coin(round, 0.5)).count()
+            })
+            .collect();
+        for (seed, &count) in heads.iter().enumerate() {
+            assert!(
+                (900..=1_100).contains(&count),
+                "seed {seed}: {count}/2000 heads"
+            );
+        }
+    }
+
+    #[test]
+    fn derive_distinguishes_key_streams() {
+        let mut seen = BTreeSet::new();
+        for kind in [StreamKind::Agent, StreamKind::AgentEnvironment] {
+            for index in 0..100 {
+                assert!(seen.insert(DrawKey::derive(123, kind, index)));
+            }
         }
     }
 

@@ -458,9 +458,10 @@ pub struct Simulation {
     table_min_rounds: u64,
     /// Whether table rounds consume the round-level recruit **draw
     /// plane** instead of drawing inline in the fused per-row pass. Both
-    /// are bit-identical (per-row streams are independent); see
+    /// are bit-identical (each row's draw is a pure keyed hash of
+    /// `(key, round)`); see
     /// [`with_draw_planes`](Simulation::with_draw_planes) for why the
-    /// fused pass is currently the default.
+    /// fused pass is still the default.
     draw_planes: bool,
 }
 
@@ -568,17 +569,17 @@ impl Simulation {
     /// the `HH_DRAW_PLANES` environment variable (`1`/`true`) when set at
     /// construction.
     ///
-    /// Both paths are bit-identical by construction — per-row RNG
-    /// streams are independent, so each row's draws depend only on that
-    /// row's stream position, which the fill pass advances under exactly
-    /// the scalar conditions — making this a pure performance/audit
-    /// knob. The fused pass is the default because today's per-row
-    /// sequential generators give the plane fill nothing to batch: the
-    /// split passes measurably cost throughput in draw-heavy regimes
-    /// (see `BENCH_BASELINE.md`). The plane becomes the profitable
-    /// default once per-row draws are counter-based and the fill
-    /// vectorizes; the CI thread matrix keeps the plane path pinned to
-    /// the oracle in the meantime.
+    /// Both paths are bit-identical by construction — each row's draw
+    /// is a pure keyed hash of `(key, round)` with no stream state, so
+    /// the plane fill and the fused pass evaluate literally the same
+    /// function — making this a pure performance/audit knob. Counter
+    /// draws made the fill a dense branch-free sweep and planes now
+    /// beat the pure scalar engine, but on this target the hash's
+    /// 64-bit multiplies and the `u64 → f64` threshold compare don't
+    /// vectorize, so the split passes still trail the fused pass by a
+    /// few percent (see `BENCH_BASELINE.md` for the measured three-way).
+    /// The fused pass therefore stays the default; the CI thread matrix
+    /// keeps the plane path pinned to the oracle.
     #[must_use]
     pub fn with_draw_planes(mut self, enabled: bool) -> Self {
         self.draw_planes = enabled;
@@ -968,7 +969,7 @@ impl Simulation {
         self.authority = TableAuthority::Synced;
     }
 
-    /// Writes the table's rows — RNG streams included — back into the
+    /// Writes the table's rows — draw keys included — back into the
     /// agent vector, making the scalar representation current again.
     /// The table is kept for the next gather to reuse.
     fn scatter_table(&mut self) {
@@ -1007,12 +1008,15 @@ impl Simulation {
         let n = self.env.n();
         // If the previous round ran on the pre-chosen pipeline (the SoA
         // engine fuses `choose(round + 1)` into its agent pass), the
-        // agents have *already* made this round's choices and their RNG
-        // streams have advanced past them. Calling `choose` again would
-        // draw fresh randomness and double-advance the streams — the
-        // mid-run `with_engine(Scalar)` switch bug pinned by
-        // `mid_run_engine_switch_matches_pure_scalar`. Consume the
-        // buffered actions instead. Pre-chosen rounds are always
+        // agents have *already* made this round's choices. The Agent
+        // contract allows `choose(r)` to be called at most once per
+        // round — a stateful implementation (a boxed `Custom` agent, or
+        // any future draw that advances state) would diverge on a
+        // second call, the mid-run `with_engine(Scalar)` switch bug
+        // pinned by `mid_run_engine_switch_matches_pure_scalar` (the
+        // built-in urn choose became repeat-safe with the keyed-draw
+        // migration, but the contract has not). Consume the buffered
+        // actions instead. Pre-chosen rounds are always
         // unperturbed (the fast path requires it), so the fault checks
         // below are vacuous in that case.
         let prechosen = std::mem::replace(&mut self.prechosen, false);
@@ -1164,7 +1168,7 @@ impl Simulation {
     /// the agents into per-algorithm state columns and executes every
     /// round on the batched table path. The table stays authoritative
     /// after the loop returns (errors included): the bit-identical
-    /// scatter back into the agent vector — RNG streams included — is
+    /// scatter back into the agent vector — draw keys included — is
     /// **lazy**, performed once when a scalar consumer
     /// ([`agents`](Self::agents), [`colony`](Self::colony), or a
     /// scalar-path round) next needs it, so back-to-back convergence
@@ -1312,11 +1316,11 @@ trait BatchAgents: Send {
     /// The default runs the fused per-row loop. Backing stores whose
     /// state machines permit it (the urn columns) override this with
     /// split column passes — drain the cursor and observe row by row,
-    /// fill the round's **draw plane** in one dense sweep over the RNG
-    /// column, then assemble actions branch-free on the RNG — which is
-    /// bit-identical because per-ant streams are independent, observe
-    /// never draws, and the plane fill advances each row's stream under
-    /// exactly the scalar path's conditions.
+    /// fill the round's **draw plane** in one dense branch-free sweep
+    /// over the key/count/state columns, then assemble actions consuming
+    /// the plane — which is bit-identical because observe never draws
+    /// and every coin is a pure keyed function of `(key, round)`,
+    /// independent of which pass (or which row order) evaluates it.
     fn observe_choose_all(
         &mut self,
         round: u64,
@@ -1375,12 +1379,12 @@ impl<P: RecruitPolicy + Copy> BatchAgents for UrnColumnsMut<'_, P> {
         self.observe_choose(local, round, outcome)
     }
 
-    /// The tentpole: split column passes instead of the fused per-row
-    /// loop. Bit-identity to the default holds by construction — observe
-    /// is coin-free, the draw plane advances each row's independent
-    /// stream under exactly the scalar `choose` conditions
-    /// (`UrnColumnsMut::fill_draw_plane`), and `choose_with_draw`
-    /// consumes the plane without touching any RNG.
+    /// Split column passes instead of the fused per-row loop.
+    /// Bit-identity to the default holds by construction — observe is
+    /// coin-free, and the draw plane computes the same pure keyed coin
+    /// `hash(key, round)` the fused path would draw inline
+    /// (`UrnColumnsMut::fill_draw_plane`), just batched into one dense
+    /// vectorizable sweep consumed by `choose_snapshot_with_draw`.
     fn observe_choose_all(
         &mut self,
         round: u64,
@@ -1413,11 +1417,11 @@ impl<P: RecruitPolicy + Copy> BatchAgents for UrnColumnsMut<'_, P> {
                 self.observe_row(local, &outcome);
             }
         }
-        // Pass B: fill the next round's draw plane — one dense sweep
-        // over the RNG column.
+        // Pass B: fill the next round's draw plane — one dense
+        // branch-free sweep over the key/count/state columns.
         self.fill_draw_plane(round + 1, &mut plane.draws);
-        // Pass C: assemble actions branch-free on the RNG and refresh —
-        // snapshot and choose fused into one row dispatch.
+        // Pass C: assemble actions consuming the plane — snapshot and
+        // choose fused into one row dispatch, no coin evaluation left.
         for local in 0..ran.len() {
             let (action, snapshot) =
                 self.choose_snapshot_with_draw(local, round + 1, plane.draws[local]);
@@ -1447,8 +1451,9 @@ impl<A: Agent + Clone + Send> BatchAgents for DenseRowsMut<'_, A> {
     }
 
     // Dense rows keep the default fused `observe_choose_all`: these
-    // algorithms draw (and mutate state) inside `choose`, so their
-    // coins cannot be planed out ahead of the per-row transition.
+    // algorithms mutate state inside `choose` (their keyed coins are
+    // order-independent, but the surrounding transition is not), so
+    // there is no separate plane pass to split out.
 }
 
 /// Round 1 only: the dedicated choose pass that primes the pre-chosen
@@ -2107,11 +2112,15 @@ mod tests {
         // The SoA fast path leaves the colony pre-chosen for the next
         // round (fused `choose(round + 1)`). A mid-run switch to the
         // scalar engine must consume those buffered actions instead of
-        // calling `choose` again, which would draw fresh randomness and
-        // double-advance the per-ant RNG streams.
+        // calling `choose` again — the Agent contract allows one call
+        // per round, and a stateful implementation would diverge on a
+        // second one. (The built-in urn choose became repeat-safe with
+        // the keyed-draw migration; this test pins the consume-buffer
+        // path itself so the contract stays honored for agents that
+        // are not.)
         // Switch after an odd number of rounds so the buffered choices
         // are for an even (recruitment) round: that is where urn ants
-        // draw randomness in `choose`, making a second call observable.
+        // draw their recruit coin in `choose`.
         let n = 64;
         let mut switched = Simulation::new(env(n, 3, 52), colony::simple(n, 52)).unwrap();
         let mut scalar = Simulation::new(env(n, 3, 52), colony::simple(n, 52))
@@ -2221,7 +2230,7 @@ mod tests {
         // Crossing the gather/scatter boundary repeatedly — convergence
         // runs (table path) interleaved with single steps (agent-vector
         // path) — must match an uninterrupted scalar-engine twin: the
-        // scatter restores agent state *and* RNG streams exactly.
+        // scatter restores agent state *and* draw keys exactly.
         let n = 128;
         let rule = ConvergenceRule::stable_commitment(2);
         let mut table = Simulation::new(env(n, 3, 83), colony::simple(n, 83)).unwrap();
